@@ -1,0 +1,54 @@
+//! Criterion bench for the **figure pipelines** (Figs. 14–16): the
+//! end-to-end flows behind each display figure — case matching (14a),
+//! any-angle matching (14b), and the MSDTW merge/restore cycle (16a/16b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meander_core::{match_board_group, ExtendConfig};
+use meander_geom::Angle;
+use meander_layout::gen::{any_angle_bus, decoupled_pair, table1_case};
+use meander_layout::svg::{render_board, SvgStyle};
+use meander_msdtw::{merge_pair, restore_pair, PairGeometry};
+
+fn bench_figures(c: &mut Criterion) {
+    let config = ExtendConfig::default();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Fig. 14a: match + render the dense case.
+    group.bench_function("fig14a_case1_match_and_render", |b| {
+        b.iter_batched(
+            || table1_case(1),
+            |mut case| {
+                let _ = match_board_group(&mut case.board, 0, &config);
+                render_board(&case.board, &SvgStyle::default())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Fig. 14b: the any-direction demo.
+    group.bench_function("fig14b_any_angle_match", |b| {
+        b.iter_batched(
+            || any_angle_bus(4, Angle::from_degrees(17.0)),
+            |mut board| match_board_group(&mut board, 0, &config),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Fig. 16: MSDTW merge + restore cycle on the decoupled pair.
+    let case = decoupled_pair(false);
+    let p = case.board.trace(case.p).expect("p").centerline().clone();
+    let n = case.board.trace(case.n).expect("n").centerline().clone();
+    group.bench_function("fig16_msdtw_merge_restore", |b| {
+        b.iter(|| {
+            let merged = merge_pair(&PairGeometry::new(&p, &n, case.sep0)).expect("merge");
+            restore_pair(&merged.median, case.sep0)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

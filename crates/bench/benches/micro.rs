@@ -1,0 +1,196 @@
+//! Micro-benchmarks of the kernels behind the runtime columns, plus the
+//! ablation benches DESIGN.md calls out:
+//!
+//! * `dp_kernel` — segment DP vs discretization size,
+//! * `ura_shrink` — one max-height query vs obstacle count,
+//! * `dtw` — node matching vs node count,
+//! * `simplex` — assignment LP vs grid size,
+//! * `priority_ablation` — connected-pattern priority on/off (Fig. 5),
+//! * `requeue_ablation` — meander-on-meander on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meander_core::baseline::FixedTrackOptions;
+use meander_core::context::{ShrinkContext, WorldContext};
+use meander_core::dp::{extend_segment_dp, DpInput};
+use meander_core::extend::ExtendInput;
+use meander_core::shrink::max_pattern_height;
+use meander_core::{extend_trace, ExtendConfig};
+use meander_geom::{Frame, Point, Polygon, Polyline, Segment};
+use meander_msdtw::dtw_match;
+use meander_region::{solve_lp_for_bench, LpOutcome};
+
+fn bench_dp_kernel(c: &mut Criterion) {
+    let config = ExtendConfig::default();
+    let mut group = c.benchmark_group("dp_kernel");
+    for m in [32usize, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let height = |_: usize, _: usize, _: i8| 5.0;
+            b.iter(|| {
+                extend_segment_dp(&DpInput {
+                    m,
+                    ldisc: 1.0,
+                    gap_steps: 8,
+                    protect_steps: 4,
+                    min_width_steps: 8,
+                    max_width_steps: 48,
+                    height: &height,
+                    config: &config,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ura_shrink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ura_shrink");
+    for n_obstacles in [4usize, 16, 64, 256] {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(200.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let obstacles: Vec<Polygon> = (0..n_obstacles)
+            .map(|i| {
+                let x = 10.0 + (i % 16) as f64 * 12.0;
+                let y = 8.0 + (i / 16) as f64 * 12.0;
+                Polygon::regular(Point::new(x, y), 1.5, 8, 0.0)
+            })
+            .collect();
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-20.0, -80.0),
+                Point::new(220.0, 80.0),
+            )],
+            obstacles,
+            other_uras: vec![],
+        };
+        let ctx = ShrinkContext::build(&world, &frame, 200.0, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_obstacles),
+            &n_obstacles,
+            |b, _| b.iter(|| max_pattern_height(&ctx, 80.0, 110.0, 8.0, 60.0, 2.0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    for n in [16usize, 64, 256] {
+        let p: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 3.0)).collect();
+        let q: Vec<Point> = (0..n + 7).map(|i| Point::new(i as f64 * 0.97, -3.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dtw_match(&p, &q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for size in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let out = solve_lp_for_bench(size);
+                assert!(matches!(out, LpOutcome::Optimal { .. }));
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn extend_input_fixture() -> (Polyline, Vec<Polygon>, meander_drc::DesignRules) {
+    let trace = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)]);
+    let area = vec![Polygon::rectangle(
+        Point::new(-20.0, -60.0),
+        Point::new(220.0, 60.0),
+    )];
+    let rules = meander_drc::DesignRules {
+        gap: 8.0,
+        obstacle: 8.0,
+        protect: 4.0,
+        miter: 2.0,
+        width: 4.0,
+    };
+    (trace, area, rules)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let (trace, area, rules) = extend_input_fixture();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    for (name, config) in [
+        ("priority_on", ExtendConfig::default()),
+        (
+            "priority_off",
+            ExtendConfig {
+                connect_priority: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "requeue_off",
+            ExtendConfig {
+                requeue: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                extend_trace(
+                    &ExtendInput {
+                        trace: &trace,
+                        target: 500.0,
+                        rules: &rules,
+                        area: &area,
+                        obstacles: &[],
+                    },
+                    &config,
+                )
+            })
+        });
+    }
+    // Report achieved lengths once so ablation quality is visible in logs.
+    for (name, config) in [
+        ("priority_on", ExtendConfig::default()),
+        (
+            "priority_off",
+            ExtendConfig {
+                connect_priority: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "requeue_off",
+            ExtendConfig {
+                requeue: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 500.0,
+                rules: &rules,
+                area: &area,
+                obstacles: &[],
+            },
+            &config,
+        );
+        println!("ablation {name}: achieved {:.2} / 500", out.achieved);
+    }
+    let _ = FixedTrackOptions::default(); // keep baseline types exercised
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_kernel,
+    bench_ura_shrink,
+    bench_dtw,
+    bench_simplex,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table I: length-matching performance compared
+//! with the AiDT-like baseline on the five synthesized cases.
+//!
+//! ```text
+//! cargo run --release -p meander-bench --bin table1
+//! ```
+
+use meander_bench::table1::{header, run_table1_case};
+
+fn main() {
+    println!("Table I — length-matching performance (AiDT-like baseline vs ours)");
+    println!("{}", header());
+    for case_no in 1..=5 {
+        let row = run_table1_case(case_no);
+        println!("{row}");
+    }
+    println!();
+    println!("paper reference (max% / avg%):");
+    println!("  case 1: initial 37.38/19.02  allegro 33.52/14.23  ours 3.02/1.30");
+    println!("  case 2: initial 35.99/19.41  allegro 28.06/11.04  ours 3.93/1.39");
+    println!("  case 3: initial 35.91/20.06  allegro 20.91/8.66   ours 3.51/1.37");
+    println!("  case 4: initial 30.99/17.22  allegro 22.25/9.85   ours 5.46/1.83");
+    println!("  case 5: initial 26.55/15.18  allegro 10.21/5.14   ours 10.3/3.32");
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Table II: extension upper bound with and
+//! without the DP, on the dense via-field dummy design.
+//!
+//! ```text
+//! cargo run --release -p meander-bench --bin table2
+//! ```
+
+use meander_bench::table2::{header, run_table2_case};
+
+fn main() {
+    println!("Table II — extension performance with and without DP");
+    println!("{}", header());
+    for case_no in 1..=6 {
+        let row = run_table2_case(case_no);
+        println!("{row}");
+    }
+    println!();
+    println!("paper reference (withDP% / withoutDP%):");
+    println!("  case 1: 879.30 / 845.80");
+    println!("  case 2: 718.79 / 742.16");
+    println!("  case 3: 581.42 / 345.62");
+    println!("  case 4: 481.14 / 229.79");
+    println!("  case 5: 428.33 / 177.92");
+    println!("  case 6: 327.41 /  80.20");
+}

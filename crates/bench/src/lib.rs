@@ -1,0 +1,18 @@
+//! # meander-bench
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (Sec. VI). Each experiment exists twice:
+//!
+//! * a **binary** (`table1`, `table2`, `figures`) that prints the table
+//!   rows / writes the SVG figures,
+//! * a **Criterion bench** (`benches/`) that measures the kernels behind
+//!   the runtime columns and prints the same rows into the bench log.
+//!
+//! The library part holds the shared experiment drivers so binaries,
+//! benches, and integration tests all run exactly the same code.
+
+pub mod table1;
+pub mod table2;
+
+pub use table1::{run_table1_case, Table1Row};
+pub use table2::{run_table2_case, Table2Row};

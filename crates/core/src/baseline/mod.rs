@@ -1,0 +1,16 @@
+//! Comparison baselines.
+//!
+//! * [`fixed_track`] — the paper's Table II ablation comparator: "The
+//!   compared algorithm without DP is based on fixed routing tracks and
+//!   constant pattern width". No DP, no foot/width adaptation, no routing
+//!   around obstacles.
+//! * [`aidt_like`] — a stand-in for Allegro's closed-source
+//!   Auto-interactive Delay Tune used in Table I (see DESIGN.md
+//!   "Substitutions"): a greedy serpentine tuner with uniform amplitude per
+//!   segment and conventional parallel-checking pair handling.
+
+pub mod aidt_like;
+pub mod fixed_track;
+
+pub use aidt_like::match_group_aidt;
+pub use fixed_track::{extend_trace_fixed, FixedTrackOptions};

@@ -1,0 +1,281 @@
+//! The polygon context a segment is extended against.
+
+use meander_geom::{Frame, Point, Polygon, Polyline, Rect, Segment};
+use meander_index::{MergeSortTree, SegmentGrid};
+
+/// Tiny lift above the segment line: geometry at `y ≤ Y_EPS` in pattern-side
+/// coordinates belongs to "behind the segment" and is exempt from checking
+/// (paper: "The area below line AD need not be checked"). Constraints *on*
+/// the line (legs of existing patterns) are kept by clipping at exactly
+/// this height, so their clipped bottom nodes still register.
+pub const Y_EPS: f64 = 1e-7;
+
+/// World-space inputs for building a [`ShrinkContext`].
+#[derive(Debug, Clone, Default)]
+pub struct WorldContext {
+    /// Routable-area border polygons (patterns must stay inside one).
+    pub area: Vec<Polygon>,
+    /// Obstacle polygons.
+    pub obstacles: Vec<Polygon>,
+    /// URA rectangles of the trace's *other* segments (world space).
+    pub other_uras: Vec<Polygon>,
+}
+
+impl WorldContext {
+    /// Builds the URA rectangles for every segment of `trace` except the
+    /// one with index `skip`, with lateral half-width `gap / 2` (the URA of
+    /// a segment per paper Fig. 6, without longitudinal extension — the
+    /// along-trace spacing constraints are enforced by the DP transition
+    /// rules instead).
+    pub fn trace_uras(trace: &Polyline, skip: usize, gap: f64) -> Vec<Polygon> {
+        let mut out = Vec::with_capacity(trace.segment_count().saturating_sub(1));
+        for (i, seg) in trace.segments().enumerate() {
+            if i == skip || seg.is_degenerate() {
+                continue;
+            }
+            let frame = Frame::from_segment(&seg).expect("non-degenerate");
+            let local = Polygon::rectangle(
+                Point::new(0.0, -gap / 2.0),
+                Point::new(seg.length(), gap / 2.0),
+            );
+            out.push(frame.polygon_to_world(&local));
+        }
+        out
+    }
+}
+
+/// The per-(segment, direction) obstacle context used by the URA shrinking.
+///
+/// All polygons are transformed into *pattern-side coordinates*: x along the
+/// extended segment, +y toward the pattern side, clipped to `y ≥` [`Y_EPS`].
+/// A merge-sort tree over the clipped polygons' nodes answers Alg. 2's
+/// `P_check` range queries; a uniform grid over their edges accelerates the
+/// "sides" intersections of Eq. 11.
+#[derive(Debug)]
+pub struct ShrinkContext {
+    /// Constraint polygons in pattern-side coordinates. Routable-area
+    /// borders come first *unclipped* (their below-segment edges cannot
+    /// reach the URA anyway, and clipping would fabricate a border edge on
+    /// the segment line); obstacles and other-segment URAs follow, clipped
+    /// to `y ≥` [`Y_EPS`] so anything standing on the segment registers
+    /// bottom nodes the range query can see.
+    pub polygons: Vec<Polygon>,
+    /// `true` for routable-area border polygons (containers, not
+    /// obstacles): they are never "enclosed" by a pattern.
+    pub is_area: Vec<bool>,
+    /// Node tree: point → polygon id.
+    pub tree: MergeSortTree<u32>,
+    /// Edge grid over all polygon edges.
+    pub grid: SegmentGrid,
+    /// Flattened edges (grid ids index into this).
+    pub edges: Vec<Segment>,
+    /// Owning polygon of each edge.
+    pub edge_owner: Vec<u32>,
+    /// Node count per polygon (for the `|Poly_k|` tests of Alg. 2).
+    pub node_count: Vec<usize>,
+    /// The extended segment in local coordinates (on the +x axis).
+    pub local_segment: Segment,
+    /// Routable-area polygons in pattern-side coordinates (unclipped) used
+    /// for the final containment check.
+    pub area_local: Vec<Polygon>,
+}
+
+impl ShrinkContext {
+    /// Builds the context for one side of one segment.
+    ///
+    /// `frame` maps world → segment-local; `dir` (+1/−1) selects the
+    /// pattern side (−1 mirrors y so the shrinking always works "upward").
+    pub fn build(world: &WorldContext, frame: &Frame, seg_len: f64, dir: i8) -> Self {
+        let flip = f64::from(dir);
+        let to_side = |p: Point| {
+            let l = frame.to_local(p);
+            Point::new(l.x, l.y * flip)
+        };
+
+        let mut polygons: Vec<Polygon> = Vec::new();
+        let mut is_area = Vec::new();
+        let mut area_local = Vec::new();
+        for poly in &world.area {
+            let verts: Vec<Point> = poly.vertices().iter().map(|&p| to_side(p)).collect();
+            area_local.push(Polygon::new(verts.clone()));
+            polygons.push(Polygon::new(verts));
+            is_area.push(true);
+        }
+        for poly in world.obstacles.iter().chain(&world.other_uras) {
+            let verts: Vec<Point> = poly.vertices().iter().map(|&p| to_side(p)).collect();
+            if let Some(clipped) = Polygon::new(verts).clipped_above(Y_EPS) {
+                polygons.push(clipped);
+                is_area.push(false);
+            }
+        }
+
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        let mut edge_owner = Vec::new();
+        let mut node_count = Vec::new();
+        for (k, poly) in polygons.iter().enumerate() {
+            node_count.push(poly.len());
+            for &v in poly.vertices() {
+                nodes.push((v, k as u32));
+            }
+            for e in poly.edges() {
+                edges.push(e);
+                edge_owner.push(k as u32);
+            }
+        }
+        let tree = MergeSortTree::build(nodes);
+        let cell = (seg_len / 8.0).max(1.0);
+        let mut grid = SegmentGrid::new(cell);
+        for (i, e) in edges.iter().enumerate() {
+            grid.insert(i as u32, e);
+        }
+
+        ShrinkContext {
+            polygons,
+            is_area,
+            tree,
+            grid,
+            edges,
+            edge_owner,
+            node_count,
+            local_segment: Segment::new(Point::ORIGIN, Point::new(seg_len, 0.0)),
+            area_local,
+        }
+    }
+
+    /// `d(seg, p)` of the paper: distance from the extended segment to `p`
+    /// in pattern-side coordinates.
+    #[inline]
+    pub fn dist_seg(&self, p: Point) -> f64 {
+        self.local_segment.distance_to_point(p)
+    }
+
+    /// `true` when the axis-aligned pattern rectangle (feet `x0..x1`,
+    /// height `h`) lies inside a single routable-area polygon.
+    pub fn pattern_in_area(&self, x0: f64, x1: f64, h: f64) -> bool {
+        if self.area_local.is_empty() {
+            return true;
+        }
+        let corners = [
+            Point::new(x0, 0.0),
+            Point::new(x1, 0.0),
+            Point::new(x0, h),
+            Point::new(x1, h),
+            Point::new((x0 + x1) / 2.0, h),
+        ];
+        self.area_local
+            .iter()
+            .any(|poly| corners.iter().all(|&c| poly.contains(c)))
+    }
+
+    /// Candidate edge ids near a rectangle.
+    pub fn edges_near(&self, r: &Rect) -> Vec<u32> {
+        self.grid.query(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_geom::Vector;
+
+    fn frame_for(a: Point, b: Point) -> (Frame, f64) {
+        let seg = Segment::new(a, b);
+        (Frame::from_segment(&seg).unwrap(), seg.length())
+    }
+
+    #[test]
+    fn polygons_behind_segment_are_dropped() {
+        let (frame, len) = frame_for(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let world = WorldContext {
+            area: vec![],
+            obstacles: vec![
+                Polygon::rectangle(Point::new(10.0, 5.0), Point::new(20.0, 15.0)), // above
+                Polygon::rectangle(Point::new(10.0, -15.0), Point::new(20.0, -5.0)), // below
+            ],
+            other_uras: vec![],
+        };
+        let up = ShrinkContext::build(&world, &frame, len, 1);
+        assert_eq!(up.polygons.len(), 1);
+        let down = ShrinkContext::build(&world, &frame, len, -1);
+        assert_eq!(down.polygons.len(), 1);
+        // The down context sees the below-obstacle at positive y.
+        assert!(down.polygons[0].bbox().min.y > 0.0);
+    }
+
+    #[test]
+    fn straddling_obstacle_is_clipped_not_dropped() {
+        let (frame, len) = frame_for(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let world = WorldContext {
+            area: vec![],
+            obstacles: vec![Polygon::rectangle(
+                Point::new(40.0, -5.0),
+                Point::new(50.0, 5.0),
+            )],
+            other_uras: vec![],
+        };
+        let up = ShrinkContext::build(&world, &frame, len, 1);
+        assert_eq!(up.polygons.len(), 1);
+        let bb = up.polygons[0].bbox();
+        assert!(bb.min.y >= 0.0);
+        assert!((bb.max.y - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn any_angle_frame_context() {
+        // 30° segment: an obstacle left of the line appears at +y for
+        // dir=+1.
+        let dir = Vector::new(3.0_f64.sqrt() / 2.0, 0.5);
+        let a = Point::new(10.0, 10.0);
+        let b = a + dir * 100.0;
+        let (frame, len) = frame_for(a, b);
+        let mid = a + dir * 50.0;
+        let left_off = dir.perp() * 8.0;
+        let obs_center = mid + left_off;
+        let world = WorldContext {
+            area: vec![],
+            obstacles: vec![Polygon::regular(obs_center, 2.0, 8, 0.0)],
+            other_uras: vec![],
+        };
+        let up = ShrinkContext::build(&world, &frame, len, 1);
+        assert_eq!(up.polygons.len(), 1);
+        let c = up.polygons[0].bbox().center();
+        assert!((c.y - 8.0).abs() < 1e-6, "expected y≈8, got {}", c.y);
+        assert!((c.x - 50.0).abs() < 1e-6);
+        // Same obstacle invisible from the other side.
+        let down = ShrinkContext::build(&world, &frame, len, -1);
+        assert!(down.polygons.is_empty());
+    }
+
+    #[test]
+    fn trace_uras_skip_current_segment() {
+        let trace = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(50.0, 50.0),
+        ]);
+        let uras = WorldContext::trace_uras(&trace, 0, 8.0);
+        assert_eq!(uras.len(), 1);
+        // The vertical segment's URA: x ∈ [46, 54].
+        let bb = uras[0].bbox();
+        assert!((bb.min.x - 46.0).abs() < 1e-9);
+        assert!((bb.max.x - 54.0).abs() < 1e-9);
+        assert!((bb.min.y - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_containment_check() {
+        let (frame, len) = frame_for(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-10.0, -20.0),
+                Point::new(110.0, 20.0),
+            )],
+            obstacles: vec![],
+            other_uras: vec![],
+        };
+        let ctx = ShrinkContext::build(&world, &frame, len, 1);
+        assert!(ctx.pattern_in_area(10.0, 30.0, 15.0));
+        assert!(!ctx.pattern_in_area(10.0, 30.0, 25.0)); // pokes out the top
+    }
+}

@@ -1,0 +1,425 @@
+//! Group-level driver: length-match a whole matching group on a board,
+//! routing differential pairs through MSDTW (paper Fig. 2's flow).
+
+use crate::config::ExtendConfig;
+use crate::extend::{extend_trace, ExtendInput};
+use meander_drc::virtualize_rules;
+use meander_layout::{Board, MatchGroup, TraceId};
+use meander_msdtw::{merge_pair, restore_pair, PairGeometry};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Per-trace (or per-sub-trace) result.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The trace.
+    pub id: TraceId,
+    /// Length before matching.
+    pub initial: f64,
+    /// Length after matching.
+    pub achieved: f64,
+    /// Patterns inserted.
+    pub patterns: usize,
+    /// `true` when the trace was matched through a merged median trace.
+    pub via_msdtw: bool,
+}
+
+/// Whole-group result with the paper's Eq. 19 metrics.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Resolved target length.
+    pub target: f64,
+    /// Per-trace outcomes.
+    pub traces: Vec<TraceReport>,
+    /// Wall-clock runtime of the matching.
+    pub runtime: Duration,
+}
+
+impl GroupReport {
+    /// `max_i (l_target − l_i)/l_target`.
+    pub fn max_error(&self) -> f64 {
+        self.traces
+            .iter()
+            .map(|t| (self.target - t.achieved) / self.target)
+            .fold(0.0, f64::max)
+    }
+
+    /// `Σ_i (l_target − l_i)/(n·l_target)`.
+    pub fn avg_error(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces
+            .iter()
+            .map(|t| (self.target - t.achieved) / self.target)
+            .sum::<f64>()
+            / self.traces.len() as f64
+    }
+}
+
+/// Length-matches group `group_idx` of `board` in place.
+///
+/// Single-ended members go straight to [`extend_trace`]. Differential-pair
+/// members are merged by MSDTW into a median trace, meandered under the
+/// virtual DRC ([`meander_drc::virtualize_rules`]), and restored; if the
+/// merge fails (degenerate pair) the sub-traces fall back to independent
+/// extension.
+///
+/// # Panics
+///
+/// Panics if `group_idx` is out of range.
+pub fn match_board_group(
+    board: &mut Board,
+    group_idx: usize,
+    config: &ExtendConfig,
+) -> GroupReport {
+    let group: MatchGroup = board.groups()[group_idx].clone();
+    let lengths = board.group_lengths(&group);
+    let target = group.resolve_target(&lengths);
+    let start = Instant::now();
+
+    let obstacles: Vec<meander_geom::Polygon> = board
+        .obstacles()
+        .iter()
+        .map(|o| o.polygon().clone())
+        .collect();
+
+    let mut reports = Vec::new();
+    let mut done: HashSet<TraceId> = HashSet::new();
+
+    for &id in group.members() {
+        if done.contains(&id) {
+            continue;
+        }
+        let pair = board.pair_of(id).cloned();
+        match pair {
+            Some(pair) if group.members().contains(&pair.partner(id).expect("involved")) => {
+                let (p_id, n_id) = (pair.p(), pair.n());
+                done.insert(p_id);
+                done.insert(n_id);
+                let p0 = board.trace(p_id).expect("pair trace").centerline().clone();
+                let n0 = board.trace(n_id).expect("pair trace").centerline().clone();
+                let rules = *board.trace(p_id).expect("pair trace").rules();
+                let area = board
+                    .area(p_id)
+                    .map(|a| a.polygons().to_vec())
+                    .unwrap_or_default();
+
+                // Distance-rule ladder: pair pitch plus any DRA gap values
+                // (the multi-scale input of Alg. 3).
+                let mut scales = vec![pair.sep()];
+                for ra in board.rule_areas() {
+                    scales.push(ra.rules().gap);
+                }
+                let geom = PairGeometry::with_scales(&p0, &n0, scales);
+
+                match merge_pair(&geom) {
+                    Ok(merged) => {
+                        let vrules = virtualize_rules(&rules, pair.sep());
+                        let median_target = target;
+                        let out = extend_trace(
+                            &ExtendInput {
+                                trace: &merged.median,
+                                target: median_target,
+                                rules: &vrules,
+                                area: &area,
+                                obstacles: &obstacles,
+                            },
+                            config,
+                        );
+                        if let Some((new_p, new_n)) = restore_pair(&out.trace, pair.sep()) {
+                            let (lp, ln) = (new_p.length(), new_n.length());
+                            board
+                                .trace_mut(p_id)
+                                .expect("pair trace")
+                                .set_centerline(new_p);
+                            board
+                                .trace_mut(n_id)
+                                .expect("pair trace")
+                                .set_centerline(new_n);
+                            reports.push(TraceReport {
+                                id: p_id,
+                                initial: p0.length(),
+                                achieved: lp,
+                                patterns: out.patterns,
+                                via_msdtw: true,
+                            });
+                            reports.push(TraceReport {
+                                id: n_id,
+                                initial: n0.length(),
+                                achieved: ln,
+                                patterns: out.patterns,
+                                via_msdtw: true,
+                            });
+                            continue;
+                        }
+                        // Restoration failed: fall through to independent
+                        // extension below.
+                    }
+                    Err(_) => {
+                        // Degenerate pair: independent extension fallback.
+                    }
+                }
+                for sub in [p_id, n_id] {
+                    reports.push(extend_single(board, sub, target, &obstacles, config));
+                }
+            }
+            _ => {
+                done.insert(id);
+                reports.push(extend_single(board, id, target, &obstacles, config));
+            }
+        }
+    }
+
+    GroupReport {
+        target,
+        traces: reports,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Length-matches every group of the board in declaration order, returning
+/// one report per group.
+///
+/// Groups are independent in this model (a trace should belong to at most
+/// one group); each is driven through [`match_board_group`].
+pub fn match_all_groups(board: &mut Board, config: &ExtendConfig) -> Vec<GroupReport> {
+    (0..board.groups().len())
+        .map(|gi| match_board_group(board, gi, config))
+        .collect()
+}
+
+/// Applies the `dmiter` corner rule to every trace of group `group_idx`
+/// (paper Sec. II: "any rotation of a right angle or an acute angle will be
+/// mitered by obtuse angles") and returns the per-trace length change.
+///
+/// Mitering shortens each chamfered corner by `(2 − √2)·dmiter`
+/// ([`meander_geom::miter::miter_length_loss`]); callers wanting exact
+/// lengths *after* mitering should re-run [`match_board_group`] once more —
+/// the driver converges because trimming only ever adds the small residual
+/// back.
+///
+/// # Panics
+///
+/// Panics if `group_idx` is out of range.
+pub fn miter_group(board: &mut Board, group_idx: usize) -> Vec<(TraceId, f64)> {
+    let group: MatchGroup = board.groups()[group_idx].clone();
+    let mut deltas = Vec::with_capacity(group.members().len());
+    for &id in group.members() {
+        let Some(trace) = board.trace(id) else {
+            continue;
+        };
+        let dmiter = trace.rules().miter;
+        let protect = trace.rules().protect;
+        let before = trace.length();
+        let mitered =
+            meander_geom::miter::miter_polyline_with_min(trace.centerline(), dmiter, protect);
+        let after = mitered.length();
+        board
+            .trace_mut(id)
+            .expect("checked above")
+            .set_centerline(mitered);
+        deltas.push((id, after - before));
+    }
+    deltas
+}
+
+fn extend_single(
+    board: &mut Board,
+    id: TraceId,
+    target: f64,
+    obstacles: &[meander_geom::Polygon],
+    config: &ExtendConfig,
+) -> TraceReport {
+    let trace = board.trace(id).expect("group member").centerline().clone();
+    let rules = *board.trace(id).expect("group member").rules();
+    let area = board
+        .area(id)
+        .map(|a| a.polygons().to_vec())
+        .unwrap_or_default();
+    let out = extend_trace(
+        &ExtendInput {
+            trace: &trace,
+            target,
+            rules: &rules,
+            area: &area,
+            obstacles,
+        },
+        config,
+    );
+    let achieved = out.achieved;
+    let patterns = out.patterns;
+    board
+        .trace_mut(id)
+        .expect("group member")
+        .set_centerline(out.trace);
+    TraceReport {
+        id,
+        initial: trace.length(),
+        achieved,
+        patterns,
+        via_msdtw: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_layout::gen::{any_angle_bus, decoupled_pair, table1_case};
+
+    #[test]
+    fn single_ended_group_matches_to_target() {
+        let mut case = table1_case(1);
+        let report = match_board_group(&mut case.board, 0, &ExtendConfig::default());
+        assert!((report.target - case.ltarget).abs() < 1e-9);
+        assert!(
+            report.max_error() < 0.10,
+            "max error {:.4} too high",
+            report.max_error()
+        );
+        assert!(report.avg_error() < 0.05, "avg {:.4}", report.avg_error());
+        // Board must stay DRC-clean.
+        let violations = case.board.check();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn any_angle_group_matches() {
+        let mut board = any_angle_bus(4, meander_geom::Angle::from_degrees(17.0));
+        let report = match_board_group(&mut board, 0, &ExtendConfig::default());
+        assert!(
+            report.max_error() < 0.05,
+            "max error {:.4}",
+            report.max_error()
+        );
+        let violations = board.check();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn differential_pair_group_uses_msdtw() {
+        let case = decoupled_pair(false);
+        let mut board = case.board;
+        let report = match_board_group(&mut board, 0, &ExtendConfig::default());
+        assert!(report.traces.iter().any(|t| t.via_msdtw));
+        // Both sub-traces close to target.
+        assert!(
+            report.max_error() < 0.08,
+            "max error {:.4}",
+            report.max_error()
+        );
+        // Pair still coupled: sub-traces stay near pitch apart.
+        let p = board.trace(case.p).unwrap().centerline().clone();
+        let n = board.trace(case.n).unwrap().centerline().clone();
+        let d = p.distance_to_polyline(&n);
+        assert!(
+            (d - case.sep0).abs() < case.sep0 * 0.6,
+            "pair pitch broken: {d}"
+        );
+        assert!(!p.is_self_intersecting());
+        assert!(!n.is_self_intersecting());
+    }
+
+    #[test]
+    fn match_all_groups_covers_every_group() {
+        // Two independent single-trace groups on one board.
+        let mut board = meander_layout::Board::new(meander_geom::Rect::new(
+            meander_geom::Point::new(0.0, 0.0),
+            meander_geom::Point::new(300.0, 200.0),
+        ));
+        let rules = meander_drc::DesignRules::default();
+        let a = board.add_trace(meander_layout::Trace::with_rules(
+            "A",
+            meander_geom::Polyline::new(vec![
+                meander_geom::Point::new(0.0, 50.0),
+                meander_geom::Point::new(200.0, 50.0),
+            ]),
+            rules,
+        ));
+        let b = board.add_trace(meander_layout::Trace::with_rules(
+            "B",
+            meander_geom::Polyline::new(vec![
+                meander_geom::Point::new(0.0, 150.0),
+                meander_geom::Point::new(200.0, 150.0),
+            ]),
+            rules,
+        ));
+        board.set_area(
+            a,
+            meander_layout::RoutableArea::from_polygon(meander_geom::Polygon::rectangle(
+                meander_geom::Point::new(-10.0, 0.0),
+                meander_geom::Point::new(210.0, 100.0),
+            )),
+        );
+        board.set_area(
+            b,
+            meander_layout::RoutableArea::from_polygon(meander_geom::Polygon::rectangle(
+                meander_geom::Point::new(-10.0, 100.0),
+                meander_geom::Point::new(210.0, 200.0),
+            )),
+        );
+        board.add_group(meander_layout::MatchGroup::with_target("ga", vec![a], 260.0));
+        board.add_group(meander_layout::MatchGroup::with_target("gb", vec![b], 240.0));
+
+        let reports = match_all_groups(&mut board, &ExtendConfig::default());
+        assert_eq!(reports.len(), 2);
+        assert!((reports[0].target - 260.0).abs() < 1e-9);
+        assert!((reports[1].target - 240.0).abs() < 1e-9);
+        for r in &reports {
+            assert!(r.max_error() < 1e-2, "group err {:.4}", r.max_error());
+        }
+        assert!(board.check().is_empty());
+    }
+
+    #[test]
+    fn miter_pass_keeps_board_clean() {
+        let mut case = table1_case(2);
+        let report = match_board_group(&mut case.board, 0, &ExtendConfig::default());
+        let deltas = miter_group(&mut case.board, 0);
+        assert_eq!(deltas.len(), 8);
+        // Mitering only ever shortens.
+        for (id, d) in &deltas {
+            assert!(*d <= 1e-9, "{id} grew by {d}");
+        }
+        // Chamfered output is still DRC-clean (chamfers exempt from
+        // dprotect) and close to target.
+        let violations = case.board.check();
+        assert!(violations.is_empty(), "{violations:?}");
+        let lengths = case.board.group_lengths(&case.board.groups()[0].clone());
+        let max_err = meander_layout::MatchGroup::max_error(report.target, &lengths);
+        assert!(max_err < 0.08, "post-miter max err {max_err:.4}");
+        // Mitering strictly reduces the number of right-angle corners
+        // (corners without protect-budget keep theirs).
+        let sharp = |b: &meander_layout::Board| -> usize {
+            b.traces()
+                .map(|(_, t)| {
+                    let pl = t.centerline();
+                    (1..pl.segment_count())
+                        .filter(|&i| {
+                            let a = pl.segment(i - 1).direction().unwrap();
+                            let c = pl.segment(i).direction().unwrap();
+                            a.cross(c).atan2(a.dot(c)).abs()
+                                >= std::f64::consts::FRAC_PI_2 - 1e-6
+                        })
+                        .count()
+                })
+                .sum()
+        };
+        let mut unmitered = table1_case(2);
+        let _ = match_board_group(&mut unmitered.board, 0, &ExtendConfig::default());
+        assert!(
+            sharp(&case.board) < sharp(&unmitered.board),
+            "mitering removed no corners: {} vs {}",
+            sharp(&case.board),
+            sharp(&unmitered.board)
+        );
+    }
+
+    #[test]
+    fn runtime_is_recorded() {
+        let mut case = table1_case(4);
+        let report = match_board_group(&mut case.board, 0, &ExtendConfig::default());
+        assert!(report.runtime.as_nanos() > 0);
+        assert_eq!(report.traces.len(), 8);
+    }
+}

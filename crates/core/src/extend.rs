@@ -1,0 +1,497 @@
+//! Trace-level extension: the queue-driven Alg. 1.
+
+use crate::config::ExtendConfig;
+use crate::context::{ShrinkContext, WorldContext};
+use crate::dp::{extend_segment_dp, DpInput, Placement};
+use crate::pattern::{build_local_meander, splice_meander};
+use crate::shrink::max_pattern_height;
+use meander_drc::DesignRules;
+use meander_geom::{Frame, Point, Polygon, Polyline};
+use std::collections::VecDeque;
+
+/// Inputs for [`extend_trace`].
+#[derive(Debug, Clone)]
+pub struct ExtendInput<'a> {
+    /// The trace to lengthen (original routing preserved).
+    pub trace: &'a Polyline,
+    /// Target length `l_target ≥ trace.length()`.
+    pub target: f64,
+    /// Rules in force (`gap`, `protect`, `width` drive the engine).
+    pub rules: &'a DesignRules,
+    /// Routable-area polygons (empty ⇒ unbounded).
+    pub area: &'a [Polygon],
+    /// Obstacle polygons.
+    pub obstacles: &'a [Polygon],
+}
+
+/// Result of extending one trace.
+#[derive(Debug, Clone)]
+pub struct ExtendOutcome {
+    /// The meandered trace.
+    pub trace: Polyline,
+    /// Final length.
+    pub achieved: f64,
+    /// Queue pops consumed.
+    pub iterations: usize,
+    /// Patterns inserted.
+    pub patterns: usize,
+}
+
+impl ExtendOutcome {
+    /// Relative matching error `(target − achieved)/target` (paper Eq. 19
+    /// for one trace).
+    pub fn error(&self, target: f64) -> f64 {
+        (target - self.achieved) / target
+    }
+}
+
+/// Extends `input.trace` toward `input.target` with the DP engine
+/// (paper Alg. 1).
+///
+/// The trace's segments enter a FIFO queue; each pop runs the segment DP
+/// with URA-shrunk heights, splices the optimal patterns, and re-queues the
+/// freshly created segments (meander-on-meander). The final pattern is
+/// *trimmed* — re-shrunk at exactly the height that lands the trace on the
+/// target — so errors only remain when space runs out.
+pub fn extend_trace(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
+    let mut trace = input.trace.clone();
+    let rules = input.rules;
+    let tol = (input.target * config.tolerance).max(1e-9);
+    let h_min = rules.protect.max(1e-9);
+    // Effective clearance between trace *centerlines*: edge gap plus one
+    // trace width (two half-widths). The URA construction is phrased in
+    // centerline distances, so this is the `d_gap` it works with.
+    let g_eff = rules.gap + rules.width;
+    // Obstacles demand `d_obs + w/2` from a centerline while the URA only
+    // guarantees `g_eff/2`; inflate them by the difference.
+    let inflate = (rules.obstacle + rules.width / 2.0 - g_eff / 2.0).max(0.0);
+    let obstacles: Vec<Polygon> = input
+        .obstacles
+        .iter()
+        .map(|p| p.offset_convex(inflate))
+        .collect();
+
+    let mut queue: VecDeque<(Point, Point)> = trace
+        .segments()
+        .map(|s| (s.a, s.b))
+        .collect();
+    let mut iterations = 0usize;
+    let mut patterns = 0usize;
+
+    while trace.length() < input.target - tol
+        && iterations < config.max_iterations
+        && !queue.is_empty()
+    {
+        iterations += 1;
+        let (a, b) = queue.pop_front().expect("non-empty queue");
+        let Some(seg_index) = locate_segment(&trace, a, b) else {
+            continue; // segment was replaced by a later splice
+        };
+        let seg = trace.segment(seg_index);
+        if seg.is_degenerate() {
+            continue;
+        }
+        let Some(frame) = Frame::from_segment(&seg) else {
+            continue;
+        };
+        let len = seg.length();
+        let remaining = input.target - trace.length();
+        if remaining < 2.0 * h_min {
+            break; // no legal pattern can add this little
+        }
+
+        // Discretization: uniform step fitting the segment exactly.
+        let ldisc_raw = config.resolve_ldisc(len, g_eff, rules.protect);
+        let m = (len / ldisc_raw).floor().max(1.0) as usize;
+        let ldisc = len / m as f64;
+        let gap_steps = (g_eff / ldisc).ceil().max(1.0) as usize;
+        let protect_steps = (rules.protect / ldisc).ceil().max(1.0) as usize;
+        if m < gap_steps {
+            continue; // too short to host any pattern
+        }
+
+        // Obstacle context for both sides.
+        let world = WorldContext {
+            area: input.area.to_vec(),
+            obstacles: obstacles.clone(),
+            other_uras: WorldContext::trace_uras(&trace, seg_index, g_eff),
+        };
+        let ctx_up = ShrinkContext::build(&world, &frame, len, 1);
+        let ctx_dn = ShrinkContext::build(&world, &frame, len, -1);
+
+        let h_init = remaining / 2.0;
+        let height = |lo: usize, hi: usize, dir: i8| -> f64 {
+            let ctx = if dir > 0 { &ctx_up } else { &ctx_dn };
+            max_pattern_height(
+                ctx,
+                lo as f64 * ldisc,
+                hi as f64 * ldisc,
+                g_eff,
+                h_init,
+                h_min,
+            )
+            .height
+        };
+
+        let outcome = extend_segment_dp(&DpInput {
+            m,
+            ldisc,
+            gap_steps,
+            protect_steps,
+            // Hat width ≥ d_gap: a pattern's own legs are `width` apart and
+            // face each other, and same-side legs across opposite-side
+            // transitions stay ≥ d_gap apart exactly when widths do
+            // (Fig. 1 annotates d_gap between meander legs).
+            min_width_steps: gap_steps,
+            max_width_steps: config.max_width_steps,
+            height: &height,
+            config,
+        });
+        if outcome.placements.is_empty() {
+            continue;
+        }
+
+        // Trim to never overshoot the target (Alg. 1's l_trace == l_target
+        // termination needs the final pattern cut to measure).
+        let kept = trim_placements(
+            &outcome.placements,
+            remaining,
+            h_min,
+            g_eff,
+            ldisc,
+            &ctx_up,
+            &ctx_dn,
+        );
+        if kept.is_empty() {
+            continue;
+        }
+        patterns += kept.len();
+
+        let local = build_local_meander(len, ldisc, &kept);
+        let (lo, hi) = splice_meander(&mut trace, seg_index, &frame, &local);
+
+        if config.requeue {
+            let min_len = config.requeue_min_protect * rules.protect;
+            for i in lo..hi {
+                let s = trace.segment(i);
+                if s.length() >= min_len {
+                    queue.push_back((s.a, s.b));
+                }
+            }
+        }
+    }
+
+    ExtendOutcome {
+        achieved: trace.length(),
+        trace,
+        iterations,
+        patterns,
+    }
+}
+
+/// Finds the polyline segment with endpoints `a → b`, if it still exists.
+fn locate_segment(trace: &Polyline, a: Point, b: Point) -> Option<usize> {
+    let pts = trace.points();
+    (0..pts.len() - 1).find(|&i| pts[i].approx_eq(a) && pts[i + 1].approx_eq(b))
+}
+
+/// Caps the cumulative gain of `placements` at `remaining`; the first
+/// pattern that would overshoot is re-shrunk to the exact height needed
+/// (re-validated — shrinking is not monotone) and later patterns dropped.
+#[allow(clippy::too_many_arguments)]
+fn trim_placements(
+    placements: &[Placement],
+    remaining: f64,
+    h_min: f64,
+    gap: f64,
+    ldisc: f64,
+    ctx_up: &ShrinkContext,
+    ctx_dn: &ShrinkContext,
+) -> Vec<Placement> {
+    let mut kept = Vec::with_capacity(placements.len());
+    let mut acc = 0.0;
+    for p in placements {
+        let full = 2.0 * p.height;
+        if acc + full <= remaining + 1e-9 {
+            kept.push(*p);
+            acc += full;
+            continue;
+        }
+        let desired = (remaining - acc) / 2.0;
+        if desired >= h_min - 1e-9 {
+            let ctx = if p.dir > 0 { ctx_up } else { ctx_dn };
+            let r = max_pattern_height(
+                ctx,
+                p.lo as f64 * ldisc,
+                p.hi as f64 * ldisc,
+                gap,
+                desired,
+                h_min,
+            );
+            if r.height >= h_min - 1e-9 {
+                kept.push(Placement {
+                    height: r.height,
+                    ..*p
+                });
+            }
+        }
+        break;
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules {
+            gap: 8.0,
+            obstacle: 8.0,
+            protect: 4.0,
+            miter: 2.0,
+            width: 4.0,
+        }
+    }
+
+    fn straight(len: f64) -> Polyline {
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(len, 0.0)])
+    }
+
+    fn roomy_area(len: f64) -> Vec<Polygon> {
+        vec![Polygon::rectangle(
+            Point::new(-20.0, -80.0),
+            Point::new(len + 20.0, 80.0),
+        )]
+    }
+
+    #[test]
+    fn hits_target_exactly_in_open_space() {
+        let trace = straight(200.0);
+        let area = roomy_area(200.0);
+        let r = rules();
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 260.0,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        assert!(
+            (out.achieved - 260.0).abs() <= 260.0 * 1e-3,
+            "achieved {} ≠ 260",
+            out.achieved
+        );
+        assert!(out.patterns >= 1);
+        assert!(!out.trace.is_self_intersecting());
+        // Endpoints preserved — the original routing contract.
+        assert!(out.trace.start().approx_eq(trace.start()));
+        assert!(out.trace.end().approx_eq(trace.end()));
+    }
+
+    #[test]
+    fn never_overshoots() {
+        let trace = straight(100.0);
+        let area = roomy_area(100.0);
+        let r = rules();
+        for target in [110.0, 130.0, 170.0, 250.0] {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &ExtendConfig::default(),
+            );
+            assert!(
+                out.achieved <= target + 1e-6,
+                "target {target}: overshoot to {}",
+                out.achieved
+            );
+        }
+    }
+
+    #[test]
+    fn respects_obstacles() {
+        let trace = straight(120.0);
+        let area = roomy_area(120.0);
+        let r = rules();
+        // Obstacle band above the trace center.
+        let obstacles = vec![Polygon::rectangle(
+            Point::new(30.0, 15.0),
+            Point::new(90.0, 25.0),
+        )];
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 220.0,
+                rules: &r,
+                area: &area,
+                obstacles: &obstacles,
+            },
+            &ExtendConfig::default(),
+        );
+        // DRC-verified clean result.
+        let violations = meander_drc::check_layout(&meander_drc::CheckInput {
+            traces: vec![meander_drc::TraceGeometry {
+                id: 0,
+                centerline: out.trace.clone(),
+                width: r.width,
+                rules: r,
+                area: area.clone(),
+                coupled_with: vec![],
+            }],
+            obstacles,
+        });
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(out.achieved > 120.0);
+    }
+
+    #[test]
+    fn corridor_limits_amplitude() {
+        let trace = straight(150.0);
+        // Narrow corridor: half-height 12 → pattern h ≤ 12 − gap/2 = 8.
+        let area = vec![Polygon::rectangle(
+            Point::new(-10.0, -12.0),
+            Point::new(160.0, 12.0),
+        )];
+        let r = rules();
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 600.0,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        // Every vertex stays in the corridor; amplitude capped at
+        // 12 − (gap + width)/2 = 6.
+        for p in out.trace.points() {
+            assert!(p.y.abs() <= 6.0 + 1e-9, "pattern too tall: {p}");
+        }
+        assert!(out.achieved < 590.0, "narrow corridor cannot reach 600");
+        assert!(out.achieved > 230.0, "should still meander substantially");
+    }
+
+    #[test]
+    fn any_direction_trace_extends() {
+        // 30° rotated trace with its rotated corridor.
+        let dir = meander_geom::Vector::new(30f64.to_radians().cos(), 30f64.to_radians().sin());
+        let a = Point::new(5.0, 5.0);
+        let b = a + dir * 180.0;
+        let trace = Polyline::new(vec![a, b]);
+        let seg = meander_geom::Segment::new(a, b);
+        let frame = Frame::from_segment(&seg).unwrap();
+        let local_area = Polygon::rectangle(Point::new(-10.0, -40.0), Point::new(190.0, 40.0));
+        let area = vec![frame.polygon_to_world(&local_area)];
+        let r = rules();
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 240.0,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        assert!(
+            (out.achieved - 240.0).abs() <= 240.0 * 1e-3,
+            "achieved {}",
+            out.achieved
+        );
+        assert!(!out.trace.is_self_intersecting());
+        for &p in out.trace.points() {
+            assert!(area[0].contains(p), "left rotated corridor: {p}");
+        }
+    }
+
+    #[test]
+    fn multi_segment_trace_distributes_patterns() {
+        let trace = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+        ]);
+        let area = vec![Polygon::rectangle(
+            Point::new(-30.0, -30.0),
+            Point::new(130.0, 130.0),
+        )];
+        let r = rules();
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 320.0,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        assert!((out.achieved - 320.0).abs() <= 320.0 * 1e-3);
+        assert!(!out.trace.is_self_intersecting());
+    }
+
+    #[test]
+    fn target_equal_length_is_noop() {
+        let trace = straight(100.0);
+        let area = roomy_area(100.0);
+        let r = rules();
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 100.0,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        assert_eq!(out.trace, trace);
+        assert_eq!(out.patterns, 0);
+    }
+
+    #[test]
+    fn requeue_enables_meander_on_meander() {
+        let trace = straight(100.0);
+        let area = roomy_area(100.0);
+        let r = rules();
+        let big_target = 500.0;
+        let with = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: big_target,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        let without = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: big_target,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig {
+                requeue: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            with.achieved >= without.achieved - 1e-9,
+            "requeue must not hurt: {} vs {}",
+            with.achieved,
+            without.achieved
+        );
+    }
+}

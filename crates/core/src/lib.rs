@@ -1,0 +1,42 @@
+//! # meander-core
+//!
+//! The paper's primary contribution: obstacle-aware, DP-based segment
+//! extension for any-direction length-matching (Sec. IV), plus the trace-
+//! and group-level drivers and the two comparison baselines.
+//!
+//! ## How a trace gets longer
+//!
+//! A work queue holds the trace's segments (Alg. 1). Each popped segment is
+//! mapped into a local frame where it runs along +x ([`meander_geom::Frame`]
+//! — this is what makes the router any-direction), discretized at step
+//! `l_disc`, and extended by a dynamic program over states `dp[i][dir]`
+//! (best height-sum with patterns among the first `i` points, last pattern
+//! on side `dir`). Candidate patterns get their maximum legal height from
+//! the URA shrinking procedure ([`shrink`], Alg. 2) which checks the
+//! routable-area border, obstacles, and the URAs of the trace's *other*
+//! segments — and legally routes *around* obstacles when the space allows
+//! (the capability Table II's ablation measures). Chosen patterns are
+//! restored by backtracking ([`dp`]), spliced into the trace
+//! ([`pattern`]), and the new segments re-enter the queue, enabling
+//! meander-on-meander (paper Fig. 5).
+//!
+//! ## Entry points
+//!
+//! * [`extend::extend_trace`] — one trace to one target length,
+//! * [`driver::match_board_group`] — a whole matching group, routing
+//!   differential pairs through MSDTW automatically,
+//! * [`baseline`] — the "without DP" fixed-track ablation comparator
+//!   (Table II) and the AiDT-like greedy tuner (Table I).
+
+pub mod baseline;
+pub mod config;
+pub mod context;
+pub mod dp;
+pub mod driver;
+pub mod extend;
+pub mod pattern;
+pub mod shrink;
+
+pub use config::ExtendConfig;
+pub use driver::{match_all_groups, match_board_group, miter_group, GroupReport, TraceReport};
+pub use extend::{extend_trace, ExtendOutcome};

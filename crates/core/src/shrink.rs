@@ -1,0 +1,384 @@
+//! URA shrinking: the maximum legal height of a candidate pattern
+//! (paper Sec. IV-B, Alg. 2, Figs. 6–8).
+//!
+//! Validity of a pattern height is **not monotone** — a shrunk pattern can
+//! newly intersect an obstacle it used to enclose — so binary search is
+//! impossible. Instead the pattern "C is created with the height equal to
+//! the remaining extension requirement and then shrunk until all violations
+//! of DRC are eliminated", in three stages:
+//!
+//! 1. **Sides** (Eq. 11): intersections of the outer border's two vertical
+//!    sides with polygon edges cap `h_ob`.
+//! 2. **Hat** (Alg. 2, Fig. 7): polygons with nodes both inside and outside
+//!    the border push `h_ob` below their lowest inside node; iterated
+//!    because the shrunk border can cut new polygons.
+//! 3. **Inner border** (Fig. 8): polygons wholly inside the outer border
+//!    must not touch the URA band between inner and outer border —
+//!    otherwise `h_ob` drops below the whole polygon. Polygons fully inside
+//!    the *inner* border are legally enclosed: the pattern routes around
+//!    them.
+
+use crate::context::{ShrinkContext, Y_EPS};
+use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of shrinking one candidate pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShrinkResult {
+    /// Maximum legal pattern height `h = max(0, h_ob − d_gap/2)` (Eq. 10),
+    /// zero when no pattern fits.
+    pub height: f64,
+    /// `true` when at least one polygon is fully enclosed by the inner
+    /// border — the pattern routes around an obstacle (the DP-only
+    /// capability of Table II).
+    pub routes_around: bool,
+}
+
+/// Computes the maximum valid height of a pattern with feet at local
+/// `x0 < x1`, searching downward from `h_init`.
+///
+/// `gap` is the `d_gap` in force; `h_min` is the minimum useful height
+/// (pattern legs shorter than `d_protect` would themselves violate DRC).
+/// Heights are measured from the extended segment (`y = 0` in pattern-side
+/// coordinates).
+pub fn max_pattern_height(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+) -> ShrinkResult {
+    max_pattern_height_opts(ctx, x0, x1, gap, h_init, h_min, true)
+}
+
+/// [`max_pattern_height`] with obstacle enclosure switchable.
+///
+/// `allow_enclose = false` treats every polygon inside the outer border as
+/// an escape (shrink below it) — the "fixed tracks" baselines of Table II
+/// cannot route around obstacles, and this is the knob that models it.
+pub fn max_pattern_height_opts(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    allow_enclose: bool,
+) -> ShrinkResult {
+    debug_assert!(x0 < x1, "feet must be ordered");
+    let none = ShrinkResult {
+        height: 0.0,
+        routes_around: false,
+    };
+    if h_init < h_min {
+        return none;
+    }
+
+    let g2 = gap / 2.0;
+    let left = x0 - g2;
+    let right = x1 + g2;
+    let mut hob = h_init + g2;
+
+    // ---- Stage 1: sides (Eq. 11). -------------------------------------
+    let probe_rect = Rect::new(Point::new(left, Y_EPS), Point::new(right, hob));
+    let side_l = Segment::new(Point::new(left, Y_EPS), Point::new(left, hob));
+    let side_r = Segment::new(Point::new(right, Y_EPS), Point::new(right, hob));
+    for id in ctx.edges_near(&probe_rect) {
+        let e = &ctx.edges[id as usize];
+        for side in [&side_l, &side_r] {
+            match segment_intersection(side, e) {
+                SegmentIntersection::None => {}
+                SegmentIntersection::Point(p) => {
+                    hob = hob.min(ctx.dist_seg(p));
+                }
+                SegmentIntersection::Overlap(o) => {
+                    hob = hob.min(ctx.dist_seg(o.a)).min(ctx.dist_seg(o.b));
+                }
+            }
+        }
+    }
+    if hob <= g2 + 1e-12 {
+        return none;
+    }
+
+    // ---- Stages 2 & 3 interleaved until stable. ------------------------
+    // Removed polygons are those the border has been pushed below; they can
+    // no longer constrain.
+    let mut removed: BTreeSet<u32> = BTreeSet::new();
+    loop {
+        let outer = Rect::new(Point::new(left, Y_EPS / 2.0), Point::new(right, hob));
+        // Group candidate nodes by polygon.
+        let mut inside: BTreeMap<u32, Vec<Point>> = BTreeMap::new();
+        for (p, &k) in ctx.tree.query(&outer) {
+            if !removed.contains(&k) {
+                inside.entry(k).or_default().push(*p);
+            }
+        }
+        let mut changed = false;
+
+        // Stage 2: partially-inside polygons (Eq. 12).
+        for (&k, nodes) in &inside {
+            if nodes.len() < ctx.node_count[k as usize] {
+                let d = nodes
+                    .iter()
+                    .map(|&p| ctx.dist_seg(p))
+                    .fold(f64::INFINITY, f64::min);
+                if d < hob {
+                    hob = d;
+                    changed = true;
+                }
+                removed.insert(k);
+            }
+        }
+        if hob <= g2 + 1e-12 {
+            return none;
+        }
+        if changed {
+            continue;
+        }
+
+        // Stage 3: fully-inside polygons vs the inner border (Eq. 13).
+        let inner = Rect::new(
+            Point::new(x0 + g2, g2),
+            Point::new(x1 - g2, (hob - gap).max(g2)),
+        );
+        let mut any_enclosed = false;
+        for (&k, nodes) in &inside {
+            if removed.contains(&k) {
+                continue; // shrunk below during stage 2 of this pass
+            }
+            debug_assert_eq!(nodes.len(), ctx.node_count[k as usize]);
+            let degenerate_inner = inner.min.x >= inner.max.x || inner.min.y >= inner.max.y;
+            // Area borders are containers: a pattern can never "enclose"
+            // one, so a fully-swallowed area polygon always forces a
+            // shrink.
+            let escapes = !allow_enclose
+                || ctx.is_area[k as usize]
+                || degenerate_inner
+                || nodes.iter().any(|&p| !inner.contains_strict(p));
+            if escapes {
+                let d = nodes
+                    .iter()
+                    .map(|&p| ctx.dist_seg(p))
+                    .fold(f64::INFINITY, f64::min);
+                if d < hob {
+                    hob = d;
+                    changed = true;
+                }
+                removed.insert(k);
+            } else {
+                any_enclosed = true;
+            }
+        }
+        if hob <= g2 + 1e-12 {
+            return none;
+        }
+        if !changed {
+            let height = (hob - g2).max(0.0);
+            // Tolerant comparison: frame transforms and intersection
+            // arithmetic cost a few ULPs, and heights exactly at h_min are
+            // common (corridor half-width minus margins).
+            if height < h_min - 1e-9 {
+                return none;
+            }
+            // Final check: the pattern must stay within one routable-area
+            // polygon (covers the all-outside corner cases).
+            if !ctx.pattern_in_area(x0, x1, height) {
+                return none;
+            }
+            return ShrinkResult {
+                height,
+                routes_around: any_enclosed,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::WorldContext;
+    use meander_geom::{Frame, Polygon};
+
+    /// Context for a horizontal 100-long segment with the given obstacles
+    /// and a roomy area.
+    fn ctx_with(obstacles: Vec<Polygon>) -> ShrinkContext {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-20.0, -60.0),
+                Point::new(120.0, 60.0),
+            )],
+            obstacles,
+            other_uras: vec![],
+        };
+        ShrinkContext::build(&world, &frame, 100.0, 1)
+    }
+
+    const GAP: f64 = 4.0;
+    const HMIN: f64 = 4.0;
+
+    #[test]
+    fn open_space_gives_full_height() {
+        let ctx = ctx_with(vec![]);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, HMIN);
+        assert!((r.height - 30.0).abs() < 1e-9);
+        assert!(!r.routes_around);
+    }
+
+    #[test]
+    fn area_border_caps_height() {
+        let ctx = ctx_with(vec![]);
+        // Area top at y=60; URA top h+2 must stay ≤ 60 → h ≤ 58.
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 500.0, HMIN);
+        assert!(r.height <= 58.0 + 1e-9);
+        assert!(r.height > 50.0);
+    }
+
+    #[test]
+    fn side_blocking_obstacle_caps_height() {
+        // Obstacle wall crossing the left side at height 10.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(0.0, 10.0),
+            Point::new(25.0, 14.0),
+        )]);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, HMIN);
+        // hob ≤ 10 → h ≤ 8.
+        assert!((r.height - 8.0).abs() < 1e-9, "h={}", r.height);
+    }
+
+    #[test]
+    fn hat_node_obstacle_caps_height() {
+        // Small via fully inside the URA x-range, bottom at 12.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(28.0, 12.0),
+            Point::new(32.0, 16.0),
+        )]);
+        // Wide pattern that cannot enclose it (inner border too thin).
+        let r = max_pattern_height(&ctx, 26.0, 34.0, GAP, 30.0, HMIN);
+        // Must stop below the via: hob ≤ 12 → h ≤ 10.
+        assert!((r.height - 10.0).abs() < 1e-9, "h={}", r.height);
+    }
+
+    #[test]
+    fn routes_around_enclosed_obstacle() {
+        // Via at x∈[28,32], y∈[12,16]; pattern feet far outside with a big
+        // height: via sits inside the inner border → legally enclosed.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(28.0, 12.0),
+            Point::new(32.0, 16.0),
+        )]);
+        let r = max_pattern_height(&ctx, 10.0, 50.0, GAP, 40.0, HMIN);
+        assert!((r.height - 40.0).abs() < 1e-9, "h={}", r.height);
+        assert!(r.routes_around, "pattern should enclose the via");
+    }
+
+    #[test]
+    fn non_monotone_validity() {
+        // The same via: full height 40 is valid (enclosed), but a height
+        // that would put the hat *through* the via is not — the
+        // non-monotonicity that rules out binary search.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(28.0, 12.0),
+            Point::new(32.0, 16.0),
+        )]);
+        let tall = max_pattern_height(&ctx, 10.0, 50.0, GAP, 40.0, HMIN);
+        assert!((tall.height - 40.0).abs() < 1e-9);
+        // Starting from 14 (hat inside the via band): must shrink below.
+        let mid = max_pattern_height(&ctx, 10.0, 50.0, GAP, 14.0, HMIN);
+        assert!(
+            mid.height <= 10.0 + 1e-9,
+            "hat through via must shrink below it, got {}",
+            mid.height
+        );
+        assert!(tall.height > mid.height, "validity is not monotone in h");
+    }
+
+    #[test]
+    fn enclosure_needs_inner_clearance() {
+        // Via too close to a foot: inside outer border, escapes the inner
+        // border → cannot be enclosed; height drops below it.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(11.0, 12.0),
+            Point::new(15.0, 16.0),
+        )]);
+        let r = max_pattern_height(&ctx, 10.0, 50.0, GAP, 40.0, HMIN);
+        assert!(r.height <= 12.0 + 1e-9, "h={}", r.height);
+        assert!(!r.routes_around);
+    }
+
+    #[test]
+    fn blocked_space_gives_zero() {
+        // Wall right on top of the feet region.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(0.0, 2.0),
+            Point::new(100.0, 6.0),
+        )]);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, HMIN);
+        assert_eq!(r.height, 0.0);
+    }
+
+    #[test]
+    fn h_min_enforced() {
+        // Space allows h=3 but h_min=4 → no pattern.
+        let ctx = ctx_with(vec![Polygon::rectangle(
+            Point::new(10.0, 5.0),
+            Point::new(50.0, 8.0),
+        )]);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, 4.0);
+        assert_eq!(r.height, 0.0);
+        // With h_min=2 the same space hosts a pattern of 3.
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, 2.0);
+        assert!((r.height - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterative_hat_shrinking() {
+        // Paper Figs. 7–8: shrinking under one polygon makes the next one
+        // protrude. P1 straddles the initial outer border (stage 2, hob →
+        // 30); P2 was comfortably inside but now pokes through the inner
+        // border (stage 3, hob → 20); P3 remains legally enclosed.
+        let ctx = ctx_with(vec![
+            Polygon::rectangle(Point::new(25.0, 30.0), Point::new(35.0, 50.0)), // P1
+            Polygon::rectangle(Point::new(20.0, 20.0), Point::new(24.0, 28.0)), // P2
+            Polygon::rectangle(Point::new(36.0, 10.0), Point::new(40.0, 14.0)), // P3
+        ]);
+        let r = max_pattern_height(&ctx, 15.0, 45.0, GAP, 40.0, 2.0);
+        assert!((r.height - 18.0).abs() < 1e-9, "h={}", r.height);
+        assert!(r.routes_around, "P3 should remain enclosed");
+    }
+
+    #[test]
+    fn other_trace_ura_constrains() {
+        // A neighbouring parallel run of the same trace 20 above.
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let trace = meander_geom::Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 20.0),
+            Point::new(0.0, 20.0),
+        ]);
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-20.0, -60.0),
+                Point::new(120.0, 60.0),
+            )],
+            obstacles: vec![],
+            other_uras: WorldContext::trace_uras(&trace, 0, GAP),
+        };
+        let ctx = ShrinkContext::build(&world, &frame, 100.0, 1);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 30.0, HMIN);
+        // Parallel run URA bottom at y = 18 → hob ≤ 18 → h ≤ 16.
+        assert!((r.height - 16.0).abs() < 1e-9, "h={}", r.height);
+    }
+
+    #[test]
+    fn init_below_min_rejected() {
+        let ctx = ctx_with(vec![]);
+        let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 2.0, 4.0);
+        assert_eq!(r.height, 0.0);
+    }
+}

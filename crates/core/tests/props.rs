@@ -1,0 +1,238 @@
+//! Property-based tests for the meandering engine.
+//!
+//! These check the invariants the paper's correctness rests on, against
+//! randomized inputs:
+//!
+//! * the DP never emits an illegal pattern set (spacing, stubs, widths),
+//! * URA shrinking is sound: the returned height yields a pattern whose
+//!   clearance to every obstacle is respected *geometrically* (checked
+//!   against raw distances, not through the shrink logic itself),
+//! * trace extension never overshoots, never moves endpoints, never
+//!   self-intersects, and never leaves the routable area.
+
+use meander_core::context::{ShrinkContext, WorldContext};
+use meander_core::dp::{extend_segment_dp, DpInput};
+use meander_core::extend::{extend_trace, ExtendInput};
+use meander_core::shrink::max_pattern_height;
+use meander_core::ExtendConfig;
+use meander_drc::DesignRules;
+use meander_geom::{Frame, Point, Polygon, Polyline, Segment};
+use proptest::prelude::*;
+
+fn rules() -> DesignRules {
+    DesignRules {
+        gap: 8.0,
+        obstacle: 8.0,
+        protect: 4.0,
+        miter: 2.0,
+        width: 4.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_output_is_always_legal(
+        m in 10usize..80,
+        gap_steps in 2usize..8,
+        protect_steps in 1usize..4,
+        heights in proptest::collection::vec(0.0..20.0f64, 16),
+    ) {
+        let config = ExtendConfig::default();
+        let height = |lo: usize, hi: usize, dir: i8| -> f64 {
+            // Pseudo-random but deterministic height field.
+            let ix = (lo * 7 + hi * 13 + (dir as usize & 1) * 3) % heights.len();
+            let h = heights[ix];
+            if h < 1.0 { 0.0 } else { h }
+        };
+        let out = extend_segment_dp(&DpInput {
+            m,
+            ldisc: 1.0,
+            gap_steps,
+            protect_steps,
+            min_width_steps: gap_steps,
+            max_width_steps: 32,
+            height: &height,
+            config: &config,
+        });
+        // Value == restored sum.
+        let sum: f64 = out.placements.iter().map(|p| p.height).sum();
+        prop_assert!((sum - out.total_height).abs() < 1e-9);
+        // Feet ordered, non-overlapping, legal widths and stubs.
+        let mut prev_hi = 0usize;
+        let mut first = true;
+        for p in &out.placements {
+            prop_assert!(p.hi <= m);
+            prop_assert!(p.hi - p.lo >= gap_steps, "width too small: {p:?}");
+            prop_assert!(p.lo == 0 || p.lo >= protect_steps, "left stub: {p:?}");
+            prop_assert!(p.hi == m || m - p.hi >= protect_steps, "right stub: {p:?}");
+            if !first {
+                prop_assert!(p.lo >= prev_hi, "overlap at {p:?}");
+            }
+            prev_hi = p.hi;
+            first = false;
+            prop_assert!(p.height > 0.0);
+        }
+        // Same-side spacing (possibly via connected chains): consecutive
+        // same-side patterns must be gap_steps apart unless every pattern
+        // between them shares feet (connected chain).
+        let v = &out.placements;
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                if v[i].dir == v[j].dir {
+                    // Distance between same-side feet.
+                    let chain = (i..j).all(|k| v[k + 1].lo == v[k].hi);
+                    if !chain {
+                        prop_assert!(
+                            v[j].lo >= v[i].hi + gap_steps.min(protect_steps),
+                            "same-side too close: {:?} then {:?}",
+                            v[i],
+                            v[j]
+                        );
+                    }
+                }
+                if v[j].lo >= v[i].hi + gap_steps {
+                    break; // far enough; later ones farther still
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_is_geometrically_sound(
+        obs_x in 10.0..140.0f64,
+        obs_y in 2.0..50.0f64,
+        obs_r in 1.0..6.0f64,
+        x0 in 5.0..60.0f64,
+        w in 12.5..60.0f64,
+        h_init in 4.0..45.0f64,
+    ) {
+        let r = rules();
+        let g_eff = r.gap + r.width; // 12
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(150.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let area = Polygon::rectangle(Point::new(-30.0, -80.0), Point::new(180.0, 80.0));
+        let obstacle = Polygon::regular(Point::new(obs_x, obs_y), obs_r, 8, 0.2);
+        let world = WorldContext {
+            area: vec![area.clone()],
+            obstacles: vec![obstacle.clone()],
+            other_uras: vec![],
+        };
+        let ctx = ShrinkContext::build(&world, &frame, 150.0, 1);
+        let x1 = (x0 + w).min(145.0);
+        let res = max_pattern_height(&ctx, x0, x1, g_eff, h_init, r.protect);
+        prop_assert!(res.height <= h_init + 1e-9);
+        if res.height == 0.0 {
+            return Ok(());
+        }
+        // Build the pattern centerline and verify raw clearance: every
+        // obstacle is either g_eff/2 away from the pattern, or strictly
+        // enclosed by it.
+        let pattern = Polyline::new(vec![
+            Point::new(x0, 0.0),
+            Point::new(x0, res.height),
+            Point::new(x1, res.height),
+            Point::new(x1, 0.0),
+        ]);
+        let d = pattern
+            .segments()
+            .map(|s| obstacle.distance_to_segment(&s))
+            .fold(f64::INFINITY, f64::min);
+        let enclosed = obstacle.vertices().iter().all(|&v| {
+            v.x > x0 && v.x < x1 && v.y < res.height && v.y > 0.0
+        });
+        if enclosed {
+            // Enclosed obstacles still need the clearance to all walls.
+            prop_assert!(
+                d >= g_eff / 2.0 - 1e-6,
+                "enclosed via too close: d={d} h={} obs=({obs_x},{obs_y},{obs_r})",
+                res.height
+            );
+            prop_assert!(res.routes_around);
+        } else {
+            prop_assert!(
+                d >= g_eff / 2.0 - 1e-6,
+                "clearance violated: d={d} h={} obs=({obs_x},{obs_y},{obs_r})",
+                res.height
+            );
+        }
+        // Pattern inside the area.
+        prop_assert!(res.height <= 80.0 - g_eff / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn extension_invariants_hold(
+        len in 60.0..250.0f64,
+        extra_frac in 0.05..0.8f64,
+        angle_deg in 0.0..180.0f64,
+        half_h in 15.0..60.0f64,
+    ) {
+        let r = rules();
+        let dir = meander_geom::Vector::new(
+            angle_deg.to_radians().cos(),
+            angle_deg.to_radians().sin(),
+        );
+        let a = Point::new(7.0, -3.0);
+        let b = a + dir * len;
+        let trace = Polyline::new(vec![a, b]);
+        let seg = Segment::new(a, b);
+        let frame = Frame::from_segment(&seg).unwrap();
+        let local_area =
+            Polygon::rectangle(Point::new(-20.0, -half_h), Point::new(len + 20.0, half_h));
+        let area = vec![frame.polygon_to_world(&local_area)];
+        let target = len * (1.0 + extra_frac);
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        // Never overshoots; never shrinks.
+        prop_assert!(out.achieved <= target + 1e-6, "overshoot {}", out.achieved);
+        prop_assert!(out.achieved >= len - 1e-9);
+        // Endpoints pinned.
+        prop_assert!(out.trace.start().approx_eq(a));
+        prop_assert!(out.trace.end().approx_eq(b));
+        // Geometry stays legal.
+        prop_assert!(!out.trace.is_self_intersecting());
+        for &p in out.trace.points() {
+            prop_assert!(area[0].contains(p), "escaped area at {p}");
+        }
+    }
+
+    #[test]
+    fn extension_matches_when_roomy(
+        len in 120.0..250.0f64,
+        extra_frac in 0.05..0.35f64,
+    ) {
+        // With generous space the engine must land inside tolerance.
+        let r = rules();
+        let trace = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(len, 0.0)]);
+        let area = vec![Polygon::rectangle(
+            Point::new(-20.0, -70.0),
+            Point::new(len + 20.0, 70.0),
+        )];
+        let target = len * (1.0 + extra_frac);
+        let out = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target,
+                rules: &r,
+                area: &area,
+                obstacles: &[],
+            },
+            &ExtendConfig::default(),
+        );
+        // Residual below the 2·protect quantization floor.
+        prop_assert!(
+            target - out.achieved <= 2.0 * r.protect + 1e-6,
+            "residual {}",
+            target - out.achieved
+        );
+    }
+}

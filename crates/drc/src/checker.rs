@@ -1,0 +1,412 @@
+//! Full-layout violation scan.
+//!
+//! The router must never *introduce* violations: integration tests run this
+//! checker on every meandered output and assert the violation set is empty
+//! (or no worse than the input's, for imported layouts that already violate).
+
+use crate::rules::DesignRules;
+use crate::violation::Violation;
+use meander_geom::{Polygon, Polyline};
+
+/// Geometry of one trace as the checker sees it.
+#[derive(Debug, Clone)]
+pub struct TraceGeometry {
+    /// Stable id used in violation reports.
+    pub id: u32,
+    /// Centerline.
+    pub centerline: Polyline,
+    /// Trace width.
+    pub width: f64,
+    /// Rules in force for this trace.
+    pub rules: DesignRules,
+    /// Optional routable-area polygons this trace must stay inside
+    /// (checked only when non-empty; a point must be inside *some* polygon).
+    pub area: Vec<Polygon>,
+    /// Trace ids this trace is allowed to touch (e.g. its differential-pair
+    /// partner); gap checks against them are skipped.
+    pub coupled_with: Vec<u32>,
+}
+
+/// Checker input: traces plus obstacle polygons.
+#[derive(Debug, Clone, Default)]
+pub struct CheckInput {
+    /// All traces to check.
+    pub traces: Vec<TraceGeometry>,
+    /// All obstacles.
+    pub obstacles: Vec<Polygon>,
+}
+
+/// Scans the input for design-rule violations.
+///
+/// Checks performed:
+///
+/// 1. **Trace–trace clearance** — min centerline distance between every
+///    trace pair must be ≥ `gap + w₁/2 + w₂/2` (the stricter trace's gap).
+/// 2. **Trace–obstacle clearance** — centerline-to-obstacle distance ≥
+///    `dobs + w/2`.
+/// 3. **`dprotect`** — every segment of a (simplified) centerline at least
+///    `dprotect` long.
+/// 4. **Self-intersection**.
+/// 5. **Routable-area containment** — every vertex inside the union of the
+///    trace's assigned polygons (when provided).
+///
+/// ```
+/// use meander_drc::{check_layout, CheckInput, DesignRules, TraceGeometry};
+/// use meander_geom::{Point, Polyline};
+///
+/// let input = CheckInput {
+///     traces: vec![TraceGeometry {
+///         id: 0,
+///         centerline: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
+///         width: 4.0,
+///         rules: DesignRules::default(),
+///         area: vec![],
+///         coupled_with: vec![],
+///     }],
+///     obstacles: vec![],
+/// };
+/// assert!(check_layout(&input).is_empty());
+/// ```
+pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    for (i, t) in input.traces.iter().enumerate() {
+        // 3. dprotect on simplified centerline (mitering may deliberately
+        // split segments; collinear runs are not real corners). Chamfer
+        // segments produced by the `dmiter` rule are exempt: they are
+        // intentional corner cuts, not the manufacturing stubs dprotect
+        // exists to prevent.
+        let mut simplified = t.centerline.clone();
+        simplified.simplify();
+        for (si, seg) in simplified.segments().enumerate() {
+            let len = seg.length();
+            if len < t.rules.protect - 1e-9 && !is_chamfer(&simplified, si) {
+                out.push(Violation::ShortSegment {
+                    trace: t.id,
+                    segment: si,
+                    actual: len,
+                    required: t.rules.protect,
+                });
+            }
+        }
+
+        // 4. Self-intersection.
+        if t.centerline.is_self_intersecting() {
+            out.push(Violation::SelfIntersection { trace: t.id });
+        }
+
+        // 5. Containment.
+        if !t.area.is_empty() {
+            for &p in t.centerline.points() {
+                if !t.area.iter().any(|poly| poly.contains(p)) {
+                    out.push(Violation::OutsideRoutableArea { trace: t.id, near: p });
+                    break;
+                }
+            }
+        }
+
+        // 2. Obstacles.
+        for (oi, obs) in input.obstacles.iter().enumerate() {
+            let required = t.rules.centerline_obstacle();
+            let mut worst: Option<(f64, meander_geom::Point)> = None;
+            for seg in t.centerline.segments() {
+                let d = obs.distance_to_segment(&seg);
+                if d < required - 1e-9 {
+                    let witness = seg.midpoint();
+                    if worst.map_or(true, |(w, _)| d < w) {
+                        worst = Some((d, witness));
+                    }
+                }
+            }
+            if let Some((actual, near)) = worst {
+                out.push(Violation::TraceObstacleClearance {
+                    trace: t.id,
+                    obstacle: oi as u32,
+                    actual,
+                    required,
+                    near,
+                });
+            }
+        }
+
+        // 1. Trace-trace.
+        for u in input.traces.iter().skip(i + 1) {
+            if t.coupled_with.contains(&u.id) || u.coupled_with.contains(&t.id) {
+                continue;
+            }
+            let gap = t.rules.gap.max(u.rules.gap);
+            let required = gap + t.width / 2.0 + u.width / 2.0;
+            let d = t.centerline.distance_to_polyline(&u.centerline);
+            if d < required - 1e-9 {
+                // Witness: the closest sample point found by re-scanning.
+                let near = closest_witness(&t.centerline, &u.centerline);
+                out.push(Violation::TraceTraceClearance {
+                    a: t.id,
+                    b: u.id,
+                    actual: d,
+                    required,
+                    near,
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// `true` when segment `si` of `pl` is a miter chamfer: both of its corners
+/// turn 30°–60° in the same rotational direction (a 90° corner cut into two
+/// obtuse ones, paper Sec. II's `dmiter`).
+fn is_chamfer(pl: &Polyline, si: usize) -> bool {
+    if si == 0 || si + 1 >= pl.segment_count() {
+        return false;
+    }
+    let turn = |a: meander_geom::Segment, b: meander_geom::Segment| -> Option<f64> {
+        let da = a.direction()?;
+        let db = b.direction()?;
+        Some(da.cross(db).atan2(da.dot(db)))
+    };
+    let (Some(t_in), Some(t_out)) = (
+        turn(pl.segment(si - 1), pl.segment(si)),
+        turn(pl.segment(si), pl.segment(si + 1)),
+    ) else {
+        return false;
+    };
+    let lo = 30f64.to_radians();
+    let hi = 60f64.to_radians();
+    t_in.signum() == t_out.signum()
+        && t_in.abs() >= lo
+        && t_in.abs() <= hi
+        && t_out.abs() >= lo
+        && t_out.abs() <= hi
+}
+
+fn closest_witness(a: &Polyline, b: &Polyline) -> meander_geom::Point {
+    let mut best = (f64::INFINITY, a.start());
+    for s in a.segments() {
+        for t in b.segments() {
+            let d = s.distance_to_segment(&t);
+            if d < best.0 {
+                best = (d, s.midpoint());
+            }
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_geom::Point;
+
+    fn trace(id: u32, pts: Vec<Point>) -> TraceGeometry {
+        TraceGeometry {
+            id,
+            centerline: Polyline::new(pts),
+            width: 4.0,
+            rules: DesignRules::default(),
+            area: vec![],
+            coupled_with: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_layout_passes() {
+        let input = CheckInput {
+            traces: vec![
+                trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
+                trace(1, vec![Point::new(0.0, 50.0), Point::new(100.0, 50.0)]),
+            ],
+            obstacles: vec![Polygon::rectangle(
+                Point::new(40.0, 20.0),
+                Point::new(60.0, 30.0),
+            )],
+        };
+        assert!(check_layout(&input).is_empty());
+    }
+
+    #[test]
+    fn detects_trace_trace_violation() {
+        // Centerline distance 10 < required 8 + 2 + 2 = 12.
+        let input = CheckInput {
+            traces: vec![
+                trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
+                trace(1, vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)]),
+            ],
+            obstacles: vec![],
+        };
+        let v = check_layout(&input);
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            Violation::TraceTraceClearance { actual, required, .. } => {
+                assert!((actual - 10.0).abs() < 1e-9);
+                assert!((required - 12.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coupled_traces_skip_gap_check() {
+        let mut a = trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+        let b = trace(1, vec![Point::new(0.0, 6.0), Point::new(100.0, 6.0)]);
+        a.coupled_with = vec![1];
+        let input = CheckInput {
+            traces: vec![a, b],
+            obstacles: vec![],
+        };
+        assert!(check_layout(&input).is_empty());
+    }
+
+    #[test]
+    fn detects_obstacle_violation() {
+        // Obstacle 5 from centerline < required 8 + 2 = 10.
+        let input = CheckInput {
+            traces: vec![trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)])],
+            obstacles: vec![Polygon::rectangle(
+                Point::new(40.0, 5.0),
+                Point::new(60.0, 15.0),
+            )],
+        };
+        let v = check_layout(&input);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::TraceObstacleClearance { .. }));
+    }
+
+    #[test]
+    fn detects_short_segment() {
+        let input = CheckInput {
+            traces: vec![trace(
+                0,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(100.0, 0.0),
+                    Point::new(100.0, 2.0), // 2 < dprotect 8
+                    Point::new(200.0, 2.0),
+                ],
+            )],
+            obstacles: vec![],
+        };
+        let v = check_layout(&input);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            Violation::ShortSegment { segment: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn chamfer_segments_exempt_from_protect() {
+        // A mitered right-angle corner: the 45° chamfer bridge is shorter
+        // than dprotect but intentional.
+        let pl = meander_geom::miter::miter_polyline(
+            &Polyline::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(50.0, 50.0),
+            ]),
+            2.0, // chamfer length 2√2 ≈ 2.83 < dprotect 8
+        );
+        let input = CheckInput {
+            traces: vec![TraceGeometry {
+                id: 0,
+                centerline: pl,
+                width: 4.0,
+                rules: DesignRules::default(),
+                area: vec![],
+                coupled_with: vec![],
+            }],
+            obstacles: vec![],
+        };
+        assert!(check_layout(&input).is_empty());
+    }
+
+    #[test]
+    fn genuine_stub_still_flagged() {
+        // A short jog between two same-direction right angles is a real
+        // dprotect stub, not a chamfer (turns have opposite signs).
+        let input = CheckInput {
+            traces: vec![trace(
+                0,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(50.0, 0.0),
+                    Point::new(50.0, 2.0),
+                    Point::new(100.0, 2.0),
+                ],
+            )],
+            obstacles: vec![],
+        };
+        let v = check_layout(&input);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::ShortSegment { .. }));
+    }
+
+    #[test]
+    fn collinear_split_is_not_short() {
+        // Two collinear 5-unit pieces form one 10-unit segment after
+        // simplification — no dprotect violation.
+        let input = CheckInput {
+            traces: vec![trace(
+                0,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(5.0, 0.0),
+                    Point::new(10.0, 0.0),
+                ],
+            )],
+            obstacles: vec![],
+        };
+        assert!(check_layout(&input).is_empty());
+    }
+
+    #[test]
+    fn detects_self_intersection() {
+        let input = CheckInput {
+            traces: vec![trace(
+                0,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(100.0, 0.0),
+                    Point::new(100.0, 50.0),
+                    Point::new(50.0, 50.0),
+                    Point::new(50.0, -50.0),
+                ],
+            )],
+            obstacles: vec![],
+        };
+        let v = check_layout(&input);
+        assert!(v.iter().any(|v| matches!(v, Violation::SelfIntersection { .. })));
+    }
+
+    #[test]
+    fn detects_area_escape() {
+        let mut t = trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+        t.area = vec![Polygon::rectangle(
+            Point::new(-10.0, -10.0),
+            Point::new(50.0, 10.0),
+        )];
+        let input = CheckInput {
+            traces: vec![t],
+            obstacles: vec![],
+        };
+        let v = check_layout(&input);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::OutsideRoutableArea { .. }));
+    }
+
+    #[test]
+    fn area_union_containment() {
+        // Trace spans two polygons that together cover it.
+        let mut t = trace(0, vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+        t.area = vec![
+            Polygon::rectangle(Point::new(-10.0, -10.0), Point::new(50.0, 10.0)),
+            Polygon::rectangle(Point::new(50.0, -10.0), Point::new(110.0, 10.0)),
+        ];
+        let input = CheckInput {
+            traces: vec![t],
+            obstacles: vec![],
+        };
+        assert!(check_layout(&input).is_empty());
+    }
+}

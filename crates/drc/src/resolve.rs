@@ -1,0 +1,174 @@
+//! Rule resolution: which rules apply at a given place.
+
+use crate::dra::DesignRuleArea;
+use crate::rules::DesignRules;
+use meander_geom::{Point, Segment};
+
+/// Resolves the design rules in force at points and segments.
+///
+/// Board-wide default rules apply everywhere; [`DesignRuleArea`]s override
+/// them inside their regions. When areas nest, the smallest containing area
+/// wins (the CAD convention for rule areas). When a segment spans areas, the
+/// conservative component-wise maximum is used, matching the paper's note
+/// that `dgap`/`dprotect` may be "slightly increased" to keep the
+/// discretization sound.
+///
+/// ```
+/// use meander_drc::{DesignRuleArea, DesignRules, RuleResolver};
+/// use meander_geom::{Point, Polygon};
+///
+/// let strict = DesignRules { gap: 16.0, ..DesignRules::default() };
+/// let resolver = RuleResolver::new(
+///     DesignRules::default(),
+///     vec![DesignRuleArea::new(
+///         1,
+///         Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+///         strict,
+///     )],
+/// );
+/// assert_eq!(resolver.at_point(Point::new(5.0, 5.0)).gap, 16.0);
+/// assert_eq!(resolver.at_point(Point::new(50.0, 5.0)).gap, 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleResolver {
+    default: DesignRules,
+    areas: Vec<DesignRuleArea>,
+}
+
+impl RuleResolver {
+    /// Creates a resolver from board defaults and rule areas.
+    pub fn new(default: DesignRules, areas: Vec<DesignRuleArea>) -> Self {
+        RuleResolver { default, areas }
+    }
+
+    /// Board default rules.
+    #[inline]
+    pub fn default_rules(&self) -> &DesignRules {
+        &self.default
+    }
+
+    /// All registered areas.
+    #[inline]
+    pub fn areas(&self) -> &[DesignRuleArea] {
+        &self.areas
+    }
+
+    /// Rules at a single point: smallest containing DRA, else defaults.
+    pub fn at_point(&self, p: Point) -> DesignRules {
+        self.areas
+            .iter()
+            .filter(|a| a.contains(p))
+            .min_by(|a, b| {
+                a.area()
+                    .partial_cmp(&b.area())
+                    .expect("finite polygon areas")
+            })
+            .map(|a| *a.rules())
+            .unwrap_or(self.default)
+    }
+
+    /// Conservative rules over a whole segment: the component-wise max of
+    /// the rules at its endpoints and midpoint.
+    pub fn along_segment(&self, seg: &Segment) -> DesignRules {
+        let a = self.at_point(seg.a);
+        let b = self.at_point(seg.b);
+        let m = self.at_point(seg.midpoint());
+        a.max(&b).max(&m)
+    }
+
+    /// Distinct rule values sorted ascending by `gap` — the rule ladder that
+    /// MSDTW's multi-scale recursion iterates over (`R = {r0, r1, …, rm}` in
+    /// paper Alg. 3).
+    pub fn rule_scales(&self) -> Vec<DesignRules> {
+        let mut all: Vec<DesignRules> = std::iter::once(self.default)
+            .chain(self.areas.iter().map(|a| *a.rules()))
+            .collect();
+        all.sort_by(|a, b| a.gap.partial_cmp(&b.gap).expect("finite gaps"));
+        all.dedup_by(|a, b| a == b);
+        all
+    }
+
+    /// The id of the smallest DRA containing `p`, if any.
+    pub fn area_at(&self, p: Point) -> Option<u32> {
+        self.areas
+            .iter()
+            .filter(|a| a.contains(p))
+            .min_by(|a, b| {
+                a.area()
+                    .partial_cmp(&b.area())
+                    .expect("finite polygon areas")
+            })
+            .map(|a| a.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_geom::Polygon;
+
+    fn resolver() -> RuleResolver {
+        let outer = DesignRules {
+            gap: 10.0,
+            ..DesignRules::default()
+        };
+        let inner = DesignRules {
+            gap: 20.0,
+            protect: 16.0,
+            ..DesignRules::default()
+        };
+        RuleResolver::new(
+            DesignRules::default(),
+            vec![
+                DesignRuleArea::new(
+                    1,
+                    Polygon::rectangle(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+                    outer,
+                ),
+                DesignRuleArea::new(
+                    2,
+                    Polygon::rectangle(Point::new(40.0, 40.0), Point::new(60.0, 60.0)),
+                    inner,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn innermost_area_wins() {
+        let r = resolver();
+        assert_eq!(r.at_point(Point::new(50.0, 50.0)).gap, 20.0);
+        assert_eq!(r.at_point(Point::new(10.0, 10.0)).gap, 10.0);
+        assert_eq!(r.at_point(Point::new(500.0, 500.0)).gap, 8.0);
+        assert_eq!(r.area_at(Point::new(50.0, 50.0)), Some(2));
+        assert_eq!(r.area_at(Point::new(10.0, 10.0)), Some(1));
+        assert_eq!(r.area_at(Point::new(500.0, 500.0)), None);
+    }
+
+    #[test]
+    fn segment_resolution_is_conservative() {
+        let r = resolver();
+        // Segment from the outer area into the inner one → max rules.
+        let seg = Segment::new(Point::new(10.0, 50.0), Point::new(50.0, 50.0));
+        let rules = r.along_segment(&seg);
+        assert_eq!(rules.gap, 20.0);
+        assert_eq!(rules.protect, 16.0);
+    }
+
+    #[test]
+    fn rule_scales_sorted_and_deduped() {
+        let r = resolver();
+        let scales = r.rule_scales();
+        assert_eq!(scales.len(), 3);
+        assert!(scales.windows(2).all(|w| w[0].gap <= w[1].gap));
+        assert_eq!(scales[0].gap, 8.0);
+        assert_eq!(scales[2].gap, 20.0);
+    }
+
+    #[test]
+    fn no_areas_gives_defaults() {
+        let r = RuleResolver::new(DesignRules::default(), vec![]);
+        assert_eq!(r.at_point(Point::new(1.0, 1.0)), DesignRules::default());
+        assert_eq!(r.rule_scales().len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Violation reports produced by the checker.
+
+use meander_geom::Point;
+use std::fmt;
+
+/// A single design-rule violation found by [`crate::check_layout`].
+///
+/// Every variant carries enough context to locate and explain the problem;
+/// the `Display` impl renders a one-line report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two traces run closer than `dgap` (edge-to-edge).
+    TraceTraceClearance {
+        /// First trace id.
+        a: u32,
+        /// Second trace id.
+        b: u32,
+        /// Measured edge-to-edge distance.
+        actual: f64,
+        /// Required clearance.
+        required: f64,
+        /// A witness location near the violation.
+        near: Point,
+    },
+    /// A trace runs closer than `dobs` to an obstacle.
+    TraceObstacleClearance {
+        /// Trace id.
+        trace: u32,
+        /// Obstacle index.
+        obstacle: u32,
+        /// Measured edge-to-border distance.
+        actual: f64,
+        /// Required clearance.
+        required: f64,
+        /// A witness location near the violation.
+        near: Point,
+    },
+    /// A segment is shorter than `dprotect`.
+    ShortSegment {
+        /// Trace id.
+        trace: u32,
+        /// Segment index within the trace.
+        segment: usize,
+        /// Measured length.
+        actual: f64,
+        /// Required minimum length.
+        required: f64,
+    },
+    /// A trace crosses itself.
+    SelfIntersection {
+        /// Trace id.
+        trace: u32,
+    },
+    /// A trace leaves its assigned routable area.
+    OutsideRoutableArea {
+        /// Trace id.
+        trace: u32,
+        /// A witness point outside the area.
+        near: Point,
+    },
+}
+
+impl Violation {
+    /// The id of the primary trace involved.
+    pub fn trace_id(&self) -> u32 {
+        match self {
+            Violation::TraceTraceClearance { a, .. } => *a,
+            Violation::TraceObstacleClearance { trace, .. } => *trace,
+            Violation::ShortSegment { trace, .. } => *trace,
+            Violation::SelfIntersection { trace } => *trace,
+            Violation::OutsideRoutableArea { trace, .. } => *trace,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TraceTraceClearance {
+                a,
+                b,
+                actual,
+                required,
+                near,
+            } => write!(
+                f,
+                "trace {a} / trace {b} clearance {actual:.4} < {required:.4} near {near}"
+            ),
+            Violation::TraceObstacleClearance {
+                trace,
+                obstacle,
+                actual,
+                required,
+                near,
+            } => write!(
+                f,
+                "trace {trace} / obstacle {obstacle} clearance {actual:.4} < {required:.4} near {near}"
+            ),
+            Violation::ShortSegment {
+                trace,
+                segment,
+                actual,
+                required,
+            } => write!(
+                f,
+                "trace {trace} segment {segment} length {actual:.4} < dprotect {required:.4}"
+            ),
+            Violation::SelfIntersection { trace } => {
+                write!(f, "trace {trace} intersects itself")
+            }
+            Violation::OutsideRoutableArea { trace, near } => {
+                write!(f, "trace {trace} leaves its routable area near {near}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::ShortSegment {
+            trace: 3,
+            segment: 7,
+            actual: 1.0,
+            required: 8.0,
+        };
+        let s = format!("{v}");
+        assert!(s.contains("trace 3"));
+        assert!(s.contains("segment 7"));
+        assert!(s.contains("dprotect"));
+        assert_eq!(v.trace_id(), 3);
+    }
+
+    #[test]
+    fn trace_ids_extracted() {
+        let v = Violation::TraceTraceClearance {
+            a: 1,
+            b: 2,
+            actual: 0.5,
+            required: 8.0,
+            near: Point::ORIGIN,
+        };
+        assert_eq!(v.trace_id(), 1);
+        let v = Violation::SelfIntersection { trace: 9 };
+        assert_eq!(v.trace_id(), 9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Virtual DRC for merged median traces (paper Sec. V-A).
+//!
+//! After MSDTW merges a differential pair into a median trace, length
+//! matching runs on that single trace. "To guarantee the differential pair
+//! can be legally restored after length matching, we also attach a virtual
+//! DRC to its merged median trace … converted from its distance rule and the
+//! original DRC of its sub-traces. Thereby, the restored differential pair
+//! will not violate the original DRC as long as the merged median trace does
+//! not violate the virtual DRC."
+
+use crate::rules::DesignRules;
+
+/// Converts the sub-trace rules of a differential pair into the virtual
+/// rules its median trace must obey.
+///
+/// With pair pitch `pair_sep` (center-to-center distance between the
+/// sub-traces), each restored sub-trace runs `pair_sep / 2` to the side of
+/// the median. The median therefore behaves like a fat trace of width
+/// `pair_sep + width`:
+///
+/// * virtual `width` = `pair_sep + width` — clearances measured from the
+///   median centerline automatically protect the outer sub-trace edges,
+/// * `gap`/`obstacle` stay the sub-trace values (they apply edge-to-edge),
+/// * `protect` is inherited (each median segment restores to equally long
+///   sub-trace segments on gentle geometry, shorter on the inner side of a
+///   corner — the `√2` safety factor below absorbs that),
+/// * `miter` is inherited.
+///
+/// To be safe on mitered inner corners, `protect` is scaled by `√2`.
+///
+/// ```
+/// use meander_drc::{virtualize_rules, DesignRules};
+/// let sub = DesignRules::new(8.0, 8.0, 8.0, 2.0, 4.0).unwrap();
+/// let v = virtualize_rules(&sub, 6.0);
+/// assert_eq!(v.width, 10.0);
+/// assert_eq!(v.gap, 8.0);
+/// ```
+pub fn virtualize_rules(sub_rules: &DesignRules, pair_sep: f64) -> DesignRules {
+    DesignRules {
+        gap: sub_rules.gap,
+        obstacle: sub_rules.obstacle,
+        protect: sub_rules.protect * std::f64::consts::SQRT_2,
+        miter: sub_rules.miter,
+        width: pair_sep + sub_rules.width,
+    }
+}
+
+/// Inverse of [`virtualize_rules`]: recovers the sub-trace rules from the
+/// virtual rules and the pair pitch.
+pub fn restore_rules(virtual_rules: &DesignRules, pair_sep: f64) -> DesignRules {
+    DesignRules {
+        gap: virtual_rules.gap,
+        obstacle: virtual_rules.obstacle,
+        protect: virtual_rules.protect / std::f64::consts::SQRT_2,
+        miter: virtual_rules.miter,
+        width: (virtual_rules.width - pair_sep).max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_width_covers_pair_extent() {
+        let sub = DesignRules::new(8.0, 8.0, 8.0, 2.0, 4.0).unwrap();
+        let v = virtualize_rules(&sub, 6.0);
+        // Pair outer extent: sep + width = 6 + 4 = 10.
+        assert_eq!(v.width, 10.0);
+        // Edge clearances are preserved.
+        assert_eq!(v.gap, sub.gap);
+        assert_eq!(v.obstacle, sub.obstacle);
+        // Centerline obstacle clearance now covers the outer sub-trace.
+        let sub_outer = sub.centerline_obstacle() + 6.0 / 2.0;
+        assert_eq!(v.centerline_obstacle(), sub_outer);
+    }
+
+    #[test]
+    fn protect_gains_safety_factor() {
+        let sub = DesignRules::default();
+        let v = virtualize_rules(&sub, 6.0);
+        assert!(v.protect > sub.protect);
+        assert!((v.protect / sub.protect - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        let sub = DesignRules::new(8.0, 7.0, 9.0, 2.0, 4.0).unwrap();
+        let rt = restore_rules(&virtualize_rules(&sub, 6.0), 6.0);
+        assert!((rt.gap - sub.gap).abs() < 1e-12);
+        assert!((rt.obstacle - sub.obstacle).abs() < 1e-12);
+        assert!((rt.protect - sub.protect).abs() < 1e-12);
+        assert!((rt.width - sub.width).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the DRC layer.
+
+use meander_drc::{check_layout, CheckInput, DesignRules, TraceGeometry};
+use meander_drc::{restore_rules, virtualize_rules};
+use meander_geom::{Point, Polygon, Polyline, Vector};
+use proptest::prelude::*;
+
+fn two_trace_input(y_sep: f64, widths: (f64, f64)) -> CheckInput {
+    let rules = DesignRules::default();
+    CheckInput {
+        traces: vec![
+            TraceGeometry {
+                id: 0,
+                centerline: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(120.0, 0.0)]),
+                width: widths.0,
+                rules: DesignRules {
+                    width: widths.0,
+                    ..rules
+                },
+                area: vec![],
+                coupled_with: vec![],
+            },
+            TraceGeometry {
+                id: 1,
+                centerline: Polyline::new(vec![
+                    Point::new(0.0, y_sep),
+                    Point::new(120.0, y_sep),
+                ]),
+                width: widths.1,
+                rules: DesignRules {
+                    width: widths.1,
+                    ..rules
+                },
+                area: vec![],
+                coupled_with: vec![],
+            },
+        ],
+        obstacles: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gap_check_matches_arithmetic(
+        y_sep in 1.0..40.0f64,
+        w0 in 1.0..8.0f64,
+        w1 in 1.0..8.0f64,
+    ) {
+        let input = two_trace_input(y_sep, (w0, w1));
+        let required = 8.0 + w0 / 2.0 + w1 / 2.0;
+        let violations = check_layout(&input);
+        let has_gap = violations
+            .iter()
+            .any(|v| matches!(v, meander_drc::Violation::TraceTraceClearance { .. }));
+        prop_assert_eq!(has_gap, y_sep < required - 1e-9, "sep {} req {}", y_sep, required);
+    }
+
+    #[test]
+    fn violations_are_translation_invariant(
+        y_sep in 1.0..40.0f64,
+        dx in -500.0..500.0f64,
+        dy in -500.0..500.0f64,
+    ) {
+        let input = two_trace_input(y_sep, (4.0, 4.0));
+        let base = check_layout(&input).len();
+        let shift = Vector::new(dx, dy);
+        let moved = CheckInput {
+            traces: input
+                .traces
+                .iter()
+                .map(|t| TraceGeometry {
+                    id: t.id,
+                    centerline: t.centerline.translated(shift),
+                    width: t.width,
+                    rules: t.rules,
+                    area: vec![],
+                    coupled_with: vec![],
+                })
+                .collect(),
+            obstacles: vec![],
+        };
+        prop_assert_eq!(check_layout(&moved).len(), base);
+    }
+
+    #[test]
+    fn obstacle_check_matches_arithmetic(
+        oy in 3.0..40.0f64,
+        w in 1.0..8.0f64,
+    ) {
+        let rules = DesignRules {
+            width: w,
+            ..DesignRules::default()
+        };
+        let input = CheckInput {
+            traces: vec![TraceGeometry {
+                id: 0,
+                centerline: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
+                width: w,
+                rules,
+                area: vec![],
+                coupled_with: vec![],
+            }],
+            obstacles: vec![Polygon::rectangle(
+                Point::new(40.0, oy),
+                Point::new(60.0, oy + 10.0),
+            )],
+        };
+        let required = 8.0 + w / 2.0;
+        let violations = check_layout(&input);
+        let has = violations
+            .iter()
+            .any(|v| matches!(v, meander_drc::Violation::TraceObstacleClearance { .. }));
+        prop_assert_eq!(has, oy < required - 1e-9);
+    }
+
+    #[test]
+    fn virtual_rules_round_trip(
+        gap in 0.0..20.0f64,
+        obs in 0.0..20.0f64,
+        protect in 0.0..20.0f64,
+        width in 0.5..10.0f64,
+        sep in 0.5..20.0f64,
+    ) {
+        let r = DesignRules {
+            gap,
+            obstacle: obs,
+            protect,
+            miter: 1.0,
+            width,
+        };
+        let v = virtualize_rules(&r, sep);
+        // Virtual width covers the pair extent.
+        prop_assert!((v.width - (sep + width)).abs() < 1e-12);
+        let rt = restore_rules(&v, sep);
+        prop_assert!((rt.gap - r.gap).abs() < 1e-9);
+        prop_assert!((rt.protect - r.protect).abs() < 1e-9);
+        prop_assert!((rt.width - r.width).abs() < 1e-9);
+    }
+}

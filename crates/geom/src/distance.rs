@@ -1,0 +1,80 @@
+//! Distance helpers between heterogeneous entities.
+//!
+//! The URA shrinking equations of the paper (Eqs. 11–13) are phrased in terms
+//! of `d(seg, p)` — distance from the extended segment to a point — and
+//! `d(seg, P) = min_{p ∈ P} d(seg, p)` over point sets. These free functions
+//! provide those forms directly.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::segment::Segment;
+
+/// `d(seg, p)`: distance from a segment to a point.
+#[inline]
+pub fn segment_point(seg: &Segment, p: Point) -> f64 {
+    seg.distance_to_point(p)
+}
+
+/// `d(seg, P) = min_{p ∈ P} d(seg, p)`; `f64::INFINITY` for an empty set.
+pub fn segment_point_set<'a, I>(seg: &Segment, points: I) -> f64
+where
+    I: IntoIterator<Item = &'a Point>,
+{
+    points
+        .into_iter()
+        .map(|&p| seg.distance_to_point(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Minimum distance between a segment and every vertex of a polygon
+/// (vertex distance, not border distance — this is the `d(seg, Poly_k)`
+/// used in Eq. 13 where `Poly_k` is the polygon's *node point set*).
+pub fn segment_polygon_vertices(seg: &Segment, poly: &Polygon) -> f64 {
+    segment_point_set(seg, poly.vertices().iter())
+}
+
+/// Minimum distance between two point sets; `f64::INFINITY` when either is
+/// empty.
+pub fn point_set_point_set(a: &[Point], b: &[Point]) -> f64 {
+    let mut best = f64::INFINITY;
+    for &p in a {
+        for &q in b {
+            best = best.min(p.distance(q));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_point_matches_method() {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(segment_point(&seg, Point::new(5.0, 4.0)), 4.0);
+    }
+
+    #[test]
+    fn point_set_minimum() {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let pts = [Point::new(0.0, 9.0), Point::new(5.0, 2.0), Point::new(20.0, 0.0)];
+        assert_eq!(segment_point_set(&seg, pts.iter()), 2.0);
+        assert_eq!(segment_point_set(&seg, [].iter()), f64::INFINITY);
+    }
+
+    #[test]
+    fn polygon_vertex_distance() {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let poly = Polygon::rectangle(Point::new(4.0, 3.0), Point::new(6.0, 5.0));
+        assert_eq!(segment_polygon_vertices(&seg, &poly), 3.0);
+    }
+
+    #[test]
+    fn set_to_set() {
+        let a = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let b = [Point::new(4.0, 4.0), Point::new(1.0, 2.0)];
+        assert_eq!(point_set_point_set(&a, &b), 2.0);
+        assert_eq!(point_set_point_set(&a, &[]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,187 @@
+//! Uniform grid over segments for local edge queries.
+
+use meander_geom::{Rect, Segment};
+use std::collections::HashMap;
+
+/// A uniform hash-grid spatial index over segments.
+///
+/// The "sides" shrinking step (paper Eq. 11) intersects a URA's two side
+/// segments with the edges of every polygon near the pattern. A URA is local
+/// — at most a few `dgap` across — so a uniform grid sized to the typical
+/// URA makes candidate retrieval effectively `O(output)`.
+///
+/// Segments are stored by id (the caller keeps the geometry); each segment
+/// is registered in every cell its bounding box overlaps, and queries return
+/// deduplicated candidate ids whose cells intersect the query rectangle.
+///
+/// ```
+/// use meander_geom::{Point, Rect, Segment};
+/// use meander_index::SegmentGrid;
+///
+/// let mut grid = SegmentGrid::new(5.0);
+/// grid.insert(0, &Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 0.0)));
+/// grid.insert(1, &Segment::new(Point::new(50.0, 50.0), Point::new(60.0, 50.0)));
+/// let near = grid.query(&Rect::new(Point::new(-1.0, -1.0), Point::new(4.0, 4.0)));
+/// assert_eq!(near, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    len: usize,
+}
+
+impl SegmentGrid {
+    /// Creates a grid with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        SegmentGrid {
+            cell: cell_size,
+            cells: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of inserted segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no segment has been inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
+        ((x / self.cell).floor() as i64, (y / self.cell).floor() as i64)
+    }
+
+    /// Registers `seg` under `id` in every cell its bbox overlaps.
+    pub fn insert(&mut self, id: u32, seg: &Segment) {
+        let bb = seg.bbox();
+        let (cx0, cy0) = self.cell_of(bb.min.x, bb.min.y);
+        let (cx1, cy1) = self.cell_of(bb.max.x, bb.max.y);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                self.cells.entry((cx, cy)).or_default().push(id);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Builds a grid from an id-ordered segment list.
+    pub fn from_segments(cell_size: f64, segments: &[Segment]) -> Self {
+        let mut g = SegmentGrid::new(cell_size);
+        for (i, s) in segments.iter().enumerate() {
+            g.insert(i as u32, s);
+        }
+        g
+    }
+
+    /// Returns the sorted, deduplicated ids of segments whose cells overlap
+    /// `r`. A superset of the truly-intersecting set — callers run the exact
+    /// predicate on the candidates.
+    pub fn query(&self, r: &Rect) -> Vec<u32> {
+        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
+        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
+        let mut out = Vec::new();
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_geom::Point;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn near_and_far() {
+        let mut g = SegmentGrid::new(2.0);
+        g.insert(0, &seg(0.0, 0.0, 1.0, 1.0));
+        g.insert(1, &seg(10.0, 10.0, 12.0, 10.0));
+        assert_eq!(g.len(), 2);
+        let r = Rect::new(Point::new(-0.5, -0.5), Point::new(1.5, 1.5));
+        assert_eq!(g.query(&r), vec![0]);
+        let r_all = Rect::new(Point::new(-1.0, -1.0), Point::new(13.0, 13.0));
+        assert_eq!(g.query(&r_all), vec![0, 1]);
+    }
+
+    #[test]
+    fn long_segment_spans_many_cells() {
+        let mut g = SegmentGrid::new(1.0);
+        g.insert(7, &seg(0.0, 0.5, 25.0, 0.5));
+        // Query in the middle of the span still finds it.
+        let r = Rect::new(Point::new(12.0, 0.0), Point::new(13.0, 1.0));
+        assert_eq!(g.query(&r), vec![7]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut g = SegmentGrid::new(3.0);
+        g.insert(3, &seg(-10.0, -10.0, -8.0, -9.0));
+        let r = Rect::new(Point::new(-11.0, -11.0), Point::new(-7.0, -8.0));
+        assert_eq!(g.query(&r), vec![3]);
+        let far = Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(g.query(&far).is_empty());
+    }
+
+    #[test]
+    fn query_is_superset_of_exact_hits() {
+        let segs: Vec<Segment> = (0..40)
+            .map(|i| {
+                let x = (i % 8) as f64 * 3.0;
+                let y = (i / 8) as f64 * 3.0;
+                seg(x, y, x + 2.0, y + 1.0)
+            })
+            .collect();
+        let g = SegmentGrid::from_segments(2.5, &segs);
+        let r = Rect::new(Point::new(4.0, 2.0), Point::new(10.0, 8.0));
+        let candidates = g.query(&r);
+        for (i, s) in segs.iter().enumerate() {
+            if r.intersects(&s.bbox()) {
+                assert!(
+                    candidates.contains(&(i as u32)),
+                    "segment {i} bbox-intersects query but was not a candidate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_ids() {
+        let mut g = SegmentGrid::new(0.5);
+        // Crosses many cells; id must be reported once.
+        g.insert(1, &seg(0.0, 0.0, 10.0, 10.0));
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert_eq!(g.query(&r), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = SegmentGrid::new(0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # meander-index
+//!
+//! Spatial acceleration structures for the URA shrinking procedure.
+//!
+//! The paper's complexity analysis (Sec. IV-D) prescribes two query shapes:
+//!
+//! 1. *Node-position checking* (Alg. 2) needs, for each URA, the set
+//!    `P_check = {p | x_p ∈ [x_A, x_C], y_p ∈ [y_D, y_B]}` of polygon node
+//!    points inside the outer border. [`MergeSortTree`] implements the
+//!    structure the paper describes: "a segment tree to maintain points whose
+//!    abscissa rank is within intervals, and the points in each tree node are
+//!    sorted by ordinate", giving `O(N log N)` space and `O(log² N)`-ish
+//!    queries (we return the matching points, so add output size).
+//! 2. *"Sides" shrinking* (Eq. 11) intersects the URA side segments with
+//!    every polygon edge; [`SegmentGrid`] is a uniform hash grid that returns
+//!    candidate edges near a query rectangle so only local edges are tested.
+//!
+//! Both structures are generic over a user tag so callers can map hits back
+//! to their polygons.
+
+pub mod grid;
+pub mod msegtree;
+
+pub use grid::SegmentGrid;
+pub use msegtree::MergeSortTree;

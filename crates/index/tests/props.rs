@@ -1,0 +1,59 @@
+//! Property tests: both index structures must agree with brute force.
+
+use meander_geom::{Point, Rect, Segment};
+use meander_index::{MergeSortTree, SegmentGrid};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn msegtree_matches_brute_force(
+        pts in proptest::collection::vec(pt(), 0..120),
+        q0 in pt(),
+        w in 0.0..40.0f64,
+        h in 0.0..40.0f64,
+    ) {
+        let tagged: Vec<(Point, usize)> = pts.iter().copied().zip(0..).collect();
+        let tree = MergeSortTree::build(tagged.clone());
+        let r = Rect::new(q0, Point::new(q0.x + w, q0.y + h));
+        let mut expect: Vec<usize> = tagged
+            .iter()
+            .filter(|(p, _)| p.x >= r.min.x && p.x <= r.max.x && p.y >= r.min.y && p.y <= r.max.y)
+            .map(|(_, i)| *i)
+            .collect();
+        let mut got: Vec<usize> = tree.query(&r).iter().map(|(_, &i)| i).collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(&expect, &got);
+        prop_assert_eq!(tree.count(&r), expect.len());
+    }
+
+    #[test]
+    fn grid_candidates_cover_bbox_hits(
+        segs in proptest::collection::vec((pt(), pt()), 1..60),
+        q0 in pt(),
+        w in 0.5..30.0f64,
+        h in 0.5..30.0f64,
+        cell in 0.5..10.0f64,
+    ) {
+        let segs: Vec<Segment> = segs.iter().map(|(a, b)| Segment::new(*a, *b)).collect();
+        let grid = SegmentGrid::from_segments(cell, &segs);
+        let r = Rect::new(q0, Point::new(q0.x + w, q0.y + h));
+        let candidates = grid.query(&r);
+        for (i, s) in segs.iter().enumerate() {
+            if r.intersects(&s.bbox()) {
+                prop_assert!(
+                    candidates.contains(&(i as u32)),
+                    "segment {} missed by grid query", i
+                );
+            }
+        }
+        // No phantom ids.
+        for &c in &candidates {
+            prop_assert!((c as usize) < segs.len());
+        }
+    }
+}

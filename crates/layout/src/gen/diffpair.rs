@@ -1,0 +1,203 @@
+//! Decoupled differential-pair generator (paper Figs. 9, 10, 12, 16).
+//!
+//! Real-world differential pairs are rarely perfectly coupled: corners carry
+//! redundant nodes ("short segments", Fig. 10a), one sub-trace carries tiny
+//! length-compensation patterns (Fig. 10b), and the pair pitch changes when
+//! the pair crosses into another DRA (Fig. 12). This generator synthesizes
+//! an L-shaped pair exhibiting all three, which is the input MSDTW exists to
+//! handle.
+
+use crate::area::RoutableArea;
+use crate::board::Board;
+use crate::diffpair::DiffPair;
+use crate::group::MatchGroup;
+use crate::trace::{Trace, TraceId};
+use meander_drc::{DesignRuleArea, DesignRules};
+use meander_geom::{Point, Polygon, Polyline, Rect};
+
+/// A generated decoupled-pair case.
+#[derive(Debug, Clone)]
+pub struct DecoupledPairCase {
+    /// The layout (one pair, one group).
+    pub board: Board,
+    /// Positive sub-trace.
+    pub p: TraceId,
+    /// Negative sub-trace.
+    pub n: TraceId,
+    /// Pair pitch in the first (horizontal) leg.
+    pub sep0: f64,
+    /// Pair pitch in the second (vertical) leg when `multi_dra` was set.
+    pub sep1: Option<f64>,
+}
+
+/// Generates the decoupled L-shaped pair.
+///
+/// * `multi_dra = false`: constant pitch `sep0 = 6`; the vertical leg stays
+///   in the board's default rule area.
+/// * `multi_dra = true`: the vertical leg lies in a second DRA where the
+///   pitch doubles (`sep1 = 12`), the paper's Fig. 12 scenario.
+///
+/// Decoupling features baked in:
+/// * redundant corner nodes on `P` (three nodes within ~1 unit),
+/// * a tiny compensation pattern on `N` in the vertical leg, tall enough
+///   that its nodes exceed the `√2·r` match-cost filter,
+/// * node-count mismatch between `P` and `N` throughout.
+pub fn decoupled_pair(multi_dra: bool) -> DecoupledPairCase {
+    let sep0 = 6.0;
+    let sep1 = if multi_dra { 12.0 } else { sep0 };
+    let s0 = sep0 / 2.0;
+    let s1 = sep1 / 2.0;
+    let width = 3.0;
+    let dgap = 6.0;
+    let rules = DesignRules {
+        gap: dgap,
+        obstacle: dgap,
+        protect: width,
+        miter: 1.0,
+        width,
+    };
+
+    let xc = 120.0; // corner x of the median path
+    let ytop = 120.0;
+
+    // P: left/upper sub-trace. Corner carries redundant nodes.
+    let p_points = vec![
+        Point::new(0.0, s0),
+        Point::new(xc - s0 - 1.0, s0),
+        // Redundant corner cluster (machine-precision corner, Fig. 10a).
+        Point::new(xc - s0 - 0.4, s0 + 0.1),
+        Point::new(xc - s1, s0 + 1.0),
+        // Vertical leg at pitch s1.
+        Point::new(xc - s1, ytop),
+    ];
+
+    // N: right/lower sub-trace with a tiny pattern in the vertical leg.
+    let tiny_h = sep1 * 0.55; // exceeds (√2−1)·sep ⇒ filtered by MSDTW
+    let tiny_w = 2.0;
+    let ty = ytop * 0.6;
+    let n_points = vec![
+        Point::new(0.0, -s0),
+        Point::new(xc + s0, -s0),
+        Point::new(xc + s1, -s0 + 1.0),
+        Point::new(xc + s1, ty),
+        // Tiny pattern (outward bump).
+        Point::new(xc + s1 + tiny_h, ty),
+        Point::new(xc + s1 + tiny_h, ty + tiny_w),
+        Point::new(xc + s1, ty + tiny_w),
+        Point::new(xc + s1, ytop),
+    ];
+
+    let mut board = Board::new(Rect::new(
+        Point::new(-20.0, -60.0),
+        Point::new(xc + 80.0, ytop + 40.0),
+    ));
+    let p = board.add_trace(Trace::with_rules("DP_P", Polyline::new(p_points), rules));
+    let n = board.add_trace(Trace::with_rules("DP_N", Polyline::new(n_points), rules));
+    let mut pair = DiffPair::new("DP", p, n, sep0);
+    pair.set_breakout_nodes(1);
+    board.add_pair(pair);
+
+    if multi_dra {
+        // Vertical leg DRA with the doubled pitch rule.
+        let dra_rules = DesignRules {
+            gap: sep1, // rule ladder key used by MSDTW's multi-scale pass
+            ..rules
+        };
+        board.add_rule_area(DesignRuleArea::new(
+            1,
+            Polygon::rectangle(Point::new(xc - 40.0, 20.0), Point::new(xc + 60.0, ytop + 20.0)),
+            dra_rules,
+        ));
+    }
+
+    // Shared corridor area around the whole pair.
+    let area = RoutableArea::from_polygons(vec![
+        Polygon::rectangle(Point::new(-10.0, -40.0), Point::new(xc + 50.0, 40.0)),
+        Polygon::rectangle(Point::new(xc - 50.0, -40.0), Point::new(xc + 50.0, ytop + 20.0)),
+    ]);
+    board.set_area(p, area.clone());
+    board.set_area(n, area);
+
+    let plen = board.trace(p).unwrap().length();
+    let nlen = board.trace(n).unwrap().length();
+    board.add_group(MatchGroup::with_target(
+        "pair",
+        vec![p, n],
+        plen.max(nlen) * 1.15,
+    ));
+
+    DecoupledPairCase {
+        board,
+        p,
+        n,
+        sep0,
+        sep1: multi_dra.then_some(sep1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts_differ() {
+        let c = decoupled_pair(false);
+        let np = c.board.trace(c.p).unwrap().centerline().point_count();
+        let nn = c.board.trace(c.n).unwrap().centerline().point_count();
+        assert_ne!(np, nn, "decoupling requires node-count mismatch");
+    }
+
+    #[test]
+    fn tiny_pattern_exceeds_filter_threshold() {
+        let c = decoupled_pair(false);
+        // Bump height must exceed (√2−1)·sep so its nodes cost > √2·r.
+        let bump = c.sep0 * 0.55;
+        assert!(c.sep0 + bump > std::f64::consts::SQRT_2 * c.sep0);
+    }
+
+    #[test]
+    fn multi_dra_registers_rule_area() {
+        let c = decoupled_pair(true);
+        assert_eq!(c.board.rule_areas().len(), 1);
+        assert_eq!(c.sep1, Some(12.0));
+        let c = decoupled_pair(false);
+        assert!(c.board.rule_areas().is_empty());
+        assert_eq!(c.sep1, None);
+    }
+
+    #[test]
+    fn pair_is_registered_and_coupled() {
+        let c = decoupled_pair(false);
+        let pair = c.board.pair_of(c.p).expect("pair registered");
+        assert_eq!(pair.partner(c.p), Some(c.n));
+    }
+
+    #[test]
+    fn board_has_no_hard_violations() {
+        // The pair touches sub-gap distances by design (they are coupled);
+        // the checker must not flag pair-internal gaps, and the geometry
+        // must not self-intersect.
+        let c = decoupled_pair(false);
+        let v = c.board.check();
+        let hard: Vec<_> = v
+            .iter()
+            .filter(|v| {
+                !matches!(
+                    v,
+                    meander_drc::Violation::ShortSegment { .. }
+                )
+            })
+            .collect();
+        assert!(hard.is_empty(), "{hard:?}");
+    }
+
+    #[test]
+    fn group_target_above_both_lengths() {
+        let c = decoupled_pair(false);
+        let g = &c.board.groups()[0];
+        let target = g.resolve_target(&c.board.group_lengths(g));
+        for (_, t) in c.board.traces() {
+            assert!(target > t.length());
+        }
+    }
+}

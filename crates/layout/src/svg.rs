@@ -1,0 +1,250 @@
+//! SVG rendering — regenerates the paper's display figures (14–16).
+
+use crate::board::Board;
+use crate::obstacle::ObstacleKind;
+use meander_geom::{Point, Polygon, Polyline, Rect};
+use std::fmt::Write as _;
+
+/// Style options for [`render_board`].
+#[derive(Debug, Clone)]
+pub struct SvgStyle {
+    /// Pixel width of the output image (height follows aspect ratio).
+    pub width_px: f64,
+    /// Background color.
+    pub background: String,
+    /// Cycle of trace colors.
+    pub trace_colors: Vec<String>,
+    /// Obstacle fill color.
+    pub obstacle_fill: String,
+    /// Draw routable-area outlines.
+    pub show_areas: bool,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        SvgStyle {
+            width_px: 1000.0,
+            background: "#10141a".to_string(),
+            trace_colors: vec![
+                "#4fc3f7".into(),
+                "#aed581".into(),
+                "#ffb74d".into(),
+                "#f06292".into(),
+                "#ba68c8".into(),
+                "#4db6ac".into(),
+                "#fff176".into(),
+                "#90a4ae".into(),
+            ],
+            obstacle_fill: "#54606e".into(),
+            show_areas: true,
+        }
+    }
+}
+
+fn view_box(board: &Board) -> Rect {
+    board.outline().unwrap_or_else(|| {
+        let mut r: Option<Rect> = None;
+        for (_, t) in board.traces() {
+            let bb = t.centerline().bbox();
+            r = Some(r.map_or(bb, |acc| acc.union(&bb)));
+        }
+        r.unwrap_or(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+    })
+}
+
+fn fmt_points(points: &[Point]) -> String {
+    let mut s = String::new();
+    for p in points {
+        let _ = write!(s, "{:.3},{:.3} ", p.x, -p.y); // flip y: SVG is y-down
+    }
+    s.trim_end().to_string()
+}
+
+/// Renders the board as an SVG document string.
+///
+/// Traces are drawn at their real width, obstacles as filled polygons, and
+/// (optionally) routable areas as dashed outlines — the same visual language
+/// as the paper's Figs. 14–16.
+///
+/// ```
+/// use meander_layout::{svg::render_board, Board};
+/// use meander_geom::{Point, Rect};
+/// let board = Board::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+/// let doc = render_board(&board, &Default::default());
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.ends_with("</svg>\n"));
+/// ```
+pub fn render_board(board: &Board, style: &SvgStyle) -> String {
+    let vb = view_box(board).expanded(5.0);
+    let scale = style.width_px / vb.width().max(1e-9);
+    let height_px = vb.height() * scale;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">\n",
+        style.width_px,
+        height_px,
+        vb.min.x,
+        -vb.max.y,
+        vb.width(),
+        vb.height()
+    );
+    let _ = write!(
+        s,
+        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"{}\"/>\n",
+        vb.min.x,
+        -vb.max.y,
+        vb.width(),
+        vb.height(),
+        style.background
+    );
+
+    if style.show_areas {
+        for (id, _) in board.traces() {
+            if let Some(area) = board.area(id) {
+                for poly in area.polygons() {
+                    let _ = write!(
+                        s,
+                        "<polygon points=\"{}\" fill=\"none\" stroke=\"#2e3b4a\" stroke-width=\"0.6\" stroke-dasharray=\"3 2\"/>\n",
+                        fmt_points(poly.vertices())
+                    );
+                }
+            }
+        }
+    }
+
+    for obs in board.obstacles() {
+        let stroke = match obs.kind() {
+            ObstacleKind::Via => "#76838f",
+            _ => "#465261",
+        };
+        let _ = write!(
+            s,
+            "<polygon points=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"0.4\"/>\n",
+            fmt_points(obs.polygon().vertices()),
+            style.obstacle_fill,
+            stroke
+        );
+    }
+
+    for (id, t) in board.traces() {
+        let color = &style.trace_colors[(id.0 as usize) % style.trace_colors.len()];
+        let _ = write!(
+            s,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+            fmt_points(t.centerline().points()),
+            color,
+            t.width()
+        );
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders loose geometry (polylines + polygons) without a [`Board`] —
+/// used by the illustrative figures (URAs, DTW matchings).
+pub fn render_scene(
+    polylines: &[(Polyline, &str, f64)],
+    polygons: &[(Polygon, &str)],
+    width_px: f64,
+) -> String {
+    let mut bb: Option<Rect> = None;
+    for (pl, _, _) in polylines {
+        let b = pl.bbox();
+        bb = Some(bb.map_or(b, |acc| acc.union(&b)));
+    }
+    for (pg, _) in polygons {
+        let b = pg.bbox();
+        bb = Some(bb.map_or(b, |acc| acc.union(&b)));
+    }
+    let vb = bb
+        .unwrap_or(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+        .expanded(3.0);
+    let scale = width_px / vb.width().max(1e-9);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">\n",
+        width_px,
+        vb.height() * scale,
+        vb.min.x,
+        -vb.max.y,
+        vb.width(),
+        vb.height()
+    );
+    let _ = write!(
+        s,
+        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"#10141a\"/>\n",
+        vb.min.x,
+        -vb.max.y,
+        vb.width(),
+        vb.height()
+    );
+    for (pg, color) in polygons {
+        let _ = write!(
+            s,
+            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"0.6\" stroke=\"{}\"/>\n",
+            fmt_points(pg.vertices()),
+            color,
+            color
+        );
+    }
+    for (pl, color, w) in polylines {
+        let _ = write!(
+            s,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\"/>\n",
+            fmt_points(pl.points()),
+            color,
+            w
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::table1_case;
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let case = table1_case(1);
+        let doc = render_board(&case.board, &SvgStyle::default());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        // 8 traces → 8 polylines.
+        assert_eq!(doc.matches("<polyline").count(), 8);
+        // Obstacles rendered.
+        assert!(doc.matches("<polygon").count() >= case.board.obstacles().len());
+    }
+
+    #[test]
+    fn trace_width_appears_in_stroke() {
+        let case = table1_case(1);
+        let doc = render_board(&case.board, &SvgStyle::default());
+        assert!(doc.contains("stroke-width=\"4.000\""));
+    }
+
+    #[test]
+    fn scene_renderer_handles_empty() {
+        let doc = render_scene(&[], &[], 400.0);
+        assert!(doc.starts_with("<svg"));
+    }
+
+    #[test]
+    fn areas_toggle() {
+        let case = table1_case(1);
+        let on = render_board(&case.board, &SvgStyle::default());
+        let off = render_board(
+            &case.board,
+            &SvgStyle {
+                show_areas: false,
+                ..Default::default()
+            },
+        );
+        assert!(on.len() > off.len());
+    }
+}

@@ -1,0 +1,167 @@
+//! Traces (nets/wires).
+
+use meander_drc::DesignRules;
+use meander_geom::Polyline;
+use std::fmt;
+
+/// Stable identifier of a trace within a [`crate::Board`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u32);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A routed trace: named centerline with width and rules.
+///
+/// "Trace: trace of a signal consisting of connected segments in PCB layout,
+/// also indicated by net or wire" (paper Sec. II). The centerline is the
+/// geometry the router extends; `width` and `rules` feed clearance
+/// arithmetic.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    name: String,
+    centerline: Polyline,
+    width: f64,
+    rules: DesignRules,
+}
+
+impl Trace {
+    /// Creates a trace with default rules (width given explicitly).
+    pub fn new(name: impl Into<String>, centerline: Polyline, width: f64) -> Self {
+        Trace {
+            name: name.into(),
+            centerline,
+            width,
+            rules: DesignRules {
+                width,
+                ..DesignRules::default()
+            },
+        }
+    }
+
+    /// Creates a trace with explicit rules (rule width wins over `width`).
+    pub fn with_rules(name: impl Into<String>, centerline: Polyline, rules: DesignRules) -> Self {
+        Trace {
+            name: name.into(),
+            centerline,
+            width: rules.width,
+            rules,
+        }
+    }
+
+    /// Trace name (net name).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current centerline.
+    #[inline]
+    pub fn centerline(&self) -> &Polyline {
+        &self.centerline
+    }
+
+    /// Replaces the centerline (used by the router when splicing patterns).
+    pub fn set_centerline(&mut self, pl: Polyline) {
+        self.centerline = pl;
+    }
+
+    /// Trace width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Design rules for this trace.
+    #[inline]
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Overrides the rules (keeps width in sync).
+    pub fn set_rules(&mut self, rules: DesignRules) {
+        self.width = rules.width;
+        self.rules = rules;
+    }
+
+    /// Current routed length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.centerline.length()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (len {:.3}, w {:.3})",
+            self.name,
+            self.length(),
+            self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_geom::Point;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Trace::new(
+            "CLK",
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(30.0, 40.0)]),
+            5.0,
+        );
+        assert_eq!(t.name(), "CLK");
+        assert_eq!(t.width(), 5.0);
+        assert_eq!(t.length(), 50.0);
+        assert_eq!(t.rules().width, 5.0);
+    }
+
+    #[test]
+    fn rules_width_sync() {
+        let mut t = Trace::new(
+            "D0",
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            4.0,
+        );
+        let r = DesignRules {
+            width: 6.0,
+            ..DesignRules::default()
+        };
+        t.set_rules(r);
+        assert_eq!(t.width(), 6.0);
+        let t2 = Trace::with_rules(
+            "D1",
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            r,
+        );
+        assert_eq!(t2.width(), 6.0);
+    }
+
+    #[test]
+    fn centerline_replacement_changes_length() {
+        let mut t = Trace::new(
+            "D2",
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]),
+            4.0,
+        );
+        t.set_centerline(Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]));
+        assert_eq!(t.length(), 20.0);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(format!("{}", TraceId(4)), "t4");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for MSDTW invariants.
+
+use meander_geom::{Point, Polyline, Vector};
+use meander_msdtw::{dtw_match, merge_pair, restore_pair, PairGeometry};
+use proptest::prelude::*;
+
+fn walk(seed: &[f64], step: f64) -> Vec<Point> {
+    // Monotone-x polyline with bounded y wiggle.
+    let mut pts = vec![Point::new(0.0, 0.0)];
+    for (i, &dy) in seed.iter().enumerate() {
+        let last = pts[i];
+        pts.push(Point::new(last.x + step, last.y + dy));
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dtw_path_is_monotone_and_covers(
+        p_seed in proptest::collection::vec(-3.0..3.0f64, 1..20),
+        n_seed in proptest::collection::vec(-3.0..3.0f64, 1..20),
+    ) {
+        let p = walk(&p_seed, 5.0);
+        let n: Vec<Point> = walk(&n_seed, 5.0)
+            .into_iter()
+            .map(|q| q + Vector::new(0.0, -6.0))
+            .collect();
+        let m = dtw_match(&p, &n);
+        // Boundary matches.
+        prop_assert_eq!((m[0].i, m[0].j), (0, 0));
+        let last = m.last().unwrap();
+        prop_assert_eq!((last.i, last.j), (p.len() - 1, n.len() - 1));
+        // Monotone, single-step.
+        for w in m.windows(2) {
+            prop_assert!(w[1].i >= w[0].i && w[1].j >= w[0].j);
+            prop_assert!(w[1].i - w[0].i <= 1 && w[1].j - w[0].j <= 1);
+            prop_assert!(w[1].i + w[1].j > w[0].i + w[0].j);
+        }
+        // Every node matched.
+        let is_cover = (0..p.len()).all(|i| m.iter().any(|x| x.i == i))
+            && (0..n.len()).all(|j| m.iter().any(|x| x.j == j));
+        prop_assert!(is_cover);
+        // Costs are the true distances.
+        for x in &m {
+            prop_assert!((x.cost - p[x.i].distance(n[x.j])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clean_parallel_pair_merges_to_exact_centerline(
+        n_nodes in 2usize..12,
+        sep in 2.0..12.0f64,
+        angle in 0.0..std::f64::consts::PI,
+    ) {
+        // A straight pair at an arbitrary angle.
+        let dir = Vector::new(angle.cos(), angle.sin());
+        let normal = dir.perp();
+        let a = Point::new(3.0, -2.0);
+        let p: Vec<Point> = (0..n_nodes)
+            .map(|i| a + dir * (i as f64 * 10.0) + normal * (sep / 2.0))
+            .collect();
+        let n: Vec<Point> = (0..n_nodes)
+            .map(|i| a + dir * (i as f64 * 10.0) - normal * (sep / 2.0))
+            .collect();
+        let p = Polyline::new(p);
+        let n = Polyline::new(n);
+        let merged = merge_pair(&PairGeometry::new(&p, &n, sep)).unwrap();
+        // The median is the centerline.
+        for &pt in merged.median.points() {
+            prop_assert!(p.distance_to_point(pt) - sep / 2.0 < 1e-6);
+            prop_assert!((p.distance_to_point(pt) - n.distance_to_point(pt)).abs() < 1e-6);
+        }
+        prop_assert!(merged.unpaired_p.is_empty());
+        prop_assert!(merged.unpaired_n.is_empty());
+        prop_assert!((merged.length_skew).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_round_trip_distance(
+        seed in proptest::collection::vec(-4.0..4.0f64, 1..10),
+        sep in 2.0..10.0f64,
+    ) {
+        let m = Polyline::new(walk(&seed, 12.0));
+        if let Some((p, n)) = restore_pair(&m, sep) {
+            // Mid-segment samples of each side sit sep/2 from the median.
+            for seg in p.segments() {
+                let q = seg.midpoint();
+                prop_assert!((m.distance_to_point(q) - sep / 2.0).abs() < 0.5);
+            }
+            // The two sides never cross each other.
+            prop_assert!(p.distance_to_polyline(&n) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tiny_patterns_always_filtered(
+        base_x in 20.0..60.0f64,
+        bump_w in 1.0..4.0f64,
+        extra in 0.1..3.0f64,
+    ) {
+        let sep = 6.0;
+        // Bump depth beyond the filter threshold.
+        let bump_h = (std::f64::consts::SQRT_2 - 1.0) * sep + extra;
+        let p = Polyline::new(vec![Point::new(0.0, 3.0), Point::new(100.0, 3.0)]);
+        let n = Polyline::new(vec![
+            Point::new(0.0, -3.0),
+            Point::new(base_x, -3.0),
+            Point::new(base_x, -3.0 - bump_h),
+            Point::new(base_x + bump_w, -3.0 - bump_h),
+            Point::new(base_x + bump_w, -3.0),
+            Point::new(100.0, -3.0),
+        ]);
+        let merged = merge_pair(&PairGeometry::new(&p, &n, sep)).unwrap();
+        // Bump-top nodes filtered; median undisturbed.
+        prop_assert!(merged.unpaired_n.contains(&2));
+        prop_assert!(merged.unpaired_n.contains(&3));
+        for &pt in merged.median.points() {
+            prop_assert!(pt.y.abs() < 1.0, "median shifted to {pt}");
+        }
+    }
+}

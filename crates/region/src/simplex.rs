@@ -1,0 +1,490 @@
+//! Dense two-phase simplex solver.
+//!
+//! The assignment LPs this crate builds are small (regions × traces
+//! variables, tens to a few thousand), so a dense tableau with Bland's rule
+//! is simple, exact enough, and fast. Implemented from scratch — no external
+//! solver dependency.
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// One linear constraint over the LP's variables.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Dense coefficient row (length = number of variables).
+    pub coeffs: Vec<f64>,
+    /// Relation to the right-hand side.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Number of decision variables (all constrained `≥ 0`).
+    pub n_vars: usize,
+    /// Objective coefficients (length = `n_vars`).
+    pub objective: Vec<f64>,
+    /// `true` to minimize the objective, `false` to maximize.
+    pub minimize: bool,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal variable assignment.
+        x: Vec<f64>,
+        /// Objective value at `x`.
+        value: f64,
+    },
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `lp` with the two-phase simplex method (Bland's anti-cycling
+/// rule).
+///
+/// # Panics
+///
+/// Panics if a constraint row's length differs from `lp.n_vars` or the
+/// objective length differs from `lp.n_vars`.
+///
+/// ```
+/// use meander_region::{Constraint, LinearProgram, LpOutcome, Relation};
+/// // maximize x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6
+/// let lp = LinearProgram {
+///     n_vars: 2,
+///     objective: vec![1.0, 1.0],
+///     minimize: false,
+///     constraints: vec![
+///         Constraint { coeffs: vec![1.0, 2.0], rel: Relation::Le, rhs: 4.0 },
+///         Constraint { coeffs: vec![3.0, 1.0], rel: Relation::Le, rhs: 6.0 },
+///     ],
+/// };
+/// match meander_region::simplex::solve(&lp) {
+///     LpOutcome::Optimal { value, .. } => assert!((value - 2.8).abs() < 1e-6),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    assert_eq!(lp.objective.len(), lp.n_vars, "objective length mismatch");
+    for c in &lp.constraints {
+        assert_eq!(c.coeffs.len(), lp.n_vars, "constraint length mismatch");
+    }
+
+    let m = lp.constraints.len();
+    let n = lp.n_vars;
+
+    // Normalize to rhs ≥ 0.
+    let rows: Vec<Constraint> = lp
+        .constraints
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                Constraint {
+                    coeffs: c.coeffs.iter().map(|v| -v).collect(),
+                    rel: match c.rel {
+                        Relation::Le => Relation::Ge,
+                        Relation::Ge => Relation::Le,
+                        Relation::Eq => Relation::Eq,
+                    },
+                    rhs: -c.rhs,
+                }
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+
+    // Column layout: [decision | slack/surplus | artificial | rhs].
+    let n_slack = rows
+        .iter()
+        .filter(|c| matches!(c.rel, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|c| matches!(c.rel, Relation::Ge | Relation::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    let mut art_cols = Vec::with_capacity(n_art);
+
+    for (r, c) in rows.iter().enumerate() {
+        t[r][..n].copy_from_slice(&c.coeffs);
+        t[r][total] = c.rhs;
+        match c.rel {
+            Relation::Le => {
+                t[r][s_idx] = 1.0;
+                basis[r] = s_idx;
+                s_idx += 1;
+            }
+            Relation::Ge => {
+                t[r][s_idx] = -1.0;
+                s_idx += 1;
+                t[r][a_idx] = 1.0;
+                basis[r] = a_idx;
+                art_cols.push(a_idx);
+                a_idx += 1;
+            }
+            Relation::Eq => {
+                t[r][a_idx] = 1.0;
+                basis[r] = a_idx;
+                art_cols.push(a_idx);
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials.
+    if !art_cols.is_empty() {
+        let mut cost = vec![0.0f64; total + 1];
+        for &ac in &art_cols {
+            cost[ac] = 1.0;
+        }
+        // Reduced costs: subtract rows whose basis is artificial.
+        let mut z = vec![0.0f64; total + 1];
+        for (r, &b) in basis.iter().enumerate() {
+            if cost[b] != 0.0 {
+                for k in 0..=total {
+                    z[k] += cost[b] * t[r][k];
+                }
+            }
+        }
+        let mut red: Vec<f64> = (0..=total).map(|k| cost[k] - z[k]).collect();
+        if !pivot_loop(&mut t, &mut basis, &mut red, total) {
+            return LpOutcome::Unbounded; // cannot happen in phase 1
+        }
+        let phase1_obj = -red[total];
+        if phase1_obj > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial variables out of the basis.
+        for r in 0..m {
+            if art_cols.contains(&basis[r]) {
+                if let Some(j) = (0..n + n_slack).find(|&j| t[r][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, &mut red, r, j, total);
+                } else {
+                    // Redundant row; leave the artificial at value 0.
+                }
+            }
+        }
+    }
+
+    // Phase 2: optimize the real objective (as minimization).
+    let sign = if lp.minimize { 1.0 } else { -1.0 };
+    let mut cost = vec![0.0f64; total + 1];
+    for j in 0..n {
+        cost[j] = sign * lp.objective[j];
+    }
+    // Forbid re-entry of artificials.
+    for &ac in &art_cols {
+        cost[ac] = f64::INFINITY;
+    }
+    let mut z = vec![0.0f64; total + 1];
+    for (r, &b) in basis.iter().enumerate() {
+        let cb = if cost[b].is_finite() { cost[b] } else { 0.0 };
+        if cb != 0.0 {
+            for k in 0..=total {
+                z[k] += cb * t[r][k];
+            }
+        }
+    }
+    let mut red: Vec<f64> = (0..=total)
+        .map(|k| {
+            if cost[k].is_finite() {
+                cost[k] - z[k]
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    if !pivot_loop(&mut t, &mut basis, &mut red, total) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0f64; n];
+    for (r, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[r][total];
+        }
+    }
+    let value: f64 = lp
+        .objective
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    LpOutcome::Optimal { x, value }
+}
+
+/// Runs simplex pivots until optimal (returns `true`) or unbounded
+/// (`false`). `red` is the reduced-cost row; minimization convention.
+fn pivot_loop(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    red: &mut [f64],
+    total: usize,
+) -> bool {
+    let m = t.len();
+    let mut iters = 0usize;
+    let max_iters = 50_000 + 100 * (m + total);
+    loop {
+        iters += 1;
+        if iters > max_iters {
+            // Numerical stall fallback: treat as optimal at current vertex.
+            return true;
+        }
+        // Bland's rule: smallest index with negative reduced cost.
+        let Some(j) = (0..total).find(|&j| red[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test.
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if t[r][j] > EPS {
+                let ratio = t[r][total] / t[r][j];
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || ((ratio - bratio).abs() <= EPS && basis[r] < basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = best else {
+            return false; // unbounded
+        };
+        pivot(t, basis, red, r, j, total);
+    }
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    red: &mut [f64],
+    r: usize,
+    j: usize,
+    total: usize,
+) {
+    let m = t.len();
+    let piv = t[r][j];
+    for k in 0..=total {
+        t[r][k] /= piv;
+    }
+    for rr in 0..m {
+        if rr != r && t[rr][j].abs() > EPS {
+            let f = t[rr][j];
+            for k in 0..=total {
+                t[rr][k] -= f * t[r][k];
+            }
+        }
+    }
+    if red[j].is_finite() && red[j].abs() > 0.0 || red[j] == 0.0 {
+        let f = red[j];
+        if f.is_finite() && f != 0.0 {
+            for k in 0..=total {
+                if red[k].is_finite() {
+                    red[k] -= f * t[r][k];
+                }
+            }
+        }
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint { coeffs, rel: Relation::Le, rhs }
+    }
+    fn ge(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint { coeffs, rel: Relation::Ge, rhs }
+    }
+    fn eq(coeffs: Vec<f64>, rhs: f64) -> Constraint {
+        Constraint { coeffs, rel: Relation::Eq, rhs }
+    }
+
+    fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
+        match solve(lp) {
+            LpOutcome::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![3.0, 5.0],
+            minimize: false,
+            constraints: vec![
+                le(vec![1.0, 0.0], 4.0),
+                le(vec![0.0, 2.0], 12.0),
+                le(vec![3.0, 2.0], 18.0),
+            ],
+        };
+        let (x, v) = optimal(&lp);
+        assert!((v - 36.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0) value 8.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![2.0, 3.0],
+            minimize: true,
+            constraints: vec![ge(vec![1.0, 1.0], 4.0), ge(vec![1.0, 0.0], 1.0)],
+        };
+        let (x, v) = optimal(&lp);
+        assert!((v - 8.0).abs() < 1e-6, "x={x:?} v={v}");
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x ≤ 4 → y=(6-x)/2, obj x + 3 - x/2 = 3 + x/2 → x=0,y=3.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 1.0],
+            minimize: true,
+            constraints: vec![eq(vec![1.0, 2.0], 6.0), le(vec![1.0, 0.0], 4.0)],
+        };
+        let (x, v) = optimal(&lp);
+        assert!((v - 3.0).abs() < 1e-6);
+        assert!((x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: true,
+            constraints: vec![le(vec![1.0], 1.0), ge(vec![1.0], 2.0)],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with x ≥ 0 only.
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: false,
+            constraints: vec![ge(vec![1.0], 0.0)],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y ≤ -2  ⇔  y - x ≥ 2; min y s.t. that and x ≥ 0 → x=0, y=2.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![0.0, 1.0],
+            minimize: true,
+            constraints: vec![le(vec![1.0, -1.0], -2.0)],
+        };
+        let (x, v) = optimal(&lp);
+        assert!((v - 2.0).abs() < 1e-6, "x={x:?}");
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate vertex (classic cycling example structure).
+        let lp = LinearProgram {
+            n_vars: 4,
+            objective: vec![-0.75, 150.0, -0.02, 6.0],
+            minimize: true,
+            constraints: vec![
+                le(vec![0.25, -60.0, -0.04, 9.0], 0.0),
+                le(vec![0.5, -90.0, -0.02, 3.0], 0.0),
+                le(vec![0.0, 0.0, 1.0, 0.0], 1.0),
+            ],
+        };
+        let (_, v) = optimal(&lp);
+        assert!((v - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_shaped_feasibility() {
+        // 2 regions × 2 traces, cap = [10, 10], req = [8, 8];
+        // region 0 neighbors both, region 1 neighbors trace 1 only.
+        // x00 + x01 ≤ 10, x11 ≤ 10, x00 ≥ 8, x01 + x11 ≥ 8.
+        let lp = LinearProgram {
+            n_vars: 3, // x00, x01, x11
+            objective: vec![1.0, 1.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                le(vec![1.0, 1.0, 0.0], 10.0),
+                le(vec![0.0, 0.0, 1.0], 10.0),
+                ge(vec![1.0, 0.0, 0.0], 8.0),
+                ge(vec![0.0, 1.0, 1.0], 8.0),
+            ],
+        };
+        let (x, v) = optimal(&lp);
+        assert!((v - 16.0).abs() < 1e-6);
+        assert!(x[0] >= 8.0 - 1e-9);
+        assert!(x[0] + x[1] <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_assignment() {
+        // cap 10 shared by two traces needing 8 each with no alternative.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![0.0, 0.0],
+            minimize: true,
+            constraints: vec![
+                le(vec![1.0, 1.0], 10.0),
+                ge(vec![1.0, 0.0], 8.0),
+                ge(vec![0.0, 1.0], 8.0),
+            ],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_mode() {
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![0.0, 0.0],
+            minimize: true,
+            constraints: vec![ge(vec![1.0, 1.0], 3.0), le(vec![1.0, 0.0], 5.0), le(vec![0.0, 1.0], 5.0)],
+        };
+        let (x, _) = optimal(&lp);
+        assert!(x[0] + x[1] >= 3.0 - 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the simplex solver and the assignment stage.
+
+use meander_region::{solve_lp_for_bench, Constraint, LinearProgram, LpOutcome, Relation};
+use proptest::prelude::*;
+
+/// Checks that a claimed-optimal solution satisfies every constraint.
+fn feasible(lp: &LinearProgram, x: &[f64]) -> bool {
+    if x.iter().any(|&v| v < -1e-7) {
+        return false;
+    }
+    lp.constraints.iter().all(|c| {
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        match c.rel {
+            Relation::Le => lhs <= c.rhs + 1e-6,
+            Relation::Ge => lhs >= c.rhs - 1e-6,
+            Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn optimal_solutions_are_feasible(
+        n in 1usize..5,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3.0..3.0f64, 5), 0.0..20.0f64),
+            1..6
+        ),
+        obj in proptest::collection::vec(-2.0..2.0f64, 5),
+    ) {
+        // Random ≤-constraints with non-negative rhs are always feasible
+        // (x = 0 works); the solver must agree and return a feasible point.
+        let lp = LinearProgram {
+            n_vars: n,
+            objective: obj[..n].to_vec(),
+            minimize: true,
+            constraints: rows
+                .iter()
+                .map(|(coeffs, rhs)| Constraint {
+                    coeffs: coeffs[..n].to_vec(),
+                    rel: Relation::Le,
+                    rhs: *rhs,
+                })
+                .collect(),
+        };
+        match meander_region::simplex::solve(&lp) {
+            LpOutcome::Optimal { x, value } => {
+                prop_assert!(feasible(&lp, &x));
+                let recomputed: f64 =
+                    lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+                prop_assert!((recomputed - value).abs() < 1e-6);
+                // Minimization with x = 0 feasible ⇒ optimum ≤ 0.
+                prop_assert!(value <= 1e-6);
+            }
+            LpOutcome::Unbounded => {
+                // Possible when some objective coefficient is negative and
+                // that variable is unconstrained upward.
+            }
+            LpOutcome::Infeasible => {
+                prop_assert!(false, "x = 0 is feasible; solver said infeasible");
+            }
+        }
+    }
+
+    #[test]
+    fn demand_supply_lps_solve_consistently(size in 2usize..7) {
+        match solve_lp_for_bench(size) {
+            LpOutcome::Optimal { x, value } => {
+                prop_assert!(x.iter().all(|&v| v >= -1e-7));
+                // Total granted equals total demanded at the optimum of a
+                // min-total-grant assignment.
+                let demand = 3.0 * size as f64 * size as f64;
+                prop_assert!((value - demand).abs() < 1e-4, "value {value} vs demand {demand}");
+            }
+            other => prop_assert!(false, "fixture must be optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightened_ge_eventually_infeasible(cap in 1.0..10.0f64, demand in 0.1..30.0f64) {
+        // One resource of `cap` shared by two consumers demanding `demand`
+        // each: feasible iff 2·demand ≤ cap.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint { coeffs: vec![1.0, 1.0], rel: Relation::Le, rhs: cap },
+                Constraint { coeffs: vec![1.0, 0.0], rel: Relation::Ge, rhs: demand },
+                Constraint { coeffs: vec![0.0, 1.0], rel: Relation::Ge, rhs: demand },
+            ],
+        };
+        let out = meander_region::simplex::solve(&lp);
+        if 2.0 * demand <= cap - 1e-6 {
+            prop_assert!(matches!(out, LpOutcome::Optimal { .. }), "{out:?}");
+        } else if 2.0 * demand > cap + 1e-6 {
+            prop_assert!(matches!(out, LpOutcome::Infeasible), "{out:?}");
+        }
+    }
+}

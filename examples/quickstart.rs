@@ -1,0 +1,69 @@
+//! Quickstart: match two traces to a common length.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a two-trace board, asks the router to bring the short trace up to
+//! the long one's length, and verifies the result with the DRC checker.
+
+use meander::core::{match_board_group, ExtendConfig};
+use meander::geom::{Point, Polyline, Rect};
+use meander::layout::{Board, MatchGroup, RoutableArea, Trace};
+
+fn main() {
+    // A 400×120 board with two roughly-parallel traces of different length.
+    let mut board = Board::new(Rect::new(Point::new(0.0, 0.0), Point::new(400.0, 120.0)));
+
+    let long = board.add_trace(Trace::new(
+        "CLK",
+        Polyline::new(vec![Point::new(10.0, 30.0), Point::new(390.0, 30.0)]),
+        4.0,
+    ));
+    let short = board.add_trace(Trace::new(
+        "DATA",
+        Polyline::new(vec![Point::new(100.0, 90.0), Point::new(390.0, 90.0)]),
+        4.0,
+    ));
+
+    // Each trace may meander inside its own corridor.
+    board.set_area(
+        long,
+        RoutableArea::from_polygon(meander::geom::Polygon::rectangle(
+            Point::new(0.0, 0.0),
+            Point::new(400.0, 60.0),
+        )),
+    );
+    board.set_area(
+        short,
+        RoutableArea::from_polygon(meander::geom::Polygon::rectangle(
+            Point::new(90.0, 60.0),
+            Point::new(400.0, 120.0),
+        )),
+    );
+
+    // Match both to the longest member (CLK, 380 units).
+    board.add_group(MatchGroup::new("grp", vec![long, short]));
+
+    let report = match_board_group(&mut board, 0, &ExtendConfig::default());
+
+    println!("target length: {:.3}", report.target);
+    for t in &report.traces {
+        println!(
+            "  trace {}: {:.3} → {:.3} ({} patterns)",
+            t.id, t.initial, t.achieved, t.patterns
+        );
+    }
+    println!("max error: {:.4}%", report.max_error() * 100.0);
+    println!("avg error: {:.4}%", report.avg_error() * 100.0);
+
+    let violations = board.check();
+    if violations.is_empty() {
+        println!("DRC: clean");
+    } else {
+        for v in &violations {
+            println!("DRC violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}
