@@ -34,6 +34,7 @@ fn bench_dp_kernel(c: &mut Criterion) {
                     min_width_steps: 8,
                     max_width_steps: 48,
                     height: &height,
+                    height_cap: f64::INFINITY,
                     config: &config,
                 })
             })
@@ -76,7 +77,9 @@ fn bench_dtw(c: &mut Criterion) {
     let mut group = c.benchmark_group("dtw");
     for n in [16usize, 64, 256] {
         let p: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 3.0)).collect();
-        let q: Vec<Point> = (0..n + 7).map(|i| Point::new(i as f64 * 0.97, -3.0)).collect();
+        let q: Vec<Point> = (0..n + 7)
+            .map(|i| Point::new(i as f64 * 0.97, -3.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| dtw_match(&p, &q))
         });

@@ -1,0 +1,331 @@
+//! Performance baseline: times the matching flow and the DRC scan on the
+//! paper's cases plus the large stress board, for each engine configuration,
+//! and emits `BENCH_PR1.json` — the first point of the repo's performance
+//! trajectory (every future perf PR appends a `BENCH_PR<n>.json` measured
+//! the same way).
+//!
+//! ```text
+//! cargo run --release -p meander-bench --bin baseline [out.json]
+//! ```
+//!
+//! Configurations:
+//!
+//! * `naive`       — rebuild-per-iteration engine, serial driver
+//! * `incremental` — indexed engine, serial driver
+//! * `parallel`    — indexed engine, parallel driver
+//!
+//! The headline number is `speedup_incremental = naive / incremental` on
+//! the group-matching wall clock, and `speedup_drc = brute / indexed` on
+//! the post-matching violation scan.
+
+use meander_core::extend::{extend_trace, ExtendInput};
+use meander_core::{match_board_group, ExtendConfig};
+use meander_drc::{check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry};
+use meander_layout::gen::{stress_board, table1_case, table2_case};
+use meander_layout::Board;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn naive_config() -> ExtendConfig {
+    ExtendConfig {
+        incremental: false,
+        parallel: false,
+        ..ExtendConfig::default()
+    }
+}
+
+fn incremental_config() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        ..ExtendConfig::default()
+    }
+}
+
+fn parallel_config() -> ExtendConfig {
+    ExtendConfig::default()
+}
+
+struct CaseRow {
+    name: String,
+    naive_s: f64,
+    incremental_s: f64,
+    parallel_s: f64,
+    max_err_pct: f64,
+    patterns: usize,
+}
+
+fn time_match<F: Fn() -> Board>(make: F, config: &ExtendConfig) -> (f64, f64, usize) {
+    let mut board = make();
+    let t0 = Instant::now();
+    let report = match_board_group(&mut board, 0, config);
+    let secs = t0.elapsed().as_secs_f64();
+    let patterns = report.traces.iter().map(|t| t.patterns).sum();
+    (secs, report.max_error() * 100.0, patterns)
+}
+
+fn run_case<F: Fn() -> Board>(name: &str, make: F) -> CaseRow {
+    let (naive_s, _, _) = time_match(&make, &naive_config());
+    let (incremental_s, max_err_pct, patterns) = time_match(&make, &incremental_config());
+    let (parallel_s, _, _) = time_match(&make, &parallel_config());
+    let row = CaseRow {
+        name: name.to_string(),
+        naive_s,
+        incremental_s,
+        parallel_s,
+        max_err_pct,
+        patterns,
+    };
+    println!(
+        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  parallel {:>9.4}s  (x{:.1} / x{:.1})  maxerr {:.2}%",
+        row.name,
+        row.naive_s,
+        row.incremental_s,
+        row.parallel_s,
+        row.naive_s / row.incremental_s.max(1e-12),
+        row.naive_s / row.parallel_s.max(1e-12),
+        row.max_err_pct
+    );
+    row
+}
+
+struct ExtendRow {
+    name: String,
+    naive_s: f64,
+    incremental_s: f64,
+    iterations: usize,
+    patterns: usize,
+}
+
+fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
+    let case = table2_case(case_no);
+    let trace = case.board.trace(case.trace).expect("trace").clone();
+    let area = case
+        .board
+        .area(case.trace)
+        .expect("area")
+        .polygons()
+        .to_vec();
+    let obstacles: Vec<meander_geom::Polygon> = case
+        .board
+        .obstacles()
+        .iter()
+        .map(|o| o.polygon().clone())
+        .collect();
+    let rules = *trace.rules();
+    let target = trace.length() * 50.0;
+    let input = ExtendInput {
+        trace: trace.centerline(),
+        target,
+        rules: &rules,
+        area: &area,
+        obstacles: &obstacles,
+    };
+    let long_run = |mut c: ExtendConfig| {
+        c.max_iterations = 2000;
+        c
+    };
+
+    let t0 = Instant::now();
+    let slow = extend_trace(&input, &long_run(naive_config()));
+    let naive_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let fast = extend_trace(&input, &long_run(incremental_config()));
+    let incremental_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        slow.patterns, fast.patterns,
+        "{name}: engines must agree on pattern count"
+    );
+    println!(
+        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  (x{:.1})  {} iters, {} patterns",
+        name,
+        naive_s,
+        incremental_s,
+        naive_s / incremental_s.max(1e-12),
+        fast.iterations,
+        fast.patterns
+    );
+    ExtendRow {
+        name: name.to_string(),
+        naive_s,
+        incremental_s,
+        iterations: fast.iterations,
+        patterns: fast.patterns,
+    }
+}
+
+struct DrcRow {
+    name: String,
+    brute_s: f64,
+    indexed_s: f64,
+    violations: usize,
+    segments: usize,
+}
+
+fn run_drc_case(name: &str, board: &Board) -> DrcRow {
+    let input = CheckInput {
+        traces: board
+            .traces()
+            .map(|(id, t)| TraceGeometry {
+                id: id.0,
+                centerline: t.centerline().clone(),
+                width: t.width(),
+                rules: *t.rules(),
+                area: board
+                    .area(id)
+                    .map(|a| a.polygons().to_vec())
+                    .unwrap_or_default(),
+                coupled_with: vec![],
+            })
+            .collect(),
+        obstacles: board
+            .obstacles()
+            .iter()
+            .map(|o| o.polygon().clone())
+            .collect(),
+    };
+    let segments: usize = input
+        .traces
+        .iter()
+        .map(|t| t.centerline.segment_count())
+        .sum();
+
+    let t0 = Instant::now();
+    let brute = check_layout_brute(&input);
+    let brute_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let indexed = check_layout_indexed(&input);
+    let indexed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(brute, indexed, "{name}: DRC paths must agree exactly");
+    println!(
+        "{:<18} brute {:>9.4}s  indexed {:>9.4}s  (x{:.1})  {} segments, {} violations",
+        name,
+        brute_s,
+        indexed_s,
+        brute_s / indexed_s.max(1e-12),
+        segments,
+        brute.len()
+    );
+    DrcRow {
+        name: name.to_string(),
+        brute_s,
+        indexed_s,
+        violations: brute.len(),
+        segments,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+
+    println!("== group matching (naive vs incremental vs parallel) ==");
+    let mut rows: Vec<CaseRow> = Vec::new();
+    for case_no in 1..=5usize {
+        rows.push(run_case(&format!("table1:{case_no}"), || {
+            table1_case(case_no).board
+        }));
+    }
+    rows.push(run_case("stress:small", || {
+        stress_board(12, 30, 200, 11).board
+    }));
+    rows.push(run_case("stress:large", || {
+        stress_board(16, 40, 300, 12).board
+    }));
+
+    println!("\n== single-trace extension (table2 upper-bound hunts) ==");
+    let mut extend_rows: Vec<ExtendRow> = Vec::new();
+    for case_no in 1..=6usize {
+        extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
+    }
+
+    println!("\n== DRC scan on matched boards (brute vs indexed) ==");
+    let mut drc_rows: Vec<DrcRow> = Vec::new();
+    for (name, mut board) in [
+        ("table1:4", table1_case(4).board),
+        ("stress:large", stress_board(16, 40, 300, 12).board),
+    ] {
+        let _ = match_board_group(&mut board, 0, &parallel_config());
+        drc_rows.push(run_drc_case(name, &board));
+    }
+
+    // Headline: geometric-mean speedups.
+    let gmean =
+        |xs: &[f64]| -> f64 { (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp() };
+    let match_speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.naive_s / r.incremental_s.max(1e-12))
+        .collect();
+    let drc_speedups: Vec<f64> = drc_rows
+        .iter()
+        .map(|r| r.brute_s / r.indexed_s.max(1e-12))
+        .collect();
+    println!(
+        "\ngeomean speedup: matching x{:.1}, drc x{:.1}",
+        gmean(&match_speedups),
+        gmean(&drc_speedups)
+    );
+
+    // ---- JSON emission (hand-rolled; no serde offline). ------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/1\",");
+    let _ = writeln!(j, "  \"pr\": 1,");
+    let _ = writeln!(
+        j,
+        "  \"geomean_matching_speedup\": {:.3},",
+        gmean(&match_speedups)
+    );
+    let _ = writeln!(j, "  \"geomean_drc_speedup\": {:.3},", gmean(&drc_speedups));
+    let _ = writeln!(j, "  \"group_matching\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_incremental\": {:.3}, \"speedup_parallel\": {:.3}, \"max_err_pct\": {:.4}, \"patterns\": {}}}{}",
+            r.name,
+            r.naive_s,
+            r.incremental_s,
+            r.parallel_s,
+            r.naive_s / r.incremental_s.max(1e-12),
+            r.naive_s / r.parallel_s.max(1e-12),
+            r.max_err_pct,
+            r.patterns,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"single_trace_extension\": [");
+    for (i, r) in extend_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"speedup\": {:.3}, \"iterations\": {}, \"patterns\": {}}}{}",
+            r.name,
+            r.naive_s,
+            r.incremental_s,
+            r.naive_s / r.incremental_s.max(1e-12),
+            r.iterations,
+            r.patterns,
+            if i + 1 < extend_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"drc_scan\": [");
+    for (i, r) in drc_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"case\": \"{}\", \"brute_s\": {:.6}, \"indexed_s\": {:.6}, \"speedup\": {:.3}, \"segments\": {}, \"violations\": {}}}{}",
+            r.name,
+            r.brute_s,
+            r.indexed_s,
+            r.brute_s / r.indexed_s.max(1e-12),
+            r.segments,
+            r.violations,
+            if i + 1 < drc_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

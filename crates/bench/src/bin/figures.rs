@@ -43,7 +43,11 @@ fn main() {
         report.max_error() * 100.0,
         report.avg_error() * 100.0
     );
-    save(dir, "fig14a_table1_case1_result", &render_board(&case.board, &style));
+    save(
+        dir,
+        "fig14a_table1_case1_result",
+        &render_board(&case.board, &style),
+    );
 
     // ---- Fig. 14b: any-direction functionality. ------------------------
     let mut bus = any_angle_bus(4, Angle::from_degrees(17.0));
@@ -144,13 +148,13 @@ fn main() {
     for m in &merged.matches {
         let a = p0.points()[m.i];
         let b = n0.points()[m.j];
-        lines.push((
-            Polyline::new(vec![a, b]),
-            "#f06292",
-            0.3,
-        ));
+        lines.push((Polyline::new(vec![a, b]), "#f06292", 0.3));
     }
-    save(dir, "fig13_msdtw_matching", &render_scene(&lines, &[], 1000.0));
+    save(
+        dir,
+        "fig13_msdtw_matching",
+        &render_scene(&lines, &[], 1000.0),
+    );
 
     // Fig. 16a: original pair (white) + merged median (green).
     save(

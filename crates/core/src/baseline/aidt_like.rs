@@ -34,7 +34,12 @@ use std::time::Instant;
 /// midline when *every* segment pair couples — and `None` the moment the
 /// pair is imperfectly coupled, which is exactly the fragility the paper
 /// describes (Sec. V-A).
-pub fn parallel_check_merge(p: &Polyline, n: &Polyline, sep: f64, samples: usize) -> Option<Polyline> {
+pub fn parallel_check_merge(
+    p: &Polyline,
+    n: &Polyline,
+    sep: f64,
+    samples: usize,
+) -> Option<Polyline> {
     if p.segment_count() != n.segment_count() {
         return None;
     }
@@ -68,11 +73,7 @@ pub fn parallel_check_merge(p: &Polyline, n: &Polyline, sep: f64, samples: usize
 /// # Panics
 ///
 /// Panics if `group_idx` is out of range.
-pub fn match_group_aidt(
-    board: &mut Board,
-    group_idx: usize,
-    config: &ExtendConfig,
-) -> GroupReport {
+pub fn match_group_aidt(board: &mut Board, group_idx: usize, config: &ExtendConfig) -> GroupReport {
     let group: MatchGroup = board.groups()[group_idx].clone();
     let lengths = board.group_lengths(&group);
     let target = group.resolve_target(&lengths);
@@ -98,7 +99,11 @@ pub fn match_group_aidt(
         }
         let pair = board.pair_of(id).cloned();
         match pair {
-            Some(pair) if group.members().contains(&pair.partner(id).expect("involved")) => {
+            Some(pair)
+                if group
+                    .members()
+                    .contains(&pair.partner(id).expect("involved")) =>
+            {
                 let (p_id, n_id) = (pair.p(), pair.n());
                 done.insert(p_id);
                 done.insert(n_id);

@@ -118,10 +118,7 @@ pub fn extend_trace_fixed(
             continue;
         }
         if opts.uniform_amplitude {
-            let h_uniform = slots
-                .iter()
-                .map(|s| s.3)
-                .fold(f64::INFINITY, f64::min);
+            let h_uniform = slots.iter().map(|s| s.3).fold(f64::INFINITY, f64::min);
             for s in &mut slots {
                 s.3 = h_uniform;
             }
@@ -208,7 +205,11 @@ mod tests {
             &ExtendConfig::default(),
             &FixedTrackOptions::default(),
         );
-        assert!((out.achieved - 260.0).abs() <= 0.26 + 1e-6, "{}", out.achieved);
+        assert!(
+            (out.achieved - 260.0).abs() <= 0.26 + 1e-6,
+            "{}",
+            out.achieved
+        );
         assert!(!out.trace.is_self_intersecting());
     }
 

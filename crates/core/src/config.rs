@@ -31,6 +31,20 @@ pub struct ExtendConfig {
     /// Minimum segment length worth re-queueing, as a multiple of
     /// `dprotect`.
     pub requeue_min_protect: f64,
+    /// Use the incremental engine: per-trace world index, windowed context
+    /// construction, stable segment ids, and an incrementally maintained
+    /// trace length. Off falls back to the naive rebuild-per-iteration
+    /// pipeline (kept as the reference for equivalence tests and the
+    /// before/after benchmark).
+    pub incremental: bool,
+    /// Process independent traces (and groups) of a matching run on worker
+    /// threads. Results are written back in deterministic order, so under
+    /// the model's invariant that a trace belongs to at most one group,
+    /// outputs are identical with the flag on or off. (Boards violating
+    /// that invariant are unsupported: the batched parallel path snapshots
+    /// all groups before matching, while the serial path sees earlier
+    /// groups' write-backs.)
+    pub parallel: bool,
 }
 
 impl Default for ExtendConfig {
@@ -44,6 +58,8 @@ impl Default for ExtendConfig {
             connect_priority: true,
             requeue: true,
             requeue_min_protect: 2.0,
+            incremental: true,
+            parallel: true,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The polygon context a segment is extended against.
 
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect, Segment};
-use meander_index::{MergeSortTree, SegmentGrid};
+use meander_index::{GridScratch, MergeSortTree, SegmentGrid};
 
 /// Tiny lift above the segment line: geometry at `y ≤ Y_EPS` in pattern-side
 /// coordinates belongs to "behind the segment" and is exempt from checking
@@ -23,24 +23,124 @@ pub struct WorldContext {
 
 impl WorldContext {
     /// Builds the URA rectangles for every segment of `trace` except the
-    /// one with index `skip`, with lateral half-width `gap / 2` (the URA of
-    /// a segment per paper Fig. 6, without longitudinal extension — the
-    /// along-trace spacing constraints are enforced by the DP transition
-    /// rules instead).
+    /// one with index `skip`, with lateral half-width `gap / 2`.
     pub fn trace_uras(trace: &Polyline, skip: usize, gap: f64) -> Vec<Polygon> {
         let mut out = Vec::with_capacity(trace.segment_count().saturating_sub(1));
         for (i, seg) in trace.segments().enumerate() {
-            if i == skip || seg.is_degenerate() {
+            if i == skip {
                 continue;
             }
-            let frame = Frame::from_segment(&seg).expect("non-degenerate");
-            let local = Polygon::rectangle(
-                Point::new(0.0, -gap / 2.0),
-                Point::new(seg.length(), gap / 2.0),
-            );
-            out.push(frame.polygon_to_world(&local));
+            if let Some(ura) = segment_ura(&seg, gap) {
+                out.push(ura);
+            }
         }
         out
+    }
+}
+
+/// The URA rectangle of one segment in world space: lateral half-width
+/// `gap / 2` (paper Fig. 6), without longitudinal extension — the
+/// along-trace spacing constraints are enforced by the DP transition rules
+/// instead. `None` for degenerate segments. Both engines build their
+/// other-segment constraints through this single definition.
+pub fn segment_ura(seg: &Segment, gap: f64) -> Option<Polygon> {
+    if seg.is_degenerate() {
+        return None;
+    }
+    let frame = Frame::from_segment(seg).expect("non-degenerate");
+    let local = Polygon::rectangle(
+        Point::new(0.0, -gap / 2.0),
+        Point::new(seg.length(), gap / 2.0),
+    );
+    Some(frame.polygon_to_world(&local))
+}
+
+/// Immutable, per-trace spatial index over the *static* world geometry
+/// (routable-area borders and inflated obstacles, in world coordinates).
+///
+/// The naive pipeline re-clones and re-transforms every polygon on every
+/// queue pop; this index is built **once per trace** and each iteration asks
+/// it only for the polygons that can reach the popped segment's candidate
+/// window, so [`ShrinkContext`] construction becomes output-sensitive.
+#[derive(Debug)]
+pub struct WorldIndex {
+    /// Area polygons first, then obstacle polygons.
+    polys: Vec<Polygon>,
+    /// Number of leading area polygons.
+    n_area: usize,
+    /// Per-polygon bounding boxes.
+    bboxes: Vec<Rect>,
+    /// Uniform grid over every static polygon edge.
+    edge_grid: SegmentGrid,
+    /// Edge id → owning polygon id.
+    edge_owner: Vec<u32>,
+}
+
+impl WorldIndex {
+    /// Indexes `area` + `obstacles` with grid cell size `cell`.
+    pub fn build(area: &[Polygon], obstacles: &[Polygon], cell: f64) -> Self {
+        let polys: Vec<Polygon> = area.iter().chain(obstacles.iter()).cloned().collect();
+        let bboxes: Vec<Rect> = polys.iter().map(|p| p.bbox()).collect();
+        let mut edge_grid = SegmentGrid::new(cell.max(1e-6));
+        let mut edge_owner = Vec::new();
+        for (k, poly) in polys.iter().enumerate() {
+            for e in poly.edges() {
+                edge_grid.insert(edge_owner.len() as u32, &e);
+                edge_owner.push(k as u32);
+            }
+        }
+        WorldIndex {
+            polys,
+            n_area: area.len(),
+            bboxes,
+            edge_grid,
+            edge_owner,
+        }
+    }
+
+    /// The indexed polygons (areas first).
+    #[inline]
+    pub fn polys(&self) -> &[Polygon] {
+        &self.polys
+    }
+
+    /// `true` when polygon `k` is a routable-area border.
+    #[inline]
+    pub fn is_area(&self, k: u32) -> bool {
+        (k as usize) < self.n_area
+    }
+
+    /// Ids of static polygons that can interact with `window`, ascending.
+    ///
+    /// Area polygons are matched by bounding box (containment matters even
+    /// when their edges are far away); obstacles are matched through the
+    /// edge grid (a polygon with a node or a crossing edge inside the
+    /// window always has an edge whose bbox overlaps it). A conservative
+    /// superset: the shrinking stages run their exact predicates on
+    /// whatever is returned.
+    pub fn candidates(
+        &self,
+        window: &Rect,
+        scratch: &mut GridScratch,
+        edge_buf: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        for k in 0..self.n_area {
+            if self.bboxes[k].intersects(window) {
+                out.push(k as u32);
+            }
+        }
+        self.edge_grid.query_scratch(window, scratch, edge_buf);
+        let first_obstacle = out.len();
+        for &e in edge_buf.iter() {
+            let owner = self.edge_owner[e as usize];
+            if !self.is_area(owner) {
+                out.push(owner);
+            }
+        }
+        out[first_obstacle..].sort_unstable();
+        out.dedup();
     }
 }
 
@@ -109,6 +209,68 @@ impl ShrinkContext {
             }
         }
 
+        Self::assemble(polygons, is_area, area_local, seg_len)
+    }
+
+    /// Builds **both** side contexts from pre-filtered world geometry,
+    /// transforming every vertex into the local frame exactly once.
+    ///
+    /// `world` + `static_ids` name the static polygons near the candidate
+    /// window (see [`WorldIndex::candidates`]); `other_uras` are the URA
+    /// rectangles of the trace's nearby other segments, already in world
+    /// coordinates. Equivalent to two [`ShrinkContext::build`] calls over
+    /// the same polygon set.
+    pub fn build_sides(
+        world: &WorldIndex,
+        static_ids: &[u32],
+        other_uras: &[Polygon],
+        frame: &Frame,
+        seg_len: f64,
+    ) -> (ShrinkContext, ShrinkContext) {
+        // One transform pass: local "up-side" coordinates; the down side
+        // mirrors y afterwards.
+        let mut local: Vec<(Vec<Point>, bool)> = Vec::with_capacity(static_ids.len());
+        for &k in static_ids {
+            let verts: Vec<Point> = world.polys()[k as usize]
+                .vertices()
+                .iter()
+                .map(|&p| frame.to_local(p))
+                .collect();
+            local.push((verts, world.is_area(k)));
+        }
+        for ura in other_uras {
+            let verts: Vec<Point> = ura.vertices().iter().map(|&p| frame.to_local(p)).collect();
+            local.push((verts, false));
+        }
+
+        let build_one = |flip: f64| -> ShrinkContext {
+            let mut polygons: Vec<Polygon> = Vec::new();
+            let mut is_area = Vec::new();
+            let mut area_local = Vec::new();
+            for (verts, area) in &local {
+                let side: Vec<Point> = verts.iter().map(|&p| Point::new(p.x, p.y * flip)).collect();
+                if *area {
+                    area_local.push(Polygon::new(side.clone()));
+                    polygons.push(Polygon::new(side));
+                    is_area.push(true);
+                } else if let Some(clipped) = Polygon::new(side).clipped_above(Y_EPS) {
+                    polygons.push(clipped);
+                    is_area.push(false);
+                }
+            }
+            ShrinkContext::assemble(polygons, is_area, area_local, seg_len)
+        };
+
+        (build_one(1.0), build_one(-1.0))
+    }
+
+    /// Builds the query structures over side-local polygons.
+    fn assemble(
+        polygons: Vec<Polygon>,
+        is_area: Vec<bool>,
+        area_local: Vec<Polygon>,
+        seg_len: f64,
+    ) -> Self {
         let mut nodes = Vec::new();
         let mut edges = Vec::new();
         let mut edge_owner = Vec::new();

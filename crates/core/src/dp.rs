@@ -73,6 +73,12 @@ pub struct DpInput<'a> {
     /// Maximum height closure: `height(lo, hi, dir)` returns the tallest
     /// legal pattern with feet at points `lo`/`hi` on side `dir`, or 0.
     pub height: &'a dyn Fn(usize, usize, i8) -> f64,
+    /// Upper bound the height closure can never exceed
+    /// (`f64::INFINITY` when unknown). Purely an optimization: candidate
+    /// transitions that cannot beat the incumbent state even at this cap
+    /// skip the (expensive) height query without changing the optimum or
+    /// the tie-breaking.
+    pub height_cap: f64,
     /// Engine configuration (tie-breaking priority).
     pub config: &'a ExtendConfig,
 }
@@ -129,9 +135,9 @@ pub fn extend_segment_dp(input: &DpInput<'_>) -> DpOutcome {
             let w_hi = input.max_width_steps.min(i);
             for w in input.min_width_steps..=w_hi {
                 let j = i - w; // left foot
-                // Head-stub legality: whatever the transition, the piece of
-                // original segment left of the foot is at least the stub to
-                // the segment start; it must be ≥ d_protect or empty.
+                               // Head-stub legality: whatever the transition, the piece of
+                               // original segment left of the foot is at least the stub to
+                               // the segment start; it must be ≥ d_protect or empty.
                 if j != 0 && j < input.protect_steps {
                     continue;
                 }
@@ -182,6 +188,12 @@ pub fn extend_segment_dp(input: &DpInput<'_>) -> DpOutcome {
                 let Some((base, pi, pd, connected)) = best else {
                     continue;
                 };
+
+                // Even a cap-height pattern cannot beat (or tie) the
+                // incumbent: skip the height query.
+                if base + input.height_cap < dp[i][d] - 1e-12 {
+                    continue;
+                }
 
                 let h = (input.height)(j, i, dir_sign(d));
                 if h <= 0.0 {
@@ -255,6 +267,7 @@ mod tests {
             min_width_steps: gap_steps.max(1),
             max_width_steps: 64,
             height,
+            height_cap: f64::INFINITY,
             config: &config,
         })
     }

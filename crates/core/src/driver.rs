@@ -1,9 +1,21 @@
 //! Group-level driver: length-match a whole matching group on a board,
 //! routing differential pairs through MSDTW (paper Fig. 2's flow).
+//!
+//! Matching is organized in **units** — a single-ended trace or one
+//! differential pair. Units never read each other's meandered geometry (each
+//! trace extends inside its own routable area against the shared static
+//! obstacles), so a unit is a pure function of its gathered inputs. That
+//! makes the driver embarrassingly parallel: with
+//! [`ExtendConfig::parallel`] the units of a group (and, in
+//! [`match_all_groups`], of *all* groups) fan out over worker threads, and
+//! results are written back in declaration order so the output is identical
+//! to the serial run.
 
 use crate::config::ExtendConfig;
-use crate::extend::{extend_trace, ExtendInput};
+use crate::extend::{extend_trace, ExtendInput, ExtendOutcome};
+use crate::par::par_map;
 use meander_drc::virtualize_rules;
+use meander_geom::{Polygon, Polyline};
 use meander_layout::{Board, MatchGroup, TraceId};
 use meander_msdtw::{merge_pair, restore_pair, PairGeometry};
 use std::collections::HashSet;
@@ -31,7 +43,9 @@ pub struct GroupReport {
     pub target: f64,
     /// Per-trace outcomes.
     pub traces: Vec<TraceReport>,
-    /// Wall-clock runtime of the matching.
+    /// Wall-clock runtime of the matching. In the batched parallel path of
+    /// [`match_all_groups`] this is the summed busy time of the group's
+    /// units (wall time is shared across groups there).
     pub runtime: Duration,
 }
 
@@ -57,6 +71,244 @@ impl GroupReport {
     }
 }
 
+/// One unit of matching work, gathered from the board up front.
+#[derive(Debug, Clone)]
+struct UnitInput {
+    target: f64,
+    kind: UnitKind,
+}
+
+#[derive(Debug, Clone)]
+enum UnitKind {
+    Single {
+        id: TraceId,
+        trace: Polyline,
+        rules: meander_drc::DesignRules,
+        area: Vec<Polygon>,
+    },
+    Pair {
+        p: TraceId,
+        n: TraceId,
+        p0: Polyline,
+        n0: Polyline,
+        sep: f64,
+        scales: Vec<f64>,
+        rules: meander_drc::DesignRules,
+        area: Vec<Polygon>,
+    },
+}
+
+/// A unit's computed result, to be applied to the board in order.
+#[derive(Debug)]
+struct UnitOutput {
+    /// Busy time spent computing this unit.
+    busy: Duration,
+    updates: Vec<(TraceId, Polyline)>,
+    reports: Vec<TraceReport>,
+}
+
+/// Plans the units of `group` in member-declaration order.
+fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInput> {
+    let mut units = Vec::new();
+    let mut done: HashSet<TraceId> = HashSet::new();
+    for &id in group.members() {
+        if done.contains(&id) {
+            continue;
+        }
+        let pair = board.pair_of(id).cloned();
+        match pair {
+            Some(pair)
+                if group
+                    .members()
+                    .contains(&pair.partner(id).expect("involved")) =>
+            {
+                let (p_id, n_id) = (pair.p(), pair.n());
+                done.insert(p_id);
+                done.insert(n_id);
+                let p0 = board.trace(p_id).expect("pair trace").centerline().clone();
+                let n0 = board.trace(n_id).expect("pair trace").centerline().clone();
+                let rules = *board.trace(p_id).expect("pair trace").rules();
+                let area = board
+                    .area(p_id)
+                    .map(|a| a.polygons().to_vec())
+                    .unwrap_or_default();
+                // Distance-rule ladder: pair pitch plus any DRA gap values
+                // (the multi-scale input of Alg. 3).
+                let mut scales = vec![pair.sep()];
+                for ra in board.rule_areas() {
+                    scales.push(ra.rules().gap);
+                }
+                units.push(UnitInput {
+                    target,
+                    kind: UnitKind::Pair {
+                        p: p_id,
+                        n: n_id,
+                        p0,
+                        n0,
+                        sep: pair.sep(),
+                        scales,
+                        rules,
+                        area,
+                    },
+                });
+            }
+            _ => {
+                done.insert(id);
+                units.push(UnitInput {
+                    target,
+                    kind: UnitKind::Single {
+                        id,
+                        trace: board.trace(id).expect("group member").centerline().clone(),
+                        rules: *board.trace(id).expect("group member").rules(),
+                        area: board
+                            .area(id)
+                            .map(|a| a.polygons().to_vec())
+                            .unwrap_or_default(),
+                    },
+                });
+            }
+        }
+    }
+    units
+}
+
+fn extend_pure(
+    id: TraceId,
+    trace: &Polyline,
+    rules: &meander_drc::DesignRules,
+    area: &[Polygon],
+    obstacles: &[Polygon],
+    target: f64,
+    config: &ExtendConfig,
+) -> (TraceReport, ExtendOutcome) {
+    let out = extend_trace(
+        &ExtendInput {
+            trace,
+            target,
+            rules,
+            area,
+            obstacles,
+        },
+        config,
+    );
+    (
+        TraceReport {
+            id,
+            initial: trace.length(),
+            achieved: out.achieved,
+            patterns: out.patterns,
+            via_msdtw: false,
+        },
+        out,
+    )
+}
+
+/// Runs one unit against the shared obstacle set. Pure: no board access.
+fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> UnitOutput {
+    let start = Instant::now();
+    let mut updates = Vec::new();
+    let mut reports = Vec::new();
+    match &unit.kind {
+        UnitKind::Single {
+            id,
+            trace,
+            rules,
+            area,
+        } => {
+            let (report, out) =
+                extend_pure(*id, trace, rules, area, obstacles, unit.target, config);
+            updates.push((*id, out.trace));
+            reports.push(report);
+        }
+        UnitKind::Pair {
+            p,
+            n,
+            p0,
+            n0,
+            sep,
+            scales,
+            rules,
+            area,
+        } => {
+            let geom = PairGeometry::with_scales(p0, n0, scales.clone());
+            let mut merged_ok = false;
+            if let Ok(merged) = merge_pair(&geom) {
+                let vrules = virtualize_rules(rules, *sep);
+                let out = extend_trace(
+                    &ExtendInput {
+                        trace: &merged.median,
+                        target: unit.target,
+                        rules: &vrules,
+                        area,
+                        obstacles,
+                    },
+                    config,
+                );
+                if let Some((new_p, new_n)) = restore_pair(&out.trace, *sep) {
+                    let (lp, ln) = (new_p.length(), new_n.length());
+                    updates.push((*p, new_p));
+                    updates.push((*n, new_n));
+                    reports.push(TraceReport {
+                        id: *p,
+                        initial: p0.length(),
+                        achieved: lp,
+                        patterns: out.patterns,
+                        via_msdtw: true,
+                    });
+                    reports.push(TraceReport {
+                        id: *n,
+                        initial: n0.length(),
+                        achieved: ln,
+                        patterns: out.patterns,
+                        via_msdtw: true,
+                    });
+                    merged_ok = true;
+                }
+                // Restoration failed: fall through to independent extension.
+            }
+            if !merged_ok {
+                // Degenerate pair: independent extension fallback.
+                for (sub, trace) in [(*p, p0), (*n, n0)] {
+                    let (report, out) =
+                        extend_pure(sub, trace, rules, area, obstacles, unit.target, config);
+                    updates.push((sub, out.trace));
+                    reports.push(report);
+                }
+            }
+        }
+    }
+    UnitOutput {
+        busy: start.elapsed(),
+        updates,
+        reports,
+    }
+}
+
+/// Applies unit outputs to the board in order, collecting reports.
+fn apply_outputs(board: &mut Board, outputs: Vec<UnitOutput>) -> (Vec<TraceReport>, Duration) {
+    let mut reports = Vec::new();
+    let mut busy = Duration::ZERO;
+    for out in outputs {
+        busy += out.busy;
+        for (id, centerline) in out.updates {
+            board
+                .trace_mut(id)
+                .expect("planned trace")
+                .set_centerline(centerline);
+        }
+        reports.extend(out.reports);
+    }
+    (reports, busy)
+}
+
+fn gather_obstacles(board: &Board) -> Vec<Polygon> {
+    board
+        .obstacles()
+        .iter()
+        .map(|o| o.polygon().clone())
+        .collect()
+}
+
 /// Length-matches group `group_idx` of `board` in place.
 ///
 /// Single-ended members go straight to [`extend_trace`]. Differential-pair
@@ -64,6 +316,9 @@ impl GroupReport {
 /// virtual DRC ([`meander_drc::virtualize_rules`]), and restored; if the
 /// merge fails (degenerate pair) the sub-traces fall back to independent
 /// extension.
+///
+/// With [`ExtendConfig::parallel`], the group's units run on worker
+/// threads; the result is identical to the serial run.
 ///
 /// # Panics
 ///
@@ -78,98 +333,17 @@ pub fn match_board_group(
     let target = group.resolve_target(&lengths);
     let start = Instant::now();
 
-    let obstacles: Vec<meander_geom::Polygon> = board
-        .obstacles()
-        .iter()
-        .map(|o| o.polygon().clone())
-        .collect();
-
-    let mut reports = Vec::new();
-    let mut done: HashSet<TraceId> = HashSet::new();
-
-    for &id in group.members() {
-        if done.contains(&id) {
-            continue;
-        }
-        let pair = board.pair_of(id).cloned();
-        match pair {
-            Some(pair) if group.members().contains(&pair.partner(id).expect("involved")) => {
-                let (p_id, n_id) = (pair.p(), pair.n());
-                done.insert(p_id);
-                done.insert(n_id);
-                let p0 = board.trace(p_id).expect("pair trace").centerline().clone();
-                let n0 = board.trace(n_id).expect("pair trace").centerline().clone();
-                let rules = *board.trace(p_id).expect("pair trace").rules();
-                let area = board
-                    .area(p_id)
-                    .map(|a| a.polygons().to_vec())
-                    .unwrap_or_default();
-
-                // Distance-rule ladder: pair pitch plus any DRA gap values
-                // (the multi-scale input of Alg. 3).
-                let mut scales = vec![pair.sep()];
-                for ra in board.rule_areas() {
-                    scales.push(ra.rules().gap);
-                }
-                let geom = PairGeometry::with_scales(&p0, &n0, scales);
-
-                match merge_pair(&geom) {
-                    Ok(merged) => {
-                        let vrules = virtualize_rules(&rules, pair.sep());
-                        let median_target = target;
-                        let out = extend_trace(
-                            &ExtendInput {
-                                trace: &merged.median,
-                                target: median_target,
-                                rules: &vrules,
-                                area: &area,
-                                obstacles: &obstacles,
-                            },
-                            config,
-                        );
-                        if let Some((new_p, new_n)) = restore_pair(&out.trace, pair.sep()) {
-                            let (lp, ln) = (new_p.length(), new_n.length());
-                            board
-                                .trace_mut(p_id)
-                                .expect("pair trace")
-                                .set_centerline(new_p);
-                            board
-                                .trace_mut(n_id)
-                                .expect("pair trace")
-                                .set_centerline(new_n);
-                            reports.push(TraceReport {
-                                id: p_id,
-                                initial: p0.length(),
-                                achieved: lp,
-                                patterns: out.patterns,
-                                via_msdtw: true,
-                            });
-                            reports.push(TraceReport {
-                                id: n_id,
-                                initial: n0.length(),
-                                achieved: ln,
-                                patterns: out.patterns,
-                                via_msdtw: true,
-                            });
-                            continue;
-                        }
-                        // Restoration failed: fall through to independent
-                        // extension below.
-                    }
-                    Err(_) => {
-                        // Degenerate pair: independent extension fallback.
-                    }
-                }
-                for sub in [p_id, n_id] {
-                    reports.push(extend_single(board, sub, target, &obstacles, config));
-                }
-            }
-            _ => {
-                done.insert(id);
-                reports.push(extend_single(board, id, target, &obstacles, config));
-            }
-        }
-    }
+    let obstacles = gather_obstacles(board);
+    let units = plan_units(board, &group, target);
+    let outputs: Vec<UnitOutput> = if config.parallel && units.len() > 1 {
+        par_map(&units, |u| run_unit(u, &obstacles, config))
+    } else {
+        units
+            .iter()
+            .map(|u| run_unit(u, &obstacles, config))
+            .collect()
+    };
+    let (reports, _busy) = apply_outputs(board, outputs);
 
     GroupReport {
         target,
@@ -181,11 +355,51 @@ pub fn match_board_group(
 /// Length-matches every group of the board in declaration order, returning
 /// one report per group.
 ///
-/// Groups are independent in this model (a trace should belong to at most
-/// one group); each is driven through [`match_board_group`].
+/// Groups are independent in this model (a trace **must** belong to at
+/// most one group — the batched path below snapshots every group's inputs
+/// before any write-back, so a trace shared between groups would see
+/// different geometry than the serial path). With
+/// [`ExtendConfig::parallel`] the units of **all** groups fan out as one
+/// batch, so a board with many small groups parallelizes as well as one
+/// big group; each group's reported runtime is then its summed unit busy
+/// time.
 pub fn match_all_groups(board: &mut Board, config: &ExtendConfig) -> Vec<GroupReport> {
-    (0..board.groups().len())
-        .map(|gi| match_board_group(board, gi, config))
+    let n_groups = board.groups().len();
+    if !config.parallel {
+        return (0..n_groups)
+            .map(|gi| match_board_group(board, gi, config))
+            .collect();
+    }
+
+    // Gather every group's units up front.
+    let obstacles = gather_obstacles(board);
+    let mut group_units: Vec<(f64, usize)> = Vec::with_capacity(n_groups);
+    let mut flat: Vec<UnitInput> = Vec::new();
+    for gi in 0..n_groups {
+        let group: MatchGroup = board.groups()[gi].clone();
+        let lengths = board.group_lengths(&group);
+        let target = group.resolve_target(&lengths);
+        let mut units = plan_units(board, &group, target);
+        group_units.push((target, units.len()));
+        flat.append(&mut units);
+    }
+
+    let mut outputs: std::collections::VecDeque<UnitOutput> =
+        par_map(&flat, |u| run_unit(u, &obstacles, config)).into();
+
+    group_units
+        .into_iter()
+        .map(|(target, n_units)| {
+            let taken: Vec<UnitOutput> = (0..n_units)
+                .map(|_| outputs.pop_front().expect("one output per unit"))
+                .collect();
+            let (reports, busy) = apply_outputs(board, taken);
+            GroupReport {
+                target,
+                traces: reports,
+                runtime: busy,
+            }
+        })
         .collect()
 }
 
@@ -222,44 +436,6 @@ pub fn miter_group(board: &mut Board, group_idx: usize) -> Vec<(TraceId, f64)> {
         deltas.push((id, after - before));
     }
     deltas
-}
-
-fn extend_single(
-    board: &mut Board,
-    id: TraceId,
-    target: f64,
-    obstacles: &[meander_geom::Polygon],
-    config: &ExtendConfig,
-) -> TraceReport {
-    let trace = board.trace(id).expect("group member").centerline().clone();
-    let rules = *board.trace(id).expect("group member").rules();
-    let area = board
-        .area(id)
-        .map(|a| a.polygons().to_vec())
-        .unwrap_or_default();
-    let out = extend_trace(
-        &ExtendInput {
-            trace: &trace,
-            target,
-            rules: &rules,
-            area: &area,
-            obstacles,
-        },
-        config,
-    );
-    let achieved = out.achieved;
-    let patterns = out.patterns;
-    board
-        .trace_mut(id)
-        .expect("group member")
-        .set_centerline(out.trace);
-    TraceReport {
-        id,
-        initial: trace.length(),
-        achieved,
-        patterns,
-        via_msdtw: false,
-    }
 }
 
 #[cfg(test)]
@@ -358,8 +534,16 @@ mod tests {
                 meander_geom::Point::new(210.0, 200.0),
             )),
         );
-        board.add_group(meander_layout::MatchGroup::with_target("ga", vec![a], 260.0));
-        board.add_group(meander_layout::MatchGroup::with_target("gb", vec![b], 240.0));
+        board.add_group(meander_layout::MatchGroup::with_target(
+            "ga",
+            vec![a],
+            260.0,
+        ));
+        board.add_group(meander_layout::MatchGroup::with_target(
+            "gb",
+            vec![b],
+            240.0,
+        ));
 
         let reports = match_all_groups(&mut board, &ExtendConfig::default());
         assert_eq!(reports.len(), 2);
@@ -369,6 +553,39 @@ mod tests {
             assert!(r.max_error() < 1e-2, "group err {:.4}", r.max_error());
         }
         assert!(board.check().is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial_cfg = ExtendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let parallel_cfg = ExtendConfig {
+            parallel: true,
+            ..Default::default()
+        };
+        for case_no in [1usize, 5] {
+            let mut serial = table1_case(case_no);
+            let mut parallel = table1_case(case_no);
+            let rs = match_board_group(&mut serial.board, 0, &serial_cfg);
+            let rp = match_board_group(&mut parallel.board, 0, &parallel_cfg);
+            assert_eq!(rs.traces.len(), rp.traces.len());
+            for (a, b) in rs.traces.iter().zip(&rp.traces) {
+                assert_eq!(a.id, b.id, "case {case_no}: report order diverged");
+                assert_eq!(a.patterns, b.patterns);
+                assert!(
+                    (a.achieved - b.achieved).abs() < 1e-12,
+                    "case {case_no}: trace {:?} diverged",
+                    a.id
+                );
+            }
+            // Geometry identical too.
+            for (id, t) in serial.board.traces() {
+                let other = parallel.board.trace(id).unwrap();
+                assert_eq!(t.centerline(), other.centerline(), "case {case_no}");
+            }
+        }
     }
 
     #[test]
@@ -398,8 +615,7 @@ mod tests {
                         .filter(|&i| {
                             let a = pl.segment(i - 1).direction().unwrap();
                             let c = pl.segment(i).direction().unwrap();
-                            a.cross(c).atan2(a.dot(c)).abs()
-                                >= std::f64::consts::FRAC_PI_2 - 1e-6
+                            a.cross(c).atan2(a.dot(c)).abs() >= std::f64::consts::FRAC_PI_2 - 1e-6
                         })
                         .count()
                 })

@@ -1,12 +1,27 @@
 //! Trace-level extension: the queue-driven Alg. 1.
+//!
+//! Two engines implement the same algorithm:
+//!
+//! * [`extend_trace_incremental`] (default) builds the world geometry index
+//!   **once per trace**, re-transforms only the polygons near each popped
+//!   segment's candidate window, tracks segments by stable id, and maintains
+//!   the trace length incrementally — the per-iteration cost is governed by
+//!   local geometry, not by how much meander has accumulated.
+//! * [`extend_trace_rebuild`] re-clones and re-transforms the whole world on
+//!   every queue pop (the original pipeline). It is kept as the reference
+//!   implementation for equivalence tests and as the "before" side of the
+//!   performance baseline.
 
 use crate::config::ExtendConfig;
-use crate::context::{ShrinkContext, WorldContext};
+use crate::context::{ShrinkContext, WorldContext, WorldIndex};
 use crate::dp::{extend_segment_dp, DpInput, Placement};
 use crate::pattern::{build_local_meander, splice_meander};
-use crate::shrink::max_pattern_height;
+use crate::shrink::{max_pattern_height_scratch, ShrinkScratch};
+use crate::tracebuf::TraceBuf;
 use meander_drc::DesignRules;
-use meander_geom::{Frame, Point, Polygon, Polyline};
+use meander_geom::{Frame, Point, Polygon, Polyline, Rect};
+use meander_index::GridScratch;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Inputs for [`extend_trace`].
@@ -45,6 +60,145 @@ impl ExtendOutcome {
     }
 }
 
+/// Rule-derived constants both engines share.
+struct EngineParams {
+    tol: f64,
+    h_min: f64,
+    /// Effective centerline clearance (`d_gap` of the URA construction).
+    g_eff: f64,
+    /// Obstacles inflated to centerline terms.
+    obstacles: Vec<Polygon>,
+}
+
+impl EngineParams {
+    fn derive(input: &ExtendInput<'_>, config: &ExtendConfig) -> Self {
+        let rules = input.rules;
+        let tol = (input.target * config.tolerance).max(1e-9);
+        let h_min = rules.protect.max(1e-9);
+        // Effective clearance between trace *centerlines*: edge gap plus one
+        // trace width (two half-widths). The URA construction is phrased in
+        // centerline distances, so this is the `d_gap` it works with.
+        let g_eff = rules.gap + rules.width;
+        // Obstacles demand `d_obs + w/2` from a centerline while the URA only
+        // guarantees `g_eff/2`; inflate them by the difference.
+        let inflate = (rules.obstacle + rules.width / 2.0 - g_eff / 2.0).max(0.0);
+        let obstacles: Vec<Polygon> = input
+            .obstacles
+            .iter()
+            .map(|p| p.offset_convex(inflate))
+            .collect();
+        EngineParams {
+            tol,
+            h_min,
+            g_eff,
+            obstacles,
+        }
+    }
+}
+
+/// One segment's discretization.
+struct Disc {
+    m: usize,
+    ldisc: f64,
+    gap_steps: usize,
+    protect_steps: usize,
+}
+
+impl Disc {
+    /// `None` when the segment is too short to host any pattern.
+    fn of(
+        len: f64,
+        params: &EngineParams,
+        rules: &DesignRules,
+        config: &ExtendConfig,
+    ) -> Option<Self> {
+        // Discretization: uniform step fitting the segment exactly.
+        let ldisc_raw = config.resolve_ldisc(len, params.g_eff, rules.protect);
+        let m = (len / ldisc_raw).floor().max(1.0) as usize;
+        let ldisc = len / m as f64;
+        let gap_steps = (params.g_eff / ldisc).ceil().max(1.0) as usize;
+        let protect_steps = (rules.protect / ldisc).ceil().max(1.0) as usize;
+        if m < gap_steps {
+            return None;
+        }
+        Some(Disc {
+            m,
+            ldisc,
+            gap_steps,
+            protect_steps,
+        })
+    }
+}
+
+/// Runs the segment DP against prepared side contexts and returns the local
+/// meander replacement, or `None` when nothing legal fits.
+#[allow(clippy::too_many_arguments)]
+fn plan_segment(
+    len: f64,
+    remaining: f64,
+    disc: &Disc,
+    params: &EngineParams,
+    ctx_up: &ShrinkContext,
+    ctx_dn: &ShrinkContext,
+    config: &ExtendConfig,
+    scratch: &mut ShrinkScratch,
+) -> Option<(Polyline, usize)> {
+    let h_init = remaining / 2.0;
+    let scratch_cell = RefCell::new(scratch);
+    let height = |lo: usize, hi: usize, dir: i8| -> f64 {
+        let ctx = if dir > 0 { ctx_up } else { ctx_dn };
+        max_pattern_height_scratch(
+            ctx,
+            lo as f64 * disc.ldisc,
+            hi as f64 * disc.ldisc,
+            params.g_eff,
+            h_init,
+            params.h_min,
+            &mut scratch_cell.borrow_mut(),
+        )
+        .height
+    };
+
+    let outcome = extend_segment_dp(&DpInput {
+        m: disc.m,
+        ldisc: disc.ldisc,
+        gap_steps: disc.gap_steps,
+        protect_steps: disc.protect_steps,
+        // Hat width ≥ d_gap: a pattern's own legs are `width` apart and
+        // face each other, and same-side legs across opposite-side
+        // transitions stay ≥ d_gap apart exactly when widths do
+        // (Fig. 1 annotates d_gap between meander legs).
+        min_width_steps: disc.gap_steps,
+        max_width_steps: config.max_width_steps,
+        height: &height,
+        // No probe can exceed the shrink start height; lets the DP skip
+        // candidates that cannot beat the incumbent value.
+        height_cap: h_init,
+        config,
+    });
+    if outcome.placements.is_empty() {
+        return None;
+    }
+
+    // Trim to never overshoot the target (Alg. 1's l_trace == l_target
+    // termination needs the final pattern cut to measure).
+    let kept = trim_placements(
+        &outcome.placements,
+        remaining,
+        params.h_min,
+        params.g_eff,
+        disc.ldisc,
+        ctx_up,
+        ctx_dn,
+        &mut scratch_cell.borrow_mut(),
+    );
+    if kept.is_empty() {
+        return None;
+    }
+    let patterns = kept.len();
+    Some((build_local_meander(len, disc.ldisc, &kept), patterns))
+}
+
 /// Extends `input.trace` toward `input.target` with the DP engine
 /// (paper Alg. 1).
 ///
@@ -53,32 +207,162 @@ impl ExtendOutcome {
 /// freshly created segments (meander-on-meander). The final pattern is
 /// *trimmed* — re-shrunk at exactly the height that lands the trace on the
 /// target — so errors only remain when space runs out.
+///
+/// Dispatches on [`ExtendConfig::incremental`].
 pub fn extend_trace(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
-    let mut trace = input.trace.clone();
-    let rules = input.rules;
-    let tol = (input.target * config.tolerance).max(1e-9);
-    let h_min = rules.protect.max(1e-9);
-    // Effective clearance between trace *centerlines*: edge gap plus one
-    // trace width (two half-widths). The URA construction is phrased in
-    // centerline distances, so this is the `d_gap` it works with.
-    let g_eff = rules.gap + rules.width;
-    // Obstacles demand `d_obs + w/2` from a centerline while the URA only
-    // guarantees `g_eff/2`; inflate them by the difference.
-    let inflate = (rules.obstacle + rules.width / 2.0 - g_eff / 2.0).max(0.0);
-    let obstacles: Vec<Polygon> = input
-        .obstacles
-        .iter()
-        .map(|p| p.offset_convex(inflate))
-        .collect();
+    if config.incremental {
+        extend_trace_incremental(input, config)
+    } else {
+        extend_trace_rebuild(input, config)
+    }
+}
 
-    let mut queue: VecDeque<(Point, Point)> = trace
-        .segments()
-        .map(|s| (s.a, s.b))
-        .collect();
+/// The incremental engine (see the module docs).
+pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
+    let rules = input.rules;
+    let params = EngineParams::derive(input, config);
+    let g2 = params.g_eff / 2.0;
+
+    // Index the static world once per trace. Cell size: a few clearance
+    // units — URA windows are a handful of `d_gap` across late in a run.
+    let world_cell = (params.g_eff * 4.0).max(1.0);
+    let world = WorldIndex::build(input.area, &params.obstacles, world_cell);
+    let mut trace = TraceBuf::from_polyline(input.trace, world_cell);
+
+    let mut queue: VecDeque<u32> = (0..trace.segment_records() as u32).collect();
     let mut iterations = 0usize;
     let mut patterns = 0usize;
 
-    while trace.length() < input.target - tol
+    // Reused query state.
+    let mut static_scratch = GridScratch::new();
+    let mut trace_scratch = GridScratch::new();
+    let mut shrink_scratch = ShrinkScratch::new();
+    let mut edge_buf: Vec<u32> = Vec::new();
+    let mut static_ids: Vec<u32> = Vec::new();
+    let mut near_raw: Vec<u32> = Vec::new();
+    let mut near_ids: Vec<u32> = Vec::new();
+
+    while trace.length() < input.target - params.tol
+        && iterations < config.max_iterations
+        && !queue.is_empty()
+    {
+        iterations += 1;
+        let sid = queue.pop_front().expect("non-empty queue");
+        let Some(seg) = trace.segment(sid) else {
+            continue; // record died in a later splice
+        };
+        if seg.is_degenerate() {
+            continue;
+        }
+        let Some(frame) = Frame::from_segment(&seg) else {
+            continue;
+        };
+        let len = seg.length();
+        let remaining = input.target - trace.length();
+        if remaining < 2.0 * params.h_min {
+            break; // no legal pattern can add this little
+        }
+        let Some(disc) = Disc::of(len, &params, rules, config) else {
+            continue;
+        };
+
+        // Candidate window: everything a pattern on either side could touch
+        // — feet plus `g_eff/2` laterally, the initial outer border height
+        // vertically. Mapped to a world-space bbox for the index queries.
+        let hob_init = remaining / 2.0 + g2;
+        let window = local_window_to_world(&frame, -g2, len + g2, hob_init);
+
+        world.candidates(&window, &mut static_scratch, &mut edge_buf, &mut static_ids);
+        // URA rectangles extend g_eff/2 from their segments.
+        let ura_window = window.expanded(g2);
+        trace.nearby_segments(
+            &ura_window,
+            sid,
+            &mut trace_scratch,
+            &mut near_raw,
+            &mut near_ids,
+        );
+        let uras = uras_for(&trace, &near_ids, params.g_eff);
+
+        let (ctx_up, ctx_dn) = ShrinkContext::build_sides(&world, &static_ids, &uras, &frame, len);
+
+        let Some((local, kept)) = plan_segment(
+            len,
+            remaining,
+            &disc,
+            &params,
+            &ctx_up,
+            &ctx_dn,
+            config,
+            &mut shrink_scratch,
+        ) else {
+            continue;
+        };
+        patterns += kept;
+
+        let world_pts: Vec<Point> = local.points().iter().map(|&p| frame.to_world(p)).collect();
+        let new_ids = trace.splice(sid, &world_pts);
+
+        if config.requeue {
+            let min_len = config.requeue_min_protect * rules.protect;
+            for &nid in &new_ids {
+                let s = trace.segment(nid).expect("freshly spliced");
+                if s.length() >= min_len {
+                    queue.push_back(nid);
+                }
+            }
+        }
+    }
+
+    let out = trace.to_polyline();
+    ExtendOutcome {
+        achieved: out.length(),
+        trace: out,
+        iterations,
+        patterns,
+    }
+}
+
+/// The world-space bbox of the local rectangle `x ∈ [x0, x1]`,
+/// `y ∈ [−h, h]` (both pattern sides share one symmetric window).
+fn local_window_to_world(frame: &Frame, x0: f64, x1: f64, h: f64) -> Rect {
+    let corners = [
+        frame.to_world(Point::new(x0, -h)),
+        frame.to_world(Point::new(x1, -h)),
+        frame.to_world(Point::new(x0, h)),
+        frame.to_world(Point::new(x1, h)),
+    ];
+    Rect::from_points(corners).expect("four corners")
+}
+
+/// URA rectangles (world space) for the given live segment ids — the
+/// incremental equivalent of [`WorldContext::trace_uras`], restricted to the
+/// segments near the active window.
+fn uras_for(trace: &TraceBuf, ids: &[u32], gap: f64) -> Vec<Polygon> {
+    let mut out = Vec::with_capacity(ids.len());
+    for &sid in ids {
+        let Some(seg) = trace.segment(sid) else {
+            continue;
+        };
+        if let Some(ura) = crate::context::segment_ura(&seg, gap) {
+            out.push(ura);
+        }
+    }
+    out
+}
+
+/// The naive rebuild-per-iteration engine (the "before" reference).
+pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
+    let mut trace = input.trace.clone();
+    let rules = input.rules;
+    let params = EngineParams::derive(input, config);
+
+    let mut queue: VecDeque<(Point, Point)> = trace.segments().map(|s| (s.a, s.b)).collect();
+    let mut iterations = 0usize;
+    let mut patterns = 0usize;
+    let mut shrink_scratch = ShrinkScratch::new();
+
+    while trace.length() < input.target - params.tol
         && iterations < config.max_iterations
         && !queue.is_empty()
     {
@@ -96,78 +380,36 @@ pub fn extend_trace(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOut
         };
         let len = seg.length();
         let remaining = input.target - trace.length();
-        if remaining < 2.0 * h_min {
+        if remaining < 2.0 * params.h_min {
             break; // no legal pattern can add this little
         }
+        let Some(disc) = Disc::of(len, &params, rules, config) else {
+            continue;
+        };
 
-        // Discretization: uniform step fitting the segment exactly.
-        let ldisc_raw = config.resolve_ldisc(len, g_eff, rules.protect);
-        let m = (len / ldisc_raw).floor().max(1.0) as usize;
-        let ldisc = len / m as f64;
-        let gap_steps = (g_eff / ldisc).ceil().max(1.0) as usize;
-        let protect_steps = (rules.protect / ldisc).ceil().max(1.0) as usize;
-        if m < gap_steps {
-            continue; // too short to host any pattern
-        }
-
-        // Obstacle context for both sides.
+        // Obstacle context for both sides, rebuilt from scratch.
         let world = WorldContext {
             area: input.area.to_vec(),
-            obstacles: obstacles.clone(),
-            other_uras: WorldContext::trace_uras(&trace, seg_index, g_eff),
+            obstacles: params.obstacles.clone(),
+            other_uras: WorldContext::trace_uras(&trace, seg_index, params.g_eff),
         };
         let ctx_up = ShrinkContext::build(&world, &frame, len, 1);
         let ctx_dn = ShrinkContext::build(&world, &frame, len, -1);
 
-        let h_init = remaining / 2.0;
-        let height = |lo: usize, hi: usize, dir: i8| -> f64 {
-            let ctx = if dir > 0 { &ctx_up } else { &ctx_dn };
-            max_pattern_height(
-                ctx,
-                lo as f64 * ldisc,
-                hi as f64 * ldisc,
-                g_eff,
-                h_init,
-                h_min,
-            )
-            .height
-        };
-
-        let outcome = extend_segment_dp(&DpInput {
-            m,
-            ldisc,
-            gap_steps,
-            protect_steps,
-            // Hat width ≥ d_gap: a pattern's own legs are `width` apart and
-            // face each other, and same-side legs across opposite-side
-            // transitions stay ≥ d_gap apart exactly when widths do
-            // (Fig. 1 annotates d_gap between meander legs).
-            min_width_steps: gap_steps,
-            max_width_steps: config.max_width_steps,
-            height: &height,
-            config,
-        });
-        if outcome.placements.is_empty() {
-            continue;
-        }
-
-        // Trim to never overshoot the target (Alg. 1's l_trace == l_target
-        // termination needs the final pattern cut to measure).
-        let kept = trim_placements(
-            &outcome.placements,
+        let Some((local, kept)) = plan_segment(
+            len,
             remaining,
-            h_min,
-            g_eff,
-            ldisc,
+            &disc,
+            &params,
             &ctx_up,
             &ctx_dn,
-        );
-        if kept.is_empty() {
+            config,
+            &mut shrink_scratch,
+        ) else {
             continue;
-        }
-        patterns += kept.len();
+        };
+        patterns += kept;
 
-        let local = build_local_meander(len, ldisc, &kept);
         let (lo, hi) = splice_meander(&mut trace, seg_index, &frame, &local);
 
         if config.requeue {
@@ -207,6 +449,7 @@ fn trim_placements(
     ldisc: f64,
     ctx_up: &ShrinkContext,
     ctx_dn: &ShrinkContext,
+    scratch: &mut ShrinkScratch,
 ) -> Vec<Placement> {
     let mut kept = Vec::with_capacity(placements.len());
     let mut acc = 0.0;
@@ -220,13 +463,14 @@ fn trim_placements(
         let desired = (remaining - acc) / 2.0;
         if desired >= h_min - 1e-9 {
             let ctx = if p.dir > 0 { ctx_up } else { ctx_dn };
-            let r = max_pattern_height(
+            let r = max_pattern_height_scratch(
                 ctx,
                 p.lo as f64 * ldisc,
                 p.hi as f64 * ldisc,
                 gap,
                 desired,
                 h_min,
+                scratch,
             );
             if r.height >= h_min - 1e-9 {
                 kept.push(Placement {
@@ -265,31 +509,45 @@ mod tests {
         )]
     }
 
+    /// Both engines for every engine-level test.
+    fn engines() -> [ExtendConfig; 2] {
+        [
+            ExtendConfig::default(),
+            ExtendConfig {
+                incremental: false,
+                ..Default::default()
+            },
+        ]
+    }
+
     #[test]
     fn hits_target_exactly_in_open_space() {
         let trace = straight(200.0);
         let area = roomy_area(200.0);
         let r = rules();
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 260.0,
-                rules: &r,
-                area: &area,
-                obstacles: &[],
-            },
-            &ExtendConfig::default(),
-        );
-        assert!(
-            (out.achieved - 260.0).abs() <= 260.0 * 1e-3,
-            "achieved {} ≠ 260",
-            out.achieved
-        );
-        assert!(out.patterns >= 1);
-        assert!(!out.trace.is_self_intersecting());
-        // Endpoints preserved — the original routing contract.
-        assert!(out.trace.start().approx_eq(trace.start()));
-        assert!(out.trace.end().approx_eq(trace.end()));
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 260.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &config,
+            );
+            assert!(
+                (out.achieved - 260.0).abs() <= 260.0 * 1e-3,
+                "achieved {} ≠ 260 (incremental: {})",
+                out.achieved,
+                config.incremental
+            );
+            assert!(out.patterns >= 1);
+            assert!(!out.trace.is_self_intersecting());
+            // Endpoints preserved — the original routing contract.
+            assert!(out.trace.start().approx_eq(trace.start()));
+            assert!(out.trace.end().approx_eq(trace.end()));
+        }
     }
 
     #[test]
@@ -297,22 +555,24 @@ mod tests {
         let trace = straight(100.0);
         let area = roomy_area(100.0);
         let r = rules();
-        for target in [110.0, 130.0, 170.0, 250.0] {
-            let out = extend_trace(
-                &ExtendInput {
-                    trace: &trace,
-                    target,
-                    rules: &r,
-                    area: &area,
-                    obstacles: &[],
-                },
-                &ExtendConfig::default(),
-            );
-            assert!(
-                out.achieved <= target + 1e-6,
-                "target {target}: overshoot to {}",
-                out.achieved
-            );
+        for config in engines() {
+            for target in [110.0, 130.0, 170.0, 250.0] {
+                let out = extend_trace(
+                    &ExtendInput {
+                        trace: &trace,
+                        target,
+                        rules: &r,
+                        area: &area,
+                        obstacles: &[],
+                    },
+                    &config,
+                );
+                assert!(
+                    out.achieved <= target + 1e-6,
+                    "target {target}: overshoot to {}",
+                    out.achieved
+                );
+            }
         }
     }
 
@@ -326,30 +586,32 @@ mod tests {
             Point::new(30.0, 15.0),
             Point::new(90.0, 25.0),
         )];
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 220.0,
-                rules: &r,
-                area: &area,
-                obstacles: &obstacles,
-            },
-            &ExtendConfig::default(),
-        );
-        // DRC-verified clean result.
-        let violations = meander_drc::check_layout(&meander_drc::CheckInput {
-            traces: vec![meander_drc::TraceGeometry {
-                id: 0,
-                centerline: out.trace.clone(),
-                width: r.width,
-                rules: r,
-                area: area.clone(),
-                coupled_with: vec![],
-            }],
-            obstacles,
-        });
-        assert!(violations.is_empty(), "{violations:?}");
-        assert!(out.achieved > 120.0);
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 220.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &obstacles,
+                },
+                &config,
+            );
+            // DRC-verified clean result.
+            let violations = meander_drc::check_layout(&meander_drc::CheckInput {
+                traces: vec![meander_drc::TraceGeometry {
+                    id: 0,
+                    centerline: out.trace.clone(),
+                    width: r.width,
+                    rules: r,
+                    area: area.clone(),
+                    coupled_with: vec![],
+                }],
+                obstacles: obstacles.clone(),
+            });
+            assert!(violations.is_empty(), "{violations:?}");
+            assert!(out.achieved > 120.0);
+        }
     }
 
     #[test]
@@ -361,23 +623,25 @@ mod tests {
             Point::new(160.0, 12.0),
         )];
         let r = rules();
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 600.0,
-                rules: &r,
-                area: &area,
-                obstacles: &[],
-            },
-            &ExtendConfig::default(),
-        );
-        // Every vertex stays in the corridor; amplitude capped at
-        // 12 − (gap + width)/2 = 6.
-        for p in out.trace.points() {
-            assert!(p.y.abs() <= 6.0 + 1e-9, "pattern too tall: {p}");
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 600.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &config,
+            );
+            // Every vertex stays in the corridor; amplitude capped at
+            // 12 − (gap + width)/2 = 6.
+            for p in out.trace.points() {
+                assert!(p.y.abs() <= 6.0 + 1e-9, "pattern too tall: {p}");
+            }
+            assert!(out.achieved < 590.0, "narrow corridor cannot reach 600");
+            assert!(out.achieved > 230.0, "should still meander substantially");
         }
-        assert!(out.achieved < 590.0, "narrow corridor cannot reach 600");
-        assert!(out.achieved > 230.0, "should still meander substantially");
     }
 
     #[test]
@@ -392,24 +656,26 @@ mod tests {
         let local_area = Polygon::rectangle(Point::new(-10.0, -40.0), Point::new(190.0, 40.0));
         let area = vec![frame.polygon_to_world(&local_area)];
         let r = rules();
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 240.0,
-                rules: &r,
-                area: &area,
-                obstacles: &[],
-            },
-            &ExtendConfig::default(),
-        );
-        assert!(
-            (out.achieved - 240.0).abs() <= 240.0 * 1e-3,
-            "achieved {}",
-            out.achieved
-        );
-        assert!(!out.trace.is_self_intersecting());
-        for &p in out.trace.points() {
-            assert!(area[0].contains(p), "left rotated corridor: {p}");
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 240.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &config,
+            );
+            assert!(
+                (out.achieved - 240.0).abs() <= 240.0 * 1e-3,
+                "achieved {}",
+                out.achieved
+            );
+            assert!(!out.trace.is_self_intersecting());
+            for &p in out.trace.points() {
+                assert!(area[0].contains(p), "left rotated corridor: {p}");
+            }
         }
     }
 
@@ -425,18 +691,20 @@ mod tests {
             Point::new(130.0, 130.0),
         )];
         let r = rules();
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 320.0,
-                rules: &r,
-                area: &area,
-                obstacles: &[],
-            },
-            &ExtendConfig::default(),
-        );
-        assert!((out.achieved - 320.0).abs() <= 320.0 * 1e-3);
-        assert!(!out.trace.is_self_intersecting());
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 320.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &config,
+            );
+            assert!((out.achieved - 320.0).abs() <= 320.0 * 1e-3);
+            assert!(!out.trace.is_self_intersecting());
+        }
     }
 
     #[test]
@@ -444,18 +712,20 @@ mod tests {
         let trace = straight(100.0);
         let area = roomy_area(100.0);
         let r = rules();
-        let out = extend_trace(
-            &ExtendInput {
-                trace: &trace,
-                target: 100.0,
-                rules: &r,
-                area: &area,
-                obstacles: &[],
-            },
-            &ExtendConfig::default(),
-        );
-        assert_eq!(out.trace, trace);
-        assert_eq!(out.patterns, 0);
+        for config in engines() {
+            let out = extend_trace(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 100.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &[],
+                },
+                &config,
+            );
+            assert_eq!(out.trace, trace);
+            assert_eq!(out.patterns, 0);
+        }
     }
 
     #[test]
@@ -493,5 +763,81 @@ mod tests {
             with.achieved,
             without.achieved
         );
+    }
+
+    #[test]
+    fn engines_agree() {
+        // The incremental engine must reproduce the rebuild engine's result
+        // (same iterations/patterns; lengths equal up to float-summation
+        // order) across shapes, obstacles, and corridors.
+        let r = rules();
+        let cases: Vec<(Polyline, Vec<Polygon>, Vec<Polygon>, f64)> = vec![
+            (straight(200.0), roomy_area(200.0), vec![], 300.0),
+            (
+                straight(150.0),
+                vec![Polygon::rectangle(
+                    Point::new(-10.0, -12.0),
+                    Point::new(160.0, 12.0),
+                )],
+                vec![],
+                600.0,
+            ),
+            (
+                straight(120.0),
+                roomy_area(120.0),
+                vec![
+                    Polygon::rectangle(Point::new(30.0, 15.0), Point::new(90.0, 25.0)),
+                    Polygon::regular(Point::new(60.0, -30.0), 6.0, 8, 0.1),
+                ],
+                260.0,
+            ),
+            (
+                Polyline::new(vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(100.0, 0.0),
+                    Point::new(100.0, 100.0),
+                    Point::new(180.0, 140.0),
+                ]),
+                vec![Polygon::rectangle(
+                    Point::new(-40.0, -40.0),
+                    Point::new(220.0, 180.0),
+                )],
+                vec![Polygon::regular(Point::new(60.0, 40.0), 8.0, 6, 0.0)],
+                480.0,
+            ),
+        ];
+        for (i, (trace, area, obstacles, target)) in cases.iter().enumerate() {
+            let input = ExtendInput {
+                trace,
+                target: *target,
+                rules: &r,
+                area,
+                obstacles,
+            };
+            let fast = extend_trace_incremental(&input, &ExtendConfig::default());
+            let slow = extend_trace_rebuild(&input, &ExtendConfig::default());
+            assert_eq!(
+                fast.patterns, slow.patterns,
+                "case {i}: pattern counts diverged"
+            );
+            assert_eq!(
+                fast.iterations, slow.iterations,
+                "case {i}: iteration counts diverged"
+            );
+            assert!(
+                (fast.achieved - slow.achieved).abs() < 1e-6,
+                "case {i}: lengths diverged: {} vs {}",
+                fast.achieved,
+                slow.achieved
+            );
+            assert_eq!(
+                fast.trace.point_count(),
+                slow.trace.point_count(),
+                "case {i}: vertex counts diverged"
+            );
+            for (a, b) in fast.trace.points().iter().zip(slow.trace.points()) {
+                assert!(a.distance(*b) < 1e-6, "case {i}: geometry diverged");
+            }
+        }
     }
 }

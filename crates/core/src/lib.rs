@@ -34,8 +34,10 @@ pub mod context;
 pub mod dp;
 pub mod driver;
 pub mod extend;
+pub mod par;
 pub mod pattern;
 pub mod shrink;
+pub mod tracebuf;
 
 pub use config::ExtendConfig;
 pub use driver::{match_all_groups, match_board_group, miter_group, GroupReport, TraceReport};

@@ -141,7 +141,11 @@ mod tests {
         assert_eq!(pl.length(), 24.0);
         // The shared leg runs from +4 to −3 through (5, 0) with no
         // intermediate vertex (simplify merged the collinear legs).
-        let xs5: Vec<_> = pl.points().iter().filter(|p| (p.x - 5.0).abs() < 1e-9).collect();
+        let xs5: Vec<_> = pl
+            .points()
+            .iter()
+            .filter(|p| (p.x - 5.0).abs() < 1e-9)
+            .collect();
         assert_eq!(xs5.len(), 2, "{:?}", pl.points());
         assert!(!pl.is_self_intersecting());
     }

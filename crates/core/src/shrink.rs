@@ -20,7 +20,7 @@
 
 use crate::context::{ShrinkContext, Y_EPS};
 use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection};
-use std::collections::{BTreeMap, BTreeSet};
+use meander_index::GridScratch;
 
 /// Result of shrinking one candidate pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +32,35 @@ pub struct ShrinkResult {
     /// border — the pattern routes around an obstacle (the DP-only
     /// capability of Table II).
     pub routes_around: bool,
+}
+
+/// Reusable state for the shrinking hot loop.
+///
+/// The DP probes thousands of candidate patterns per segment, each probe a
+/// [`max_pattern_height`] call; with a scratch the per-call cost is pure
+/// query work — no `BTreeMap`/`Vec` churn. One scratch serves any number of
+/// contexts and calls.
+#[derive(Debug, Default)]
+pub struct ShrinkScratch {
+    grid: GridScratch,
+    edge_ids: Vec<u32>,
+    /// Per-polygon: nodes seen inside the outer border this pass.
+    cnt: Vec<u32>,
+    /// Per-polygon: min distance of those nodes to the segment.
+    min_d: Vec<f64>,
+    /// Per-polygon: any node outside the inner border.
+    out_inner: Vec<bool>,
+    /// Per-polygon: pushed below the border in an earlier pass.
+    removed: Vec<bool>,
+    /// Polygons with `cnt > 0` this pass.
+    touched: Vec<u32>,
+}
+
+impl ShrinkScratch {
+    /// Fresh scratch (buffers grow on demand).
+    pub fn new() -> Self {
+        ShrinkScratch::default()
+    }
 }
 
 /// Computes the maximum valid height of a pattern with feet at local
@@ -49,7 +78,22 @@ pub fn max_pattern_height(
     h_init: f64,
     h_min: f64,
 ) -> ShrinkResult {
-    max_pattern_height_opts(ctx, x0, x1, gap, h_init, h_min, true)
+    let mut scratch = ShrinkScratch::new();
+    max_pattern_height_scratch(ctx, x0, x1, gap, h_init, h_min, &mut scratch)
+}
+
+/// [`max_pattern_height`] with a caller-owned [`ShrinkScratch`] — the
+/// allocation-free variant for hot loops.
+pub fn max_pattern_height_scratch(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    scratch: &mut ShrinkScratch,
+) -> ShrinkResult {
+    max_pattern_height_opts_scratch(ctx, x0, x1, gap, h_init, h_min, true, scratch)
 }
 
 /// [`max_pattern_height`] with obstacle enclosure switchable.
@@ -65,6 +109,22 @@ pub fn max_pattern_height_opts(
     h_init: f64,
     h_min: f64,
     allow_enclose: bool,
+) -> ShrinkResult {
+    let mut scratch = ShrinkScratch::new();
+    max_pattern_height_opts_scratch(ctx, x0, x1, gap, h_init, h_min, allow_enclose, &mut scratch)
+}
+
+/// [`max_pattern_height_opts`] with a caller-owned scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn max_pattern_height_opts_scratch(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    allow_enclose: bool,
+    scratch: &mut ShrinkScratch,
 ) -> ShrinkResult {
     debug_assert!(x0 < x1, "feet must be ordered");
     let none = ShrinkResult {
@@ -84,7 +144,9 @@ pub fn max_pattern_height_opts(
     let probe_rect = Rect::new(Point::new(left, Y_EPS), Point::new(right, hob));
     let side_l = Segment::new(Point::new(left, Y_EPS), Point::new(left, hob));
     let side_r = Segment::new(Point::new(right, Y_EPS), Point::new(right, hob));
-    for id in ctx.edges_near(&probe_rect) {
+    ctx.grid
+        .query_scratch(&probe_rect, &mut scratch.grid, &mut scratch.edge_ids);
+    for &id in &scratch.edge_ids {
         let e = &ctx.edges[id as usize];
         for side in [&side_l, &side_r] {
             match segment_intersection(side, e) {
@@ -104,31 +166,70 @@ pub fn max_pattern_height_opts(
 
     // ---- Stages 2 & 3 interleaved until stable. ------------------------
     // Removed polygons are those the border has been pushed below; they can
-    // no longer constrain.
-    let mut removed: BTreeSet<u32> = BTreeSet::new();
+    // no longer constrain. Per-polygon stats accumulate in the scratch
+    // during one tree visit per pass.
+    let n = ctx.polygons.len();
+    scratch.cnt.clear();
+    scratch.cnt.resize(n, 0);
+    scratch.min_d.resize(n, f64::INFINITY);
+    scratch.out_inner.resize(n, false);
+    scratch.removed.clear();
+    scratch.removed.resize(n, false);
+    scratch.touched.clear();
+
     loop {
         let outer = Rect::new(Point::new(left, Y_EPS / 2.0), Point::new(right, hob));
-        // Group candidate nodes by polygon.
-        let mut inside: BTreeMap<u32, Vec<Point>> = BTreeMap::new();
-        for (p, &k) in ctx.tree.query(&outer) {
-            if !removed.contains(&k) {
-                inside.entry(k).or_default().push(*p);
-            }
+        // The inner border for this pass: stage 3 only runs when stage 2
+        // left `hob` untouched, so computing it up front is equivalent to
+        // the paper's post-stage-2 evaluation.
+        let inner = Rect::new(
+            Point::new(x0 + g2, g2),
+            Point::new(x1 - g2, (hob - gap).max(g2)),
+        );
+        let degenerate_inner = inner.min.x >= inner.max.x || inner.min.y >= inner.max.y;
+
+        let ShrinkScratch {
+            cnt,
+            min_d,
+            out_inner,
+            removed,
+            touched,
+            ..
+        } = &mut *scratch;
+        for &k in touched.iter() {
+            cnt[k as usize] = 0;
         }
+        touched.clear();
+        ctx.tree.for_each_in(&outer, |p, &k| {
+            let ku = k as usize;
+            if removed[ku] {
+                return;
+            }
+            if cnt[ku] == 0 {
+                touched.push(k);
+                min_d[ku] = f64::INFINITY;
+                out_inner[ku] = false;
+            }
+            cnt[ku] += 1;
+            let d = ctx.dist_seg(*p);
+            if d < min_d[ku] {
+                min_d[ku] = d;
+            }
+            if !inner.contains_strict(*p) {
+                out_inner[ku] = true;
+            }
+        });
         let mut changed = false;
 
         // Stage 2: partially-inside polygons (Eq. 12).
-        for (&k, nodes) in &inside {
-            if nodes.len() < ctx.node_count[k as usize] {
-                let d = nodes
-                    .iter()
-                    .map(|&p| ctx.dist_seg(p))
-                    .fold(f64::INFINITY, f64::min);
-                if d < hob {
-                    hob = d;
+        for &k in touched.iter() {
+            let ku = k as usize;
+            if (cnt[ku] as usize) < ctx.node_count[ku] {
+                if min_d[ku] < hob {
+                    hob = min_d[ku];
                     changed = true;
                 }
-                removed.insert(k);
+                removed[ku] = true;
             }
         }
         if hob <= g2 + 1e-12 {
@@ -139,34 +240,23 @@ pub fn max_pattern_height_opts(
         }
 
         // Stage 3: fully-inside polygons vs the inner border (Eq. 13).
-        let inner = Rect::new(
-            Point::new(x0 + g2, g2),
-            Point::new(x1 - g2, (hob - gap).max(g2)),
-        );
         let mut any_enclosed = false;
-        for (&k, nodes) in &inside {
-            if removed.contains(&k) {
+        for &k in touched.iter() {
+            let ku = k as usize;
+            if removed[ku] {
                 continue; // shrunk below during stage 2 of this pass
             }
-            debug_assert_eq!(nodes.len(), ctx.node_count[k as usize]);
-            let degenerate_inner = inner.min.x >= inner.max.x || inner.min.y >= inner.max.y;
+            debug_assert_eq!(cnt[ku] as usize, ctx.node_count[ku]);
             // Area borders are containers: a pattern can never "enclose"
             // one, so a fully-swallowed area polygon always forces a
             // shrink.
-            let escapes = !allow_enclose
-                || ctx.is_area[k as usize]
-                || degenerate_inner
-                || nodes.iter().any(|&p| !inner.contains_strict(p));
+            let escapes = !allow_enclose || ctx.is_area[ku] || degenerate_inner || out_inner[ku];
             if escapes {
-                let d = nodes
-                    .iter()
-                    .map(|&p| ctx.dist_seg(p))
-                    .fold(f64::INFINITY, f64::min);
-                if d < hob {
-                    hob = d;
+                if min_d[ku] < hob {
+                    hob = min_d[ku];
                     changed = true;
                 }
-                removed.insert(k);
+                removed[ku] = true;
             } else {
                 any_enclosed = true;
             }

@@ -1,0 +1,102 @@
+//! Performance regression guards for the incremental pipeline.
+//!
+//! These bound *behavior* (convergence within the iteration budget, engine
+//! agreement on a large board) and enforce one deliberately conservative
+//! wall-clock ratio: on a dense via-field board the incremental engine must
+//! beat the naive rebuild engine by a wide margin (release-mode baselines
+//! show up to 5×; the assertion demands far less so scheduler noise cannot
+//! flake the suite).
+
+use meander_core::{match_board_group, ExtendConfig};
+use meander_layout::gen::stress_board;
+use std::time::{Duration, Instant};
+
+fn naive() -> ExtendConfig {
+    ExtendConfig {
+        incremental: false,
+        parallel: false,
+        ..ExtendConfig::default()
+    }
+}
+
+fn incremental() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        ..ExtendConfig::default()
+    }
+}
+
+#[test]
+fn long_trace_extension_stays_within_budget() {
+    // A segment-rich board with a dense via field: the regime where the
+    // naive engine degrades quadratically. The incremental engine must
+    // converge (no iteration-cap bailout), hit the target, and finish well
+    // inside a generous wall-clock budget even in debug builds.
+    let case = stress_board(4, 20, 60, 3);
+    let mut board = case.board;
+    let t0 = Instant::now();
+    let report = match_board_group(&mut board, 0, &incremental());
+    let elapsed = t0.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(120),
+        "stress matching took {elapsed:?}"
+    );
+    assert!(
+        report.max_error() < 0.01,
+        "stress board must match: max err {:.4}",
+        report.max_error()
+    );
+    assert!(board.check().is_empty(), "{:?}", board.check());
+}
+
+#[test]
+fn incremental_beats_naive_on_dense_boards() {
+    let make = || stress_board(12, 30, 200, 5).board;
+
+    // Warm-up + correctness: both engines must agree on the outcome.
+    let mut b_naive = make();
+    let mut b_inc = make();
+    let r_naive = match_board_group(&mut b_naive, 0, &naive());
+    let r_inc = match_board_group(&mut b_inc, 0, &incremental());
+    assert_eq!(r_naive.traces.len(), r_inc.traces.len());
+    for (a, b) in r_naive.traces.iter().zip(&r_inc.traces) {
+        assert_eq!(a.patterns, b.patterns, "trace {:?}", a.id);
+        assert!(
+            (a.achieved - b.achieved).abs() < 1e-6,
+            "trace {:?}: {} vs {}",
+            a.id,
+            a.achieved,
+            b.achieved
+        );
+    }
+
+    // Timed pass, release builds only: wall-clock ratios in the regular
+    // debug `cargo test` run would be a flake vector on loaded machines
+    // (debug margin is only ~1.75×). CI runs this test again with
+    // `--release`, where the measured margin is ~2.5× on this board (and
+    // 5× on the larger baseline board) against a 1.6× bound; the bench
+    // binary (`baseline`) records the full before/after numbers.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let time3 = |config: &ExtendConfig| -> f64 {
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let mut board = make();
+                let t0 = Instant::now();
+                let _ = match_board_group(&mut board, 0, config);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times[1]
+    };
+    let t_naive = time3(&naive());
+    let t_inc = time3(&incremental());
+    let required = 1.6;
+    assert!(
+        t_naive > t_inc * required,
+        "expected ≥ {required}× speedup, got naive {t_naive:.3}s vs incremental {t_inc:.3}s"
+    );
+}

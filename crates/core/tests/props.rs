@@ -54,6 +54,7 @@ proptest! {
             min_width_steps: gap_steps,
             max_width_steps: 32,
             height: &height,
+            height_cap: f64::INFINITY,
             config: &config,
         });
         // Value == restored sum.

@@ -6,7 +6,9 @@
 
 use crate::rules::DesignRules;
 use crate::violation::Violation;
-use meander_geom::{Polygon, Polyline};
+use meander_geom::{Point, Polygon, Polyline, Segment};
+use meander_index::{GridScratch, SegmentGrid};
+use std::collections::HashMap;
 
 /// Geometry of one trace as the checker sees it.
 #[derive(Debug, Clone)]
@@ -68,6 +70,13 @@ pub struct CheckInput {
 /// assert!(check_layout(&input).is_empty());
 /// ```
 pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
+    check_layout_indexed(input)
+}
+
+/// The original all-pairs scan, kept as the reference implementation: the
+/// indexed checker must report the exact same violation list (see the
+/// property suite), and the perf baseline measures one against the other.
+pub fn check_layout_brute(input: &CheckInput) -> Vec<Violation> {
     let mut out = Vec::new();
 
     for (i, t) in input.traces.iter().enumerate() {
@@ -99,7 +108,10 @@ pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
         if !t.area.is_empty() {
             for &p in t.centerline.points() {
                 if !t.area.iter().any(|poly| poly.contains(p)) {
-                    out.push(Violation::OutsideRoutableArea { trace: t.id, near: p });
+                    out.push(Violation::OutsideRoutableArea {
+                        trace: t.id,
+                        near: p,
+                    });
                     break;
                 }
             }
@@ -113,7 +125,7 @@ pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
                 let d = obs.distance_to_segment(&seg);
                 if d < required - 1e-9 {
                     let witness = seg.midpoint();
-                    if worst.map_or(true, |(w, _)| d < w) {
+                    if worst.is_none_or(|(w, _)| d < w) {
                         worst = Some((d, witness));
                     }
                 }
@@ -152,6 +164,222 @@ pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
     }
 
     out
+}
+
+/// Output-sensitive violation scan over a [`SegmentGrid`] of all trace
+/// segments.
+///
+/// Reports **exactly** the same violation list as [`check_layout_brute`]
+/// (same order, same values, same witnesses) — the property suite asserts
+/// equality on randomized boards — but replaces the `O(T²·S²)` trace–trace
+/// and `O(T·O·S)` trace–obstacle scans with windowed candidate queries:
+///
+/// * every segment is registered once in a uniform world grid keyed by a
+///   global id that ascends in `(trace, segment)` order, so candidate
+///   iteration visits pairs in the same order as the brute-force scan and
+///   strict-minimum witness selection agrees bit-for-bit;
+/// * an obstacle only tests segments inside its bbox inflated by the
+///   largest clearance any trace demands;
+/// * a trace segment only tests other-trace segments within the largest
+///   pair clearance, and the closest-pair search returns its witness
+///   directly instead of re-scanning (`closest_witness` is gone);
+/// * self-intersection uses a per-trace grid, which matters once meandered
+///   traces carry hundreds of segments.
+pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
+    let traces = &input.traces;
+
+    // Per-trace segment lists and the global grid.
+    let segs: Vec<Vec<Segment>> = traces
+        .iter()
+        .map(|t| t.centerline.segments().collect())
+        .collect();
+    let total_segs: usize = segs.iter().map(Vec::len).sum();
+    let offsets: Vec<usize> = segs
+        .iter()
+        .scan(0usize, |acc, s| {
+            let o = *acc;
+            *acc += s.len();
+            Some(o)
+        })
+        .collect();
+    let trace_of: Vec<u32> = segs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| std::iter::repeat_n(i as u32, s.len()))
+        .collect();
+
+    let max_obs_required = traces
+        .iter()
+        .map(|t| t.rules.centerline_obstacle())
+        .fold(0.0f64, f64::max);
+    let max_gap = traces.iter().map(|t| t.rules.gap).fold(0.0f64, f64::max);
+    let max_width = traces.iter().map(|t| t.width).fold(0.0f64, f64::max);
+    let max_pair_required = max_gap + max_width;
+    let mean_seg_len = if total_segs == 0 {
+        1.0
+    } else {
+        segs.iter()
+            .flat_map(|s| s.iter())
+            .map(Segment::length)
+            .sum::<f64>()
+            / total_segs as f64
+    };
+    let cell = mean_seg_len
+        .max(max_obs_required)
+        .max(max_pair_required)
+        .max(1e-6);
+
+    let mut grid = SegmentGrid::new(cell);
+    for (i, list) in segs.iter().enumerate() {
+        for (si, seg) in list.iter().enumerate() {
+            grid.insert((offsets[i] + si) as u32, seg);
+        }
+    }
+    let mut scratch = GridScratch::new();
+    let mut candidates: Vec<u32> = Vec::new();
+
+    // --- Trace–obstacle pass (grouped per obstacle, emitted per trace). ---
+    let mut obs_worst: HashMap<(usize, usize), (f64, Point)> = HashMap::new();
+    for (oi, obs) in input.obstacles.iter().enumerate() {
+        let window = obs.bbox().expanded(max_obs_required);
+        grid.query_scratch(&window, &mut scratch, &mut candidates);
+        for &gid in &candidates {
+            let i = trace_of[gid as usize] as usize;
+            let seg = &segs[i][gid as usize - offsets[i]];
+            let required = traces[i].rules.centerline_obstacle();
+            let d = obs.distance_to_segment(seg);
+            if d < required - 1e-9 {
+                let e = obs_worst.entry((i, oi)).or_insert((f64::INFINITY, seg.a));
+                if d < e.0 {
+                    *e = (d, seg.midpoint());
+                }
+            }
+        }
+    }
+
+    // --- Trace–trace pass (grouped per pair, emitted per first trace). ----
+    let mut pair_best: HashMap<(usize, usize), (f64, Point)> = HashMap::new();
+    for (i, t) in traces.iter().enumerate() {
+        for seg in &segs[i] {
+            let window = seg.bbox().expanded(max_pair_required);
+            grid.query_scratch(&window, &mut scratch, &mut candidates);
+            for &gid in &candidates {
+                let j = trace_of[gid as usize] as usize;
+                if j <= i {
+                    continue;
+                }
+                let u = &traces[j];
+                if t.coupled_with.contains(&u.id) || u.coupled_with.contains(&t.id) {
+                    continue;
+                }
+                let other = &segs[j][gid as usize - offsets[j]];
+                let d = seg.distance_to_segment(other);
+                let e = pair_best.entry((i, j)).or_insert((f64::INFINITY, seg.a));
+                if d < e.0 {
+                    *e = (d, seg.midpoint());
+                }
+            }
+        }
+    }
+
+    // --- Emission, in the brute-force nesting order. ----------------------
+    let mut out = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        // 3. dprotect on simplified centerline.
+        let mut simplified = t.centerline.clone();
+        simplified.simplify();
+        for (si, seg) in simplified.segments().enumerate() {
+            let len = seg.length();
+            if len < t.rules.protect - 1e-9 && !is_chamfer(&simplified, si) {
+                out.push(Violation::ShortSegment {
+                    trace: t.id,
+                    segment: si,
+                    actual: len,
+                    required: t.rules.protect,
+                });
+            }
+        }
+
+        // 4. Self-intersection (indexed; same predicate as
+        //    `Polyline::is_self_intersecting`).
+        if self_intersects_indexed(&segs[i], mean_seg_len.max(1e-6)) {
+            out.push(Violation::SelfIntersection { trace: t.id });
+        }
+
+        // 5. Containment.
+        if !t.area.is_empty() {
+            for &p in t.centerline.points() {
+                if !t.area.iter().any(|poly| poly.contains(p)) {
+                    out.push(Violation::OutsideRoutableArea {
+                        trace: t.id,
+                        near: p,
+                    });
+                    break;
+                }
+            }
+        }
+
+        // 2. Obstacles.
+        for oi in 0..input.obstacles.len() {
+            if let Some(&(actual, near)) = obs_worst.get(&(i, oi)) {
+                out.push(Violation::TraceObstacleClearance {
+                    trace: t.id,
+                    obstacle: oi as u32,
+                    actual,
+                    required: t.rules.centerline_obstacle(),
+                    near,
+                });
+            }
+        }
+
+        // 1. Trace–trace.
+        for (j, u) in traces.iter().enumerate().skip(i + 1) {
+            let Some(&(raw, near)) = pair_best.get(&(i, j)) else {
+                continue;
+            };
+            let gap = t.rules.gap.max(u.rules.gap);
+            let required = gap + t.width / 2.0 + u.width / 2.0;
+            if raw < required - 1e-9 {
+                // `distance_to_polyline` snaps touching traces to exactly 0.
+                let actual = if meander_geom::approx_zero(raw) {
+                    0.0
+                } else {
+                    raw
+                };
+                out.push(Violation::TraceTraceClearance {
+                    a: t.id,
+                    b: u.id,
+                    actual,
+                    required,
+                    near,
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Grid-accelerated equivalent of [`Polyline::is_self_intersecting`]: any
+/// two non-adjacent segments intersecting.
+fn self_intersects_indexed(segs: &[Segment], cell: f64) -> bool {
+    if segs.len() < 3 {
+        return false;
+    }
+    let grid = SegmentGrid::from_segments(cell, segs);
+    let mut scratch = GridScratch::new();
+    let mut candidates: Vec<u32> = Vec::new();
+    for (i, seg) in segs.iter().enumerate() {
+        grid.query_scratch(&seg.bbox(), &mut scratch, &mut candidates);
+        for &j in &candidates {
+            if j as usize > i + 1
+                && meander_geom::intersect::segments_intersect(seg, &segs[j as usize])
+            {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// `true` when segment `si` of `pl` is a miter chamfer: both of its corners
@@ -238,7 +466,9 @@ mod tests {
         let v = check_layout(&input);
         assert_eq!(v.len(), 1);
         match &v[0] {
-            Violation::TraceTraceClearance { actual, required, .. } => {
+            Violation::TraceTraceClearance {
+                actual, required, ..
+            } => {
                 assert!((actual - 10.0).abs() < 1e-9);
                 assert!((required - 12.0).abs() < 1e-9);
             }
@@ -289,10 +519,7 @@ mod tests {
         };
         let v = check_layout(&input);
         assert_eq!(v.len(), 1);
-        assert!(matches!(
-            v[0],
-            Violation::ShortSegment { segment: 1, .. }
-        ));
+        assert!(matches!(v[0], Violation::ShortSegment { segment: 1, .. }));
     }
 
     #[test]
@@ -376,7 +603,9 @@ mod tests {
             obstacles: vec![],
         };
         let v = check_layout(&input);
-        assert!(v.iter().any(|v| matches!(v, Violation::SelfIntersection { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::SelfIntersection { .. })));
     }
 
     #[test]

@@ -62,12 +62,16 @@ impl DesignRuleArea {
     /// `true` when the whole segment lies in the area (both endpoints inside
     /// and no border crossing).
     pub fn contains_segment(&self, seg: &Segment) -> bool {
-        self.contains(seg.a) && self.contains(seg.b) && {
-            // A chord of a concave region can exit and re-enter; a midpoint
-            // sample plus border-crossing check covers router needs.
-            !self.region.intersects_segment(seg) || self.region.on_boundary(seg.a)
-                || self.region.on_boundary(seg.b)
-        } && self.contains(seg.midpoint())
+        self.contains(seg.a)
+            && self.contains(seg.b)
+            && {
+                // A chord of a concave region can exit and re-enter; a midpoint
+                // sample plus border-crossing check covers router needs.
+                !self.region.intersects_segment(seg)
+                    || self.region.on_boundary(seg.a)
+                    || self.region.on_boundary(seg.b)
+            }
+            && self.contains(seg.midpoint())
     }
 
     /// Area in board units².

@@ -32,7 +32,9 @@ pub mod rules;
 pub mod violation;
 pub mod virtual_drc;
 
-pub use checker::{check_layout, CheckInput, TraceGeometry};
+pub use checker::{
+    check_layout, check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry,
+};
 pub use dra::DesignRuleArea;
 pub use resolve::RuleResolver;
 pub use rules::DesignRules;

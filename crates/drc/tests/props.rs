@@ -1,6 +1,7 @@
 //! Property tests for the DRC layer.
 
 use meander_drc::{check_layout, CheckInput, DesignRules, TraceGeometry};
+use meander_drc::{check_layout_brute, check_layout_indexed};
 use meander_drc::{restore_rules, virtualize_rules};
 use meander_geom::{Point, Polygon, Polyline, Vector};
 use proptest::prelude::*;
@@ -22,10 +23,7 @@ fn two_trace_input(y_sep: f64, widths: (f64, f64)) -> CheckInput {
             },
             TraceGeometry {
                 id: 1,
-                centerline: Polyline::new(vec![
-                    Point::new(0.0, y_sep),
-                    Point::new(120.0, y_sep),
-                ]),
+                centerline: Polyline::new(vec![Point::new(0.0, y_sep), Point::new(120.0, y_sep)]),
                 width: widths.1,
                 rules: DesignRules {
                     width: widths.1,
@@ -113,6 +111,67 @@ proptest! {
             .iter()
             .any(|v| matches!(v, meander_drc::Violation::TraceObstacleClearance { .. }));
         prop_assert_eq!(has, oy < required - 1e-9);
+    }
+
+    #[test]
+    fn indexed_checker_matches_brute_force(
+        walks in proptest::collection::vec(
+            (
+                (0.0..300.0f64, 0.0..300.0f64),
+                proptest::collection::vec((-25.0..25.0f64, -25.0..25.0f64), 1..10),
+                1.0..6.0f64,
+            ),
+            1..7,
+        ),
+        obstacles in proptest::collection::vec(
+            ((0.0..300.0f64, 0.0..300.0f64), 1.0..18.0f64, 3usize..9),
+            0..9,
+        ),
+        couple_first_two in 0usize..2,
+        area_on_first in 0usize..2,
+    ) {
+        // Random multi-trace boards: wiggly walks of varying width, random
+        // convex obstacles, optional coupling and area assignment. The
+        // indexed checker must reproduce the brute-force violation list
+        // exactly — order, values, and witnesses.
+        let traces: Vec<TraceGeometry> = walks
+            .iter()
+            .enumerate()
+            .map(|(i, ((x0, y0), steps, w))| {
+                let mut pts = vec![Point::new(*x0, *y0)];
+                for (dx, dy) in steps {
+                    let last = *pts.last().unwrap();
+                    pts.push(Point::new(last.x + dx, last.y + dy));
+                }
+                let mut t = TraceGeometry {
+                    id: i as u32,
+                    centerline: Polyline::new(pts),
+                    width: *w,
+                    rules: DesignRules {
+                        width: *w,
+                        ..DesignRules::default()
+                    },
+                    area: vec![],
+                    coupled_with: vec![],
+                };
+                if i == 0 && area_on_first == 1 {
+                    t.area = vec![Polygon::rectangle(
+                        Point::new(-50.0, -50.0),
+                        Point::new(200.0, 200.0),
+                    )];
+                }
+                if i == 0 && couple_first_two == 1 && walks.len() >= 2 {
+                    t.coupled_with = vec![1];
+                }
+                t
+            })
+            .collect();
+        let obstacles: Vec<Polygon> = obstacles
+            .iter()
+            .map(|((cx, cy), r, n)| Polygon::regular(Point::new(*cx, *cy), *r, *n, 0.15))
+            .collect();
+        let input = CheckInput { traces, obstacles };
+        prop_assert_eq!(check_layout_indexed(&input), check_layout_brute(&input));
     }
 
     #[test]

@@ -58,7 +58,11 @@ mod tests {
     #[test]
     fn point_set_minimum() {
         let seg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
-        let pts = [Point::new(0.0, 9.0), Point::new(5.0, 2.0), Point::new(20.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 9.0),
+            Point::new(5.0, 2.0),
+            Point::new(20.0, 0.0),
+        ];
         assert_eq!(segment_point_set(&seg, pts.iter()), 2.0);
         assert_eq!(segment_point_set(&seg, [].iter()), f64::INFINITY);
     }

@@ -201,7 +201,11 @@ mod tests {
         }
         assert!((rt.area() - poly.area()).abs() < 1e-9);
 
-        let pl = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 4.0)]);
+        let pl = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 4.0),
+        ]);
         let rt = f.polyline_to_world(&f.polyline_to_local(&pl));
         assert!((rt.length() - pl.length()).abs() < 1e-9);
     }

@@ -51,7 +51,12 @@ pub fn offset_polyline(pl: &Polyline, d: f64) -> Option<Polyline> {
     let mut out: Vec<Point> = Vec::with_capacity(pts.len() + 4);
 
     // Start point: offset along the first valid segment's normal.
-    let first_dir = dirs.iter().flatten().next().copied().expect("checked above");
+    let first_dir = dirs
+        .iter()
+        .flatten()
+        .next()
+        .copied()
+        .expect("checked above");
     out.push(pts[0] + first_dir.perp() * d);
 
     for i in 1..pts.len() - 1 {
@@ -68,7 +73,13 @@ pub fn offset_polyline(pl: &Polyline, d: f64) -> Option<Polyline> {
         }
     }
 
-    let last_dir = dirs.iter().rev().flatten().next().copied().expect("checked above");
+    let last_dir = dirs
+        .iter()
+        .rev()
+        .flatten()
+        .next()
+        .copied()
+        .expect("checked above");
     out.push(pts[pts.len() - 1] + last_dir.perp() * d);
 
     // Drop consecutive duplicates introduced by collinear joins.

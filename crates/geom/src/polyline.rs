@@ -180,7 +180,10 @@ impl Polyline {
     pub fn splice(&mut self, i: usize, j: usize, replacement: &[Point]) {
         assert!(i < j, "splice range must be non-empty");
         assert!(j < self.points.len(), "splice end out of range");
-        assert!(replacement.len() >= 2, "replacement needs at least 2 points");
+        assert!(
+            replacement.len() >= 2,
+            "replacement needs at least 2 points"
+        );
         assert!(
             replacement[0].approx_eq(self.points[i]),
             "replacement must start at vertex {i}"
@@ -299,7 +302,11 @@ mod tests {
         pl.simplify();
         assert_eq!(
             pl.points(),
-            &[Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(2.0, 3.0)]
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(2.0, 3.0)
+            ]
         );
         assert_eq!(pl.length(), 5.0);
     }

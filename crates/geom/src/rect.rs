@@ -38,7 +38,10 @@ impl Rect {
     pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
         let mut it = points.into_iter();
         let first = it.next()?;
-        let mut r = Rect { min: first, max: first };
+        let mut r = Rect {
+            min: first,
+            max: first,
+        };
         for p in it {
             r.min.x = r.min.x.min(p.x);
             r.min.y = r.min.y.min(p.y);

@@ -196,7 +196,10 @@ mod tests {
         assert_eq!(s.project(Point::new(5.0, 7.0)), 0.5);
         assert_eq!(s.project(Point::new(-5.0, 0.0)), -0.5);
         assert_eq!(s.closest_point(Point::new(-5.0, 3.0)), Point::new(0.0, 0.0));
-        assert_eq!(s.closest_point(Point::new(15.0, 3.0)), Point::new(10.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(15.0, 3.0)),
+            Point::new(10.0, 0.0)
+        );
         assert_eq!(s.closest_point(Point::new(4.0, 3.0)), Point::new(4.0, 0.0));
     }
 
@@ -225,7 +228,11 @@ mod tests {
         assert_eq!(s1.distance_to_segment(&s3), 0.0);
         // Skew non-crossing: closest at endpoints.
         let s4 = seg(12.0, 1.0, 20.0, 5.0);
-        assert!((s1.distance_to_segment(&s4) - Point::new(10.0, 0.0).distance(Point::new(12.0, 1.0))).abs() < 1e-12);
+        assert!(
+            (s1.distance_to_segment(&s4) - Point::new(10.0, 0.0).distance(Point::new(12.0, 1.0)))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ proptest! {
 
     #[test]
     fn regular_polygon_containment_matches_radius(
-        c in pt_strategy(), r in 1.0..20.0f64, n in 8usize..24, probe_angle in 0.0..6.28f64
+        c in pt_strategy(), r in 1.0..20.0f64, n in 8usize..24, probe_angle in 0.0..(2.0 * std::f64::consts::PI)
     ) {
         let poly = Polygon::regular(c, r, n, 0.0);
         // Inradius = r·cos(π/n); points clearly inside the inradius are

@@ -29,6 +29,51 @@ pub struct SegmentGrid {
     cell: f64,
     cells: HashMap<(i64, i64), Vec<u32>>,
     len: usize,
+    max_id: u32,
+}
+
+/// Reusable visited-stamp state for [`SegmentGrid::query_scratch`].
+///
+/// Deduplicating candidates with `sort + dedup` costs `O(k log k)` per query
+/// and the stamp approach is `O(k)`: each id's slot stores the stamp of the
+/// last query that saw it, and a slot equal to the current stamp means
+/// "already emitted". One scratch can serve many grids; the marks table
+/// grows to the largest id seen.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    marks: Vec<u32>,
+    stamp: u32,
+}
+
+impl GridScratch {
+    /// Fresh scratch (marks grow on demand).
+    pub fn new() -> Self {
+        GridScratch::default()
+    }
+
+    fn begin(&mut self, max_id: u32) {
+        let need = max_id as usize + 1;
+        if self.marks.len() < need {
+            self.marks.resize(need, 0);
+        }
+        // Stamp 0 marks "never seen"; skip it on wrap.
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.marks.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    #[inline]
+    fn first_visit(&mut self, id: u32) -> bool {
+        let slot = &mut self.marks[id as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
 }
 
 impl SegmentGrid {
@@ -46,6 +91,7 @@ impl SegmentGrid {
             cell: cell_size,
             cells: HashMap::new(),
             len: 0,
+            max_id: 0,
         }
     }
 
@@ -63,7 +109,10 @@ impl SegmentGrid {
 
     #[inline]
     fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
-        ((x / self.cell).floor() as i64, (y / self.cell).floor() as i64)
+        (
+            (x / self.cell).floor() as i64,
+            (y / self.cell).floor() as i64,
+        )
     }
 
     /// Registers `seg` under `id` in every cell its bbox overlaps.
@@ -77,6 +126,27 @@ impl SegmentGrid {
             }
         }
         self.len += 1;
+        self.max_id = self.max_id.max(id);
+    }
+
+    /// Registers an axis-aligned rectangle under `id` (for callers indexing
+    /// bounding boxes rather than true segments).
+    pub fn insert_rect(&mut self, id: u32, r: &Rect) {
+        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
+        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                self.cells.entry((cx, cy)).or_default().push(id);
+            }
+        }
+        self.len += 1;
+        self.max_id = self.max_id.max(id);
+    }
+
+    /// Largest id ever inserted (0 when empty).
+    #[inline]
+    pub fn max_id(&self) -> u32 {
+        self.max_id
     }
 
     /// Builds a grid from an id-ordered segment list.
@@ -92,9 +162,18 @@ impl SegmentGrid {
     /// `r`. A superset of the truly-intersecting set — callers run the exact
     /// predicate on the candidates.
     pub fn query(&self, r: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(r, &mut out);
+        out
+    }
+
+    /// [`SegmentGrid::query`] into a caller-owned buffer, so hot loops can
+    /// reuse the allocation. The buffer is cleared first; the result is
+    /// sorted and deduplicated.
+    pub fn query_into(&self, r: &Rect, out: &mut Vec<u32>) {
+        out.clear();
         let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
         let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
-        let mut out = Vec::new();
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 if let Some(ids) = self.cells.get(&(cx, cy)) {
@@ -104,7 +183,31 @@ impl SegmentGrid {
         }
         out.sort_unstable();
         out.dedup();
-        out
+    }
+
+    /// [`SegmentGrid::query_into`] with visited-stamp deduplication: `O(k)`
+    /// instead of `O(k log k)` per query, at the cost of a caller-owned
+    /// [`GridScratch`]. Candidates come out in ascending id order (the same
+    /// order as [`SegmentGrid::query`]).
+    pub fn query_scratch(&self, r: &Rect, scratch: &mut GridScratch, out: &mut Vec<u32>) {
+        out.clear();
+        scratch.begin(self.max_id);
+        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
+        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        if scratch.first_visit(id) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        // Cheap for the near-sorted outputs cell iteration produces, and
+        // keeps the contract aligned with `query`.
+        out.sort_unstable();
     }
 }
 
@@ -183,5 +286,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_size_panics() {
         let _ = SegmentGrid::new(0.0);
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let mut g = SegmentGrid::new(2.0);
+        g.insert(0, &seg(0.0, 0.0, 1.0, 1.0));
+        g.insert(1, &seg(10.0, 10.0, 12.0, 10.0));
+        let mut buf = vec![99, 98, 97];
+        g.query_into(
+            &Rect::new(Point::new(-0.5, -0.5), Point::new(1.5, 1.5)),
+            &mut buf,
+        );
+        assert_eq!(buf, vec![0]);
+        g.query_into(
+            &Rect::new(Point::new(-1.0, -1.0), Point::new(13.0, 13.0)),
+            &mut buf,
+        );
+        assert_eq!(buf, vec![0, 1]);
+    }
+
+    #[test]
+    fn query_scratch_matches_query() {
+        let segs: Vec<Segment> = (0..60)
+            .map(|i| {
+                let x = (i % 8) as f64 * 2.0;
+                let y = (i / 8) as f64 * 2.0;
+                seg(x, y, x + 3.0, y + 2.0)
+            })
+            .collect();
+        let g = SegmentGrid::from_segments(1.5, &segs);
+        let mut scratch = GridScratch::new();
+        let mut got = Vec::new();
+        for qi in 0..20 {
+            let q0 = Point::new(qi as f64 * 0.7 - 2.0, qi as f64 * 0.5 - 1.0);
+            let r = Rect::new(q0, Point::new(q0.x + 5.0, q0.y + 4.0));
+            g.query_scratch(&r, &mut scratch, &mut got);
+            assert_eq!(got, g.query(&r), "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn insert_rect_registers_region() {
+        let mut g = SegmentGrid::new(2.0);
+        g.insert_rect(5, &Rect::new(Point::new(0.0, 0.0), Point::new(6.0, 6.0)));
+        let hit = Rect::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert_eq!(g.query(&hit), vec![5]);
+        let miss = Rect::new(Point::new(30.0, 30.0), Point::new(31.0, 31.0));
+        assert!(g.query(&miss).is_empty());
     }
 }

@@ -21,5 +21,5 @@
 pub mod grid;
 pub mod msegtree;
 
-pub use grid::SegmentGrid;
+pub use grid::{GridScratch, SegmentGrid};
 pub use msegtree::MergeSortTree;

@@ -63,7 +63,10 @@ impl<T> MergeSortTree<T> {
         Self::build_node(items, nodes, 2 * k, lo, mid);
         Self::build_node(items, nodes, 2 * k + 1, mid + 1, hi);
         // Merge children by y.
-        let (left, right) = (std::mem::take(&mut nodes[2 * k]), std::mem::take(&mut nodes[2 * k + 1]));
+        let (left, right) = (
+            std::mem::take(&mut nodes[2 * k]),
+            std::mem::take(&mut nodes[2 * k + 1]),
+        );
         let mut merged = Vec::with_capacity(left.len() + right.len());
         let (mut i, mut j) = (0, 0);
         while i < left.len() && j < right.len() {
@@ -111,6 +114,53 @@ impl<T> MergeSortTree<T> {
         }
         self.query_node(1, 0, self.n - 1, lo, hi - 1, r.min.y, r.max.y, &mut out);
         out
+    }
+
+    /// Visits every `(point, tag)` in the rectangle without allocating —
+    /// the hot-loop variant of [`MergeSortTree::query`] (the URA shrinking
+    /// runs thousands of these per DP segment).
+    pub fn for_each_in<F: FnMut(&Point, &T)>(&self, r: &Rect, mut f: F) {
+        if self.n == 0 {
+            return;
+        }
+        let lo = self.items.partition_point(|(p, _)| p.x < r.min.x);
+        let hi = self.items.partition_point(|(p, _)| p.x <= r.max.x);
+        if lo >= hi {
+            return;
+        }
+        self.visit_node(1, 0, self.n - 1, lo, hi - 1, r.min.y, r.max.y, &mut f);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_node<F: FnMut(&Point, &T)>(
+        &self,
+        k: usize,
+        lo: usize,
+        hi: usize,
+        qlo: usize,
+        qhi: usize,
+        ylo: f64,
+        yhi: f64,
+        f: &mut F,
+    ) {
+        if qhi < lo || hi < qlo {
+            return;
+        }
+        if qlo <= lo && hi <= qhi {
+            let ys = &self.nodes[k];
+            let start = ys.partition_point(|&i| self.items[i as usize].0.y < ylo);
+            for &i in &ys[start..] {
+                let (p, t) = &self.items[i as usize];
+                if p.y > yhi {
+                    break;
+                }
+                f(p, t);
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.visit_node(2 * k, lo, mid, qlo, qhi, ylo, yhi, f);
+        self.visit_node(2 * k + 1, mid + 1, hi, qlo, qhi, ylo, yhi, f);
     }
 
     /// Counts points in the rectangle without materializing them.
@@ -247,7 +297,9 @@ mod tests {
         // Deterministic pseudo-random points; compare against brute force.
         let mut seed = 0x12345678u64;
         let mut rand01 = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         let pts: Vec<(Point, usize)> = (0..500)
@@ -268,6 +320,10 @@ mod tests {
             got.sort_unstable();
             assert_eq!(expect, got);
             assert_eq!(t.count(&r), expect.len());
+            let mut visited: Vec<usize> = Vec::new();
+            t.for_each_in(&r, |_, &i| visited.push(i));
+            visited.sort_unstable();
+            assert_eq!(expect, visited, "for_each_in must match query");
         }
     }
 }

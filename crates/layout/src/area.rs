@@ -38,10 +38,7 @@ impl RoutableArea {
         let frame = meander_geom::Frame::from_segment(spine)
             .expect("corridor spine must be non-degenerate");
         let len = spine.length();
-        let local = Polygon::rectangle(
-            Point::new(0.0, -half_width),
-            Point::new(len, half_width),
-        );
+        let local = Polygon::rectangle(Point::new(0.0, -half_width), Point::new(len, half_width));
         RoutableArea {
             polygons: vec![frame.polygon_to_world(&local)],
         }

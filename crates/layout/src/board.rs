@@ -161,11 +161,7 @@ impl Board {
                         .unwrap_or_default(),
                 })
                 .collect(),
-            obstacles: self
-                .obstacles
-                .iter()
-                .map(|o| o.polygon().clone())
-                .collect(),
+            obstacles: self.obstacles.iter().map(|o| o.polygon().clone()).collect(),
         };
         meander_drc::check_layout(&input)
     }

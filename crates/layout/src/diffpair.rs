@@ -33,7 +33,10 @@ impl DiffPair {
     /// Panics when `p == n` or `sep` is not strictly positive.
     pub fn new(name: impl Into<String>, p: TraceId, n: TraceId, sep: f64) -> Self {
         assert!(p != n, "differential pair needs two distinct traces");
-        assert!(sep.is_finite() && sep > 0.0, "pair separation must be positive");
+        assert!(
+            sep.is_finite() && sep > 0.0,
+            "pair separation must be positive"
+        );
         DiffPair {
             name: name.into(),
             p,
@@ -97,7 +100,11 @@ impl DiffPair {
 
 impl fmt::Display for DiffPair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pair {} ({} / {}, sep {:.3})", self.name, self.p, self.n, self.sep)
+        write!(
+            f,
+            "pair {} ({} / {}, sep {:.3})",
+            self.name, self.p, self.n, self.sep
+        )
     }
 }
 

@@ -55,7 +55,10 @@ pub fn any_angle_bus(n: usize, angle: Angle) -> Board {
         let id = board.add_trace(Trace::with_rules(format!("BUS{i}"), pl, rules));
         board.set_area(
             id,
-            RoutableArea::corridor(&Segment::new(base - dir * dgap, b + dir * dgap), pitch / 2.0),
+            RoutableArea::corridor(
+                &Segment::new(base - dir * dgap, b + dir * dgap),
+                pitch / 2.0,
+            ),
         );
         members.push(id);
 

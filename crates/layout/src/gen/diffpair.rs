@@ -105,7 +105,10 @@ pub fn decoupled_pair(multi_dra: bool) -> DecoupledPairCase {
         };
         board.add_rule_area(DesignRuleArea::new(
             1,
-            Polygon::rectangle(Point::new(xc - 40.0, 20.0), Point::new(xc + 60.0, ytop + 20.0)),
+            Polygon::rectangle(
+                Point::new(xc - 40.0, 20.0),
+                Point::new(xc + 60.0, ytop + 20.0),
+            ),
             dra_rules,
         ));
     }
@@ -113,7 +116,10 @@ pub fn decoupled_pair(multi_dra: bool) -> DecoupledPairCase {
     // Shared corridor area around the whole pair.
     let area = RoutableArea::from_polygons(vec![
         Polygon::rectangle(Point::new(-10.0, -40.0), Point::new(xc + 50.0, 40.0)),
-        Polygon::rectangle(Point::new(xc - 50.0, -40.0), Point::new(xc + 50.0, ytop + 20.0)),
+        Polygon::rectangle(
+            Point::new(xc - 50.0, -40.0),
+            Point::new(xc + 50.0, ytop + 20.0),
+        ),
     ]);
     board.set_area(p, area.clone());
     board.set_area(n, area);
@@ -181,12 +187,7 @@ mod tests {
         let v = c.board.check();
         let hard: Vec<_> = v
             .iter()
-            .filter(|v| {
-                !matches!(
-                    v,
-                    meander_drc::Violation::ShortSegment { .. }
-                )
-            })
+            .filter(|v| !matches!(v, meander_drc::Violation::ShortSegment { .. }))
             .collect();
         assert!(hard.is_empty(), "{hard:?}");
     }

@@ -1,0 +1,183 @@
+//! Large synthetic stress board for performance baselines.
+//!
+//! Table I/II cases are paper-sized; this generator scales the same regime
+//! up — long staircase traces with big extension demands in via-littered
+//! corridors — so the hot loops run thousands of iterations and indexing
+//! wins become measurable. `BENCH_PR1.json` (and every future perf
+//! trajectory entry) is measured on these boards.
+
+use crate::area::RoutableArea;
+use crate::board::Board;
+use crate::group::MatchGroup;
+use crate::obstacle::Obstacle;
+use crate::trace::{Trace, TraceId};
+use meander_drc::DesignRules;
+use meander_geom::{Point, Polygon, Polyline, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated stress case.
+#[derive(Debug, Clone)]
+pub struct StressCase {
+    /// The synthesized layout. Group 0 is the matching group under test.
+    pub board: Board,
+    /// Group target length.
+    pub ltarget: f64,
+    /// Member ids in corridor order.
+    pub members: Vec<TraceId>,
+}
+
+/// Generates a stress board: `n_traces` staircase traces (each `n_steps`
+/// horizontal runs joined by short risers) stacked in private corridors,
+/// `vias_per_trace` via obstacles intruding into each corridor, and one
+/// matching group whose target demands roughly 60 % extension from the
+/// longest member.
+///
+/// Deterministic for a given `seed`.
+pub fn stress_board(
+    n_traces: usize,
+    n_steps: usize,
+    vias_per_trace: usize,
+    seed: u64,
+) -> StressCase {
+    assert!(n_traces >= 1 && n_steps >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let dgap = 8.0;
+    let width = dgap / 2.0;
+    let rules = DesignRules {
+        gap: dgap,
+        obstacle: dgap,
+        protect: width,
+        miter: dgap / 4.0,
+        width,
+    };
+
+    let run = 56.0; // length of one horizontal stair run — deliberately
+                    // short, so the board is *segment-rich*: per-iteration
+                    // DP problems stay small and the naive engine's
+                    // whole-trace context rebuild dominates, which is the
+                    // degradation regime this generator exists to measure.
+    let rise = 10.0; // riser height between runs
+    let span = run * n_steps as f64;
+    let pitch = 7.0 * dgap + rise * n_steps as f64;
+    let height = pitch * n_traces as f64;
+    let mut board = Board::new(Rect::new(
+        Point::new(-20.0, -pitch),
+        Point::new(span + 20.0, height),
+    ));
+
+    let mut members = Vec::with_capacity(n_traces);
+    let mut min_len = f64::INFINITY;
+    for i in 0..n_traces {
+        let y0 = i as f64 * pitch;
+        // Staircase centerline with a jittered start offset, so members
+        // begin at different lengths like a real bus.
+        let start_x = rng.gen_range(0.0..run * 0.3);
+        let mut pts = vec![Point::new(start_x, y0)];
+        for k in 0..n_steps {
+            let x1 = run * (k + 1) as f64;
+            let yk = y0 + rise * k as f64;
+            pts.push(Point::new(x1, yk));
+            if k + 1 < n_steps {
+                pts.push(Point::new(x1, yk + rise));
+            }
+        }
+        let pl = Polyline::new(pts);
+        min_len = min_len.min(pl.length());
+        let id = board.add_trace(Trace::with_rules(format!("S{i}"), pl, rules));
+        // Tight corridor: pattern amplitude caps at ~dgap, so hitting the
+        // target takes *many* short patterns — maximizing iteration count
+        // per unit of added length.
+        board.set_area(
+            id,
+            RoutableArea::from_polygon(Polygon::rectangle(
+                Point::new(-dgap, y0 - 2.0 * dgap),
+                Point::new(span + dgap, y0 + rise * n_steps as f64 + 2.0 * dgap),
+            )),
+        );
+        members.push(id);
+    }
+
+    // Vias sprinkled through each corridor, clear of the original routing
+    // (rejection-sampled against the centerline — staircase risers make
+    // fixed offsets unsafe) but squarely inside the meander space.
+    let rvia = dgap / 2.0;
+    let clear = rules.centerline_obstacle();
+    for (i, &id) in members.iter().enumerate() {
+        let y0 = i as f64 * pitch;
+        let centerline = board.trace(id).expect("member").centerline().clone();
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < vias_per_trace && attempts < vias_per_trace * 40 {
+            attempts += 1;
+            let x = rng.gen_range(0.05..0.95) * span;
+            let k = ((x / run).floor() as usize).min(n_steps - 1);
+            let y_run = y0 + rise * k as f64;
+            let side = if rng.gen_range(0.0..1.0) < 0.5 {
+                1.0
+            } else {
+                -1.0
+            };
+            let dy = clear + rvia + 0.5 + rng.gen_range(0.0..dgap);
+            let via = Obstacle::via(Point::new(x, y_run + side * dy), rvia);
+            let ok = centerline
+                .segments()
+                .all(|s| via.polygon().distance_to_segment(&s) >= clear + 0.25);
+            if ok {
+                board.add_obstacle(via);
+                placed += 1;
+            }
+        }
+    }
+
+    // Target: longest member needs ~55 % extension, the shortest more.
+    let lengths: Vec<f64> = members
+        .iter()
+        .map(|&id| board.trace(id).expect("member").length())
+        .collect();
+    let lmax = lengths.iter().fold(0.0f64, |a, &b| a.max(b));
+    let ltarget = lmax * 1.55;
+    board.add_group(MatchGroup::with_target("stress", members.clone(), ltarget));
+
+    StressCase {
+        board,
+        ltarget,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = stress_board(4, 3, 6, 7);
+        let b = stress_board(4, 3, 6, 7);
+        assert_eq!(a.board.trace_count(), b.board.trace_count());
+        for (&ia, &ib) in a.members.iter().zip(&b.members) {
+            assert_eq!(
+                a.board.trace(ia).unwrap().centerline(),
+                b.board.trace(ib).unwrap().centerline()
+            );
+        }
+        assert_eq!(a.board.obstacles().len(), b.board.obstacles().len());
+    }
+
+    #[test]
+    fn starts_drc_clean_with_headroom() {
+        let case = stress_board(6, 4, 8, 1);
+        assert!(case.board.check().is_empty(), "{:?}", case.board.check());
+        assert_eq!(case.board.groups().len(), 1);
+        // Every member needs substantial extension.
+        for &id in &case.members {
+            let l = case.board.trace(id).unwrap().length();
+            assert!(
+                case.ltarget > l * 1.3,
+                "target {} vs length {l}",
+                case.ltarget
+            );
+        }
+    }
+}

@@ -195,7 +195,8 @@ fn single_ended_case(
         let span = s.ltarget - start_x;
         let vias = 3 + (i % 2);
         for k in 0..vias {
-            let x = start_x + span * (0.2 + 0.6 * k as f64 / vias as f64)
+            let x = start_x
+                + span * (0.2 + 0.6 * k as f64 / vias as f64)
                 + rng.gen_range(-0.03..0.03) * span;
             let side = if (k + i) % 2 == 0 { 1.0 } else { -1.0 };
             // Center offset: outside the clearance of the straight trace but

@@ -113,14 +113,9 @@ pub fn table2_case(case_no: usize) -> Table2Case {
     while gy < bbox.max.y {
         let mut gx = bbox.min.x + pitch / 2.0;
         while gx < bbox.max.x {
-            let c = Point::new(
-                gx + rng.gen_range(-0.1..0.1),
-                gy + rng.gen_range(-0.1..0.1),
-            );
+            let c = Point::new(gx + rng.gen_range(-0.1..0.1), gy + rng.gen_range(-0.1..0.1));
             // Keep the original routing legal.
-            if trace_probe.distance_to_point(c) > clear
-                && region.contains(c)
-            {
+            if trace_probe.distance_to_point(c) > clear && region.contains(c) {
                 board.add_obstacle(Obstacle::via(c, rvia));
             }
             gx += pitch;

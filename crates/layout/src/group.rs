@@ -117,11 +117,7 @@ impl MatchGroup {
         if lengths.is_empty() {
             return 0.0;
         }
-        lengths
-            .iter()
-            .map(|&l| (target - l) / target)
-            .sum::<f64>()
-            / lengths.len() as f64
+        lengths.iter().map(|&l| (target - l) / target).sum::<f64>() / lengths.len() as f64
     }
 }
 

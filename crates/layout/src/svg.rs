@@ -80,9 +80,9 @@ pub fn render_board(board: &Board, style: &SvgStyle) -> String {
     let height_px = vb.height() * scale;
 
     let mut s = String::new();
-    let _ = write!(
+    let _ = writeln!(
         s,
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">\n",
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">",
         style.width_px,
         height_px,
         vb.min.x,
@@ -90,9 +90,9 @@ pub fn render_board(board: &Board, style: &SvgStyle) -> String {
         vb.width(),
         vb.height()
     );
-    let _ = write!(
+    let _ = writeln!(
         s,
-        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"{}\"/>\n",
+        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"{}\"/>",
         vb.min.x,
         -vb.max.y,
         vb.width(),
@@ -104,9 +104,9 @@ pub fn render_board(board: &Board, style: &SvgStyle) -> String {
         for (id, _) in board.traces() {
             if let Some(area) = board.area(id) {
                 for poly in area.polygons() {
-                    let _ = write!(
+                    let _ = writeln!(
                         s,
-                        "<polygon points=\"{}\" fill=\"none\" stroke=\"#2e3b4a\" stroke-width=\"0.6\" stroke-dasharray=\"3 2\"/>\n",
+                        "<polygon points=\"{}\" fill=\"none\" stroke=\"#2e3b4a\" stroke-width=\"0.6\" stroke-dasharray=\"3 2\"/>",
                         fmt_points(poly.vertices())
                     );
                 }
@@ -119,9 +119,9 @@ pub fn render_board(board: &Board, style: &SvgStyle) -> String {
             ObstacleKind::Via => "#76838f",
             _ => "#465261",
         };
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<polygon points=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"0.4\"/>\n",
+            "<polygon points=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"0.4\"/>",
             fmt_points(obs.polygon().vertices()),
             style.obstacle_fill,
             stroke
@@ -130,9 +130,9 @@ pub fn render_board(board: &Board, style: &SvgStyle) -> String {
 
     for (id, t) in board.traces() {
         let color = &style.trace_colors[(id.0 as usize) % style.trace_colors.len()];
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
             fmt_points(t.centerline().points()),
             color,
             t.width()
@@ -164,9 +164,9 @@ pub fn render_scene(
         .expanded(3.0);
     let scale = width_px / vb.width().max(1e-9);
     let mut s = String::new();
-    let _ = write!(
+    let _ = writeln!(
         s,
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">\n",
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"{:.3} {:.3} {:.3} {:.3}\">",
         width_px,
         vb.height() * scale,
         vb.min.x,
@@ -174,27 +174,27 @@ pub fn render_scene(
         vb.width(),
         vb.height()
     );
-    let _ = write!(
+    let _ = writeln!(
         s,
-        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"#10141a\"/>\n",
+        "<rect x=\"{:.3}\" y=\"{:.3}\" width=\"{:.3}\" height=\"{:.3}\" fill=\"#10141a\"/>",
         vb.min.x,
         -vb.max.y,
         vb.width(),
         vb.height()
     );
     for (pg, color) in polygons {
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"0.6\" stroke=\"{}\"/>\n",
+            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"0.6\" stroke=\"{}\"/>",
             fmt_points(pg.vertices()),
             color,
             color
         );
     }
     for (pl, color, w) in polylines {
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\"/>\n",
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.3}\" stroke-linejoin=\"round\"/>",
             fmt_points(pl.points()),
             color,
             w

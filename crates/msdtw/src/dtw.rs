@@ -86,8 +86,16 @@ pub fn dtw_match(p: &[Point], n: &[Point]) -> Vec<MatchedPair> {
         } else {
             f64::INFINITY
         };
-        let up = if i > 0 { c[idx(i - 1, j)] } else { f64::INFINITY };
-        let left = if j > 0 { c[idx(i, j - 1)] } else { f64::INFINITY };
+        let up = if i > 0 {
+            c[idx(i - 1, j)]
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            c[idx(i, j - 1)]
+        } else {
+            f64::INFINITY
+        };
         if (diag - here).abs() <= 1e-9 && diag <= up && diag <= left {
             i -= 1;
             j -= 1;
@@ -138,7 +146,13 @@ mod tests {
     #[test]
     fn redundant_corner_nodes_multi_match() {
         // P has three nodes clustered at the corner, N has one (Fig. 10a).
-        let p = pts(&[(0.0, 1.0), (9.6, 1.0), (10.0, 1.0), (10.0, 1.4), (10.0, 10.0)]);
+        let p = pts(&[
+            (0.0, 1.0),
+            (9.6, 1.0),
+            (10.0, 1.0),
+            (10.0, 1.4),
+            (10.0, 10.0),
+        ]);
         let n = pts(&[(0.0, -1.0), (10.0, -1.0), (10.0, 10.0)]);
         let m = dtw_match(&p, &n);
         // Every P node matched.

@@ -34,10 +34,7 @@ pub fn filter_pairs(
 
 /// Node indices that appear only in dropped pairs — the *unpaired nodes*
 /// excluded from median generation.
-pub fn unpaired_nodes(
-    kept: &[MatchedPair],
-    dropped: &[MatchedPair],
-) -> (Vec<usize>, Vec<usize>) {
+pub fn unpaired_nodes(kept: &[MatchedPair], dropped: &[MatchedPair]) -> (Vec<usize>, Vec<usize>) {
     use std::collections::BTreeSet;
     let kept_i: BTreeSet<usize> = kept.iter().map(|p| p.i).collect();
     let kept_j: BTreeSet<usize> = kept.iter().map(|p| p.j).collect();

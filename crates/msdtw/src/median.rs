@@ -21,9 +21,9 @@ pub struct Component {
 pub fn components(pairs: &[MatchedPair]) -> Vec<Component> {
     let mut out: Vec<Component> = Vec::new();
     for pair in pairs {
-        let joined = out.last_mut().filter(|c| {
-            c.p_nodes.contains(&pair.i) || c.n_nodes.contains(&pair.j)
-        });
+        let joined = out
+            .last_mut()
+            .filter(|c| c.p_nodes.contains(&pair.i) || c.n_nodes.contains(&pair.j));
         match joined {
             Some(c) => {
                 if !c.p_nodes.contains(&pair.i) {

@@ -68,7 +68,10 @@ mod tests {
         // A symmetric trombone has two left and two right turns, so the
         // per-corner gains/losses cancel: no net skew.
         let skew = length_compensation(&p, &n);
-        assert!(skew.abs() < 1e-9, "symmetric meander skew must cancel, got {skew}");
+        assert!(
+            skew.abs() < 1e-9,
+            "symmetric meander skew must cancel, got {skew}"
+        );
         // Minimum pair separation stays the pitch on straight runs.
         assert!(p.distance_to_polyline(&n) > 5.0);
     }

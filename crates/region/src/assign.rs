@@ -285,10 +285,7 @@ mod tests {
     use meander_layout::{Obstacle, Trace};
 
     fn two_trace_board(board_w: f64) -> (Board, MatchGroup) {
-        let mut board = Board::new(Rect::new(
-            Point::new(0.0, 0.0),
-            Point::new(board_w, 100.0),
-        ));
+        let mut board = Board::new(Rect::new(Point::new(0.0, 0.0), Point::new(board_w, 100.0)));
         let rules = DesignRules {
             gap: 8.0,
             width: 4.0,
@@ -341,7 +338,11 @@ mod tests {
             .iter()
             .map(|p| p.bbox().center())
             .collect();
-        for c in asg.areas[&ids[1]].polygons().iter().map(|p| p.bbox().center()) {
+        for c in asg.areas[&ids[1]]
+            .polygons()
+            .iter()
+            .map(|p| p.bbox().center())
+        {
             for a in &a_cells {
                 assert!(a.distance(c) > 1e-9, "shared cell at {c}");
             }

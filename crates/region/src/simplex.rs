@@ -194,8 +194,8 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
     // Phase 2: optimize the real objective (as minimization).
     let sign = if lp.minimize { 1.0 } else { -1.0 };
     let mut cost = vec![0.0f64; total + 1];
-    for j in 0..n {
-        cost[j] = sign * lp.objective[j];
+    for (c, obj) in cost.iter_mut().zip(&lp.objective[..n]) {
+        *c = sign * obj;
     }
     // Forbid re-entry of artificials.
     for &ac in &art_cols {
@@ -229,23 +229,13 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
             x[b] = t[r][total];
         }
     }
-    let value: f64 = lp
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let value: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
     LpOutcome::Optimal { x, value }
 }
 
 /// Runs simplex pivots until optimal (returns `true`) or unbounded
 /// (`false`). `red` is the reduced-cost row; minimization convention.
-fn pivot_loop(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    red: &mut [f64],
-    total: usize,
-) -> bool {
+fn pivot_loop(t: &mut [Vec<f64>], basis: &mut [usize], red: &mut [f64], total: usize) -> bool {
     let m = t.len();
     let mut iters = 0usize;
     let max_iters = 50_000 + 100 * (m + total);
@@ -293,12 +283,15 @@ fn pivot(
 ) {
     let m = t.len();
     let piv = t[r][j];
-    for k in 0..=total {
-        t[r][k] /= piv;
+    for v in t[r][..=total].iter_mut() {
+        *v /= piv;
     }
     for rr in 0..m {
         if rr != r && t[rr][j].abs() > EPS {
             let f = t[rr][j];
+            // Two rows of `t` are read/written at once; index form is the
+            // clearest way to express that.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..=total {
                 t[rr][k] -= f * t[r][k];
             }
@@ -322,13 +315,25 @@ mod tests {
     use super::*;
 
     fn le(coeffs: Vec<f64>, rhs: f64) -> Constraint {
-        Constraint { coeffs, rel: Relation::Le, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Le,
+            rhs,
+        }
     }
     fn ge(coeffs: Vec<f64>, rhs: f64) -> Constraint {
-        Constraint { coeffs, rel: Relation::Ge, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Ge,
+            rhs,
+        }
     }
     fn eq(coeffs: Vec<f64>, rhs: f64) -> Constraint {
-        Constraint { coeffs, rel: Relation::Eq, rhs }
+        Constraint {
+            coeffs,
+            rel: Relation::Eq,
+            rhs,
+        }
     }
 
     fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
@@ -482,7 +487,11 @@ mod tests {
             n_vars: 2,
             objective: vec![0.0, 0.0],
             minimize: true,
-            constraints: vec![ge(vec![1.0, 1.0], 3.0), le(vec![1.0, 0.0], 5.0), le(vec![0.0, 1.0], 5.0)],
+            constraints: vec![
+                ge(vec![1.0, 1.0], 3.0),
+                le(vec![1.0, 0.0], 5.0),
+                le(vec![0.0, 1.0], 5.0),
+            ],
         };
         let (x, _) = optimal(&lp);
         assert!(x[0] + x[1] >= 3.0 - 1e-9);

@@ -24,7 +24,11 @@ fn main() {
             report.max_error() * 100.0,
             report.avg_error() * 100.0,
             report.traces.iter().map(|t| t.patterns).sum::<usize>(),
-            if violations.is_empty() { "clean" } else { "DIRTY" }
+            if violations.is_empty() {
+                "clean"
+            } else {
+                "DIRTY"
+            }
         );
         assert!(violations.is_empty(), "{violations:?}");
 

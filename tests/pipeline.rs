@@ -145,8 +145,8 @@ fn save_load_match_round_trip() {
 fn region_assignment_feeds_extension() {
     let mut case = table1_case(3);
     let group: MatchGroup = case.board.groups()[0].clone();
-    let assignment = assign(&case.board, &group, 2.5 * case.dgap, 2.6 * case.dgap)
-        .expect("assignment feasible");
+    let assignment =
+        assign(&case.board, &group, 2.5 * case.dgap, 2.6 * case.dgap).expect("assignment feasible");
     for (id, area) in assignment.areas {
         case.board.set_area(id, area);
     }
