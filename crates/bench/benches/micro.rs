@@ -1,8 +1,16 @@
 //! Micro-benchmarks of the kernels behind the runtime columns, plus the
 //! ablation benches DESIGN.md calls out:
 //!
-//! * `dp_kernel` — segment DP vs discretization size,
-//! * `ura_shrink` — one max-height query vs obstacle count,
+//! * `dp_kernel` — segment DP vs discretization size (uniform cap vs
+//!   per-position upper-bound profile),
+//! * `dp_resolve` — windowed invalidation + resolve vs a from-scratch
+//!   solve on a memoized [`DpSession`]. The closure here is a cheap array
+//!   scan, so this isolates the session's own bookkeeping cost (memo
+//!   upkeep roughly cancels the row reuse); the `dp_resolve` section of
+//!   the `baseline` binary runs the same comparison against real
+//!   URA-shrink queries, where the reuse wins 3–7×,
+//! * `ura_shrink` — one max-height query vs obstacle count (allocating and
+//!   scratch-reusing variants),
 //! * `dtw` — node matching vs node count,
 //! * `simplex` — assignment LP vs grid size,
 //! * `priority_ablation` — connected-pattern priority on/off (Fig. 5),
@@ -11,32 +19,101 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meander_core::baseline::FixedTrackOptions;
 use meander_core::context::{ShrinkContext, WorldContext};
-use meander_core::dp::{extend_segment_dp, DpInput};
+use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds, UbProfile};
 use meander_core::extend::ExtendInput;
-use meander_core::shrink::max_pattern_height;
+use meander_core::shrink::{max_pattern_height, max_pattern_height_scratch, ShrinkScratch};
 use meander_core::{extend_trace, ExtendConfig};
 use meander_geom::{Frame, Point, Polygon, Polyline, Segment};
 use meander_msdtw::dtw_match;
 use meander_region::{solve_lp_for_bench, LpOutcome};
 
+/// A bumpy per-position height field: realistic position dependence so the
+/// profile bounds have something to prune.
+fn bumpy_field(m: usize) -> Vec<f64> {
+    (0..=m)
+        .map(|i| {
+            let x = i as f64;
+            let h = 6.0 + 5.0 * (x * 0.37).sin() + 3.0 * (x * 0.11).cos();
+            if h < 2.0 {
+                0.0
+            } else {
+                h
+            }
+        })
+        .collect()
+}
+
 fn bench_dp_kernel(c: &mut Criterion) {
     let config = ExtendConfig::default();
     let mut group = c.benchmark_group("dp_kernel");
     for m in [32usize, 64, 128, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let height = |_: usize, _: usize, _: i8| 5.0;
-            b.iter(|| {
-                extend_segment_dp(&DpInput {
-                    m,
-                    ldisc: 1.0,
-                    gap_steps: 8,
-                    protect_steps: 4,
-                    min_width_steps: 8,
-                    max_width_steps: 48,
-                    height: &height,
-                    height_cap: f64::INFINITY,
-                    config: &config,
-                })
+        let field = bumpy_field(m);
+        let height = |lo: usize, hi: usize, _: i8| -> f64 {
+            field[lo..=hi].iter().fold(f64::INFINITY, |a, &b| a.min(b))
+        };
+        let mk = |bounds| DpInput {
+            m,
+            ldisc: 1.0,
+            gap_steps: 8,
+            protect_steps: 4,
+            min_width_steps: 8,
+            max_width_steps: 48,
+            height: &height,
+            bounds,
+            config: &config,
+        };
+        group.bench_with_input(BenchmarkId::new("uniform", m), &m, |b, _| {
+            b.iter(|| extend_segment_dp(&mk(HeightBounds::Uniform(f64::INFINITY))))
+        });
+        let profile = UbProfile {
+            cap: 14.0,
+            left: [field.clone(), field.clone()],
+            right: [field.clone(), field.clone()],
+        };
+        group.bench_with_input(BenchmarkId::new("profile", m), &m, |b, _| {
+            b.iter(|| extend_segment_dp(&mk(HeightBounds::Profile(&profile))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_resolve(c: &mut Criterion) {
+    let config = ExtendConfig::default();
+    let mut group = c.benchmark_group("dp_resolve");
+    for m in [64usize, 160] {
+        let field = std::cell::RefCell::new(bumpy_field(m));
+        let height = |lo: usize, hi: usize, _: i8| -> f64 {
+            let f = field.borrow();
+            f[lo..=hi].iter().fold(f64::INFINITY, |a, &b| a.min(b))
+        };
+        let input = DpInput {
+            m,
+            ldisc: 1.0,
+            gap_steps: 8,
+            protect_steps: 4,
+            min_width_steps: 8,
+            max_width_steps: 48,
+            height: &height,
+            bounds: HeightBounds::Uniform(f64::INFINITY),
+            config: &config,
+        };
+        // Splice window in the last quarter: the resolve reuses the prefix.
+        let (a, b) = (m * 3 / 4, m * 3 / 4 + 8);
+        group.bench_with_input(BenchmarkId::new("scratch", m), &m, |bch, _| {
+            bch.iter(|| extend_segment_dp(&input))
+        });
+        group.bench_with_input(BenchmarkId::new("resolve", m), &m, |bch, _| {
+            let mut session = DpSession::new(&input, true);
+            let _ = session.solve(&input);
+            bch.iter(|| {
+                {
+                    let mut f = field.borrow_mut();
+                    for x in a..=b.min(m) {
+                        f[x] = if f[x] == 0.0 { 4.0 } else { 0.0 };
+                    }
+                }
+                session.invalidate_window(a, b);
+                session.solve(&input)
             })
         });
     }
@@ -65,9 +142,19 @@ fn bench_ura_shrink(c: &mut Criterion) {
         };
         let ctx = ShrinkContext::build(&world, &frame, 200.0, 1);
         group.bench_with_input(
-            BenchmarkId::from_parameter(n_obstacles),
+            BenchmarkId::new("alloc", n_obstacles),
             &n_obstacles,
             |b, _| b.iter(|| max_pattern_height(&ctx, 80.0, 110.0, 8.0, 60.0, 2.0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch", n_obstacles),
+            &n_obstacles,
+            |b, _| {
+                let mut scratch = ShrinkScratch::new();
+                b.iter(|| {
+                    max_pattern_height_scratch(&ctx, 80.0, 110.0, 8.0, 60.0, 2.0, &mut scratch)
+                })
+            },
         );
     }
     group.finish();
@@ -191,6 +278,7 @@ fn bench_ablations(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dp_kernel,
+    bench_dp_resolve,
     bench_ura_shrink,
     bench_dtw,
     bench_simplex,

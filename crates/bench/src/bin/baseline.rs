@@ -1,25 +1,39 @@
-//! Performance baseline: times the matching flow and the DRC scan on the
-//! paper's cases plus the large stress board, for each engine configuration,
-//! and emits `BENCH_PR1.json` — the first point of the repo's performance
-//! trajectory (every future perf PR appends a `BENCH_PR<n>.json` measured
-//! the same way).
+//! Performance baseline: times the matching flow, single-trace extension,
+//! and the DRC scan on the paper's cases plus the large stress board, for
+//! each engine configuration, and emits `BENCH_PR2.json` (schema v2) — the
+//! second point of the repo's performance trajectory. Schema v2 adds
+//! DP-level observability: height-query counts, the bound-prune skip rate
+//! (`hq_skip_rate`), and DP rows evaluated per pop, plus a `dp_resolve`
+//! section
+//! measuring the [`DpSession`] prefix-reuse path directly.
 //!
 //! ```text
-//! cargo run --release -p meander-bench --bin baseline [out.json]
+//! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
 //! ```
 //!
 //! Configurations:
 //!
 //! * `naive`       — rebuild-per-iteration engine, serial driver
-//! * `incremental` — indexed engine, serial driver
+//! * `pr1path`     — indexed incremental engine with the upper-bound
+//!   profile off (`dp_profile: false`): the PR 1 code path, re-measured on
+//!   the current tree so the extension speedups compare like with like
+//! * `incremental` — indexed engine + per-position DP upper-bound profile
 //! * `parallel`    — indexed engine, parallel driver
 //!
-//! The headline number is `speedup_incremental = naive / incremental` on
-//! the group-matching wall clock, and `speedup_drc = brute / indexed` on
-//! the post-matching violation scan.
+//! The headline numbers are `speedup_incremental = naive / incremental` on
+//! the group-matching wall clock, `speedup_vs_pr1path = pr1path /
+//! incremental` on single-trace extension, and `speedup_drc = brute /
+//! indexed` on the post-matching violation scan. When a `BENCH_PR1.json`
+//! is present, a side-by-side delta against its recorded extension times
+//! is printed as well.
+//!
+//! `--smoke` runs the table1:5 matching + DRC slice only (seconds, debug or
+//! release) so CI can keep this binary from rotting between perf PRs.
 
+use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
-use meander_core::{match_board_group, ExtendConfig};
+use meander_core::pattern::placements_window;
+use meander_core::{match_board_group, DpStats, ExtendConfig};
 use meander_drc::{check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry};
 use meander_layout::gen::{stress_board, table1_case, table2_case};
 use meander_layout::Board;
@@ -30,6 +44,14 @@ fn naive_config() -> ExtendConfig {
     ExtendConfig {
         incremental: false,
         parallel: false,
+        ..ExtendConfig::default()
+    }
+}
+
+fn pr1path_config() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        dp_profile: false,
         ..ExtendConfig::default()
     }
 }
@@ -91,9 +113,11 @@ fn run_case<F: Fn() -> Board>(name: &str, make: F) -> CaseRow {
 struct ExtendRow {
     name: String,
     naive_s: f64,
+    pr1path_s: f64,
     incremental_s: f64,
     iterations: usize,
     patterns: usize,
+    stats: DpStats,
 }
 
 fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
@@ -129,27 +153,43 @@ fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
     let slow = extend_trace(&input, &long_run(naive_config()));
     let naive_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
+    let pr1 = extend_trace(&input, &long_run(pr1path_config()));
+    let pr1path_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
     let fast = extend_trace(&input, &long_run(incremental_config()));
     let incremental_s = t0.elapsed().as_secs_f64();
     assert_eq!(
         slow.patterns, fast.patterns,
         "{name}: engines must agree on pattern count"
     );
+    assert_eq!(
+        pr1.patterns, fast.patterns,
+        "{name}: profile must not change the outcome"
+    );
+    assert!((pr1.achieved - fast.achieved).abs() < 1e-9);
+    let s = fast.stats;
     println!(
-        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  (x{:.1})  {} iters, {} patterns",
+        "{:<18} naive {:>8.4}s  pr1path {:>8.4}s  profile {:>8.4}s  (x{:.2} vs naive, x{:.2} vs pr1)  {} iters, {} patterns, hq {}→{} exec (skip {:.2})",
         name,
         naive_s,
+        pr1path_s,
         incremental_s,
         naive_s / incremental_s.max(1e-12),
+        pr1path_s / incremental_s.max(1e-12),
         fast.iterations,
-        fast.patterns
+        fast.patterns,
+        s.hq_requested,
+        s.hq_executed,
+        s.skip_rate(),
     );
     ExtendRow {
         name: name.to_string(),
         naive_s,
+        pr1path_s,
         incremental_s,
         iterations: fast.iterations,
         patterns: fast.patterns,
+        stats: s,
     }
 }
 
@@ -214,44 +254,278 @@ fn run_drc_case(name: &str, board: &Board) -> DrcRow {
     }
 }
 
+struct ResolveRow {
+    m: usize,
+    scratch_s: f64,
+    resolve_s: f64,
+    points_per_resolve: f64,
+    memo_hit_rate: f64,
+}
+
+/// Times the [`DpSession`] prefix-reuse path directly: a from-scratch solve
+/// vs invalidate-a-mid-window + resolve, with the height closure running
+/// real URA-shrink queries against an obstacle field (the engine's actual
+/// per-probe cost) plus a mutable per-position overlay standing in for the
+/// geometry a splice changes.
+fn run_dp_resolve_case(m: usize) -> ResolveRow {
+    use meander_core::context::{ShrinkContext, WorldContext};
+    use meander_core::shrink::{max_pattern_height_scratch, ShrinkScratch};
+    use meander_geom::{Frame, Point, Polygon, Segment};
+
+    let config = ExtendConfig::default();
+    let seg_len = 200.0;
+    let ldisc = seg_len / m as f64;
+    let seg = Segment::new(Point::new(0.0, 0.0), Point::new(seg_len, 0.0));
+    let frame = Frame::from_segment(&seg).expect("non-degenerate");
+    let obstacles: Vec<Polygon> = (0..48)
+        .map(|i| {
+            let x = 6.0 + (i % 16) as f64 * 12.0;
+            let y = 9.0 + (i / 16) as f64 * 11.0;
+            Polygon::regular(Point::new(x, y), 1.5, 8, 0.0)
+        })
+        .collect();
+    let world = WorldContext {
+        area: vec![Polygon::rectangle(
+            Point::new(-20.0, -80.0),
+            Point::new(seg_len + 20.0, 80.0),
+        )],
+        obstacles,
+        other_uras: vec![],
+    };
+    let ctx = ShrinkContext::build(&world, &frame, seg_len, 1);
+    let scratch = std::cell::RefCell::new(ShrinkScratch::new());
+    let (gap, h_init, h_min) = (8.0, 40.0, 2.0);
+    let field = std::cell::RefCell::new(vec![h_init; m + 1]);
+    let height = |lo: usize, hi: usize, _: i8| -> f64 {
+        let cap = {
+            let f = field.borrow();
+            f[lo..=hi].iter().fold(f64::INFINITY, |a, &b| a.min(b))
+        };
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        max_pattern_height_scratch(
+            &ctx,
+            lo as f64 * ldisc,
+            hi as f64 * ldisc,
+            gap,
+            cap.min(h_init),
+            h_min,
+            &mut scratch.borrow_mut(),
+        )
+        .height
+    };
+    let input = DpInput {
+        m,
+        ldisc,
+        gap_steps: 8,
+        protect_steps: 4,
+        min_width_steps: 8,
+        max_width_steps: 48,
+        height: &height,
+        bounds: HeightBounds::Uniform(f64::INFINITY),
+        config: &config,
+    };
+    let reps = 300;
+
+    let t0 = Instant::now();
+    let mut out = extend_segment_dp(&input);
+    for _ in 1..reps {
+        out = extend_segment_dp(&input);
+    }
+    let scratch_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // Invalidation window: where a mid-segment restored pattern actually
+    // sits (the splice window of one engine pop — narrow relative to the
+    // segment, with untouched state on both sides: the prefix is reused
+    // verbatim, suffix probes answer from the memo).
+    let (a, b) = out
+        .placements
+        .iter()
+        .min_by_key(|p| (p.lo + p.hi).abs_diff(m))
+        .map(|p| placements_window(std::slice::from_ref(p)).expect("one placement"))
+        .unwrap_or((m / 2, m / 2 + 8));
+    let mut session = DpSession::new(&input, true);
+    let _ = session.solve(&input);
+    let before = *session.stats();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        {
+            let mut f = field.borrow_mut();
+            for x in a..=b.min(m) {
+                f[x] = if f[x] == 0.0 { 4.0 } else { 0.0 };
+            }
+        }
+        session.invalidate_window(a, b);
+        let _ = session.solve(&input);
+    }
+    let resolve_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let s = session.stats();
+    let points_per_resolve = (s.points_evaluated - before.points_evaluated) as f64 / reps as f64;
+    let memo_hit_rate = (s.hq_memo_hits - before.hq_memo_hits) as f64
+        / ((s.hq_requested - before.hq_requested) as f64).max(1.0);
+    println!(
+        "dp_resolve m={m:<4} scratch {:>9.1}µs  resolve {:>9.1}µs  (x{:.1})  {:.0}/{} rows, memo hit {:.2}",
+        scratch_s * 1e6,
+        resolve_s * 1e6,
+        scratch_s / resolve_s.max(1e-12),
+        points_per_resolve,
+        m,
+        memo_hit_rate
+    );
+    ResolveRow {
+        m,
+        scratch_s,
+        resolve_s,
+        points_per_resolve,
+        memo_hit_rate,
+    }
+}
+
+/// Pulls `incremental_s` per table2 case out of a prior `BENCH_PR1.json`
+/// (hand-rolled scan; no serde offline). Returns `(case_name, seconds)`.
+fn parse_pr1_extension(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut in_ext = false;
+    for line in text.lines() {
+        if line.contains("\"single_trace_extension\"") {
+            in_ext = true;
+            continue;
+        }
+        if in_ext && line.trim_start().starts_with(']') {
+            break;
+        }
+        if !in_ext {
+            continue;
+        }
+        let field = |key: &str| -> Option<&str> {
+            let at = line.find(key)? + key.len();
+            let rest = &line[at..];
+            let rest = rest.trim_start_matches([':', ' ', '"']);
+            let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+            Some(&rest[..end])
+        };
+        if let (Some(name), Some(secs)) = (field("\"case\""), field("\"incremental_s\"")) {
+            if let Ok(v) = secs.parse::<f64>() {
+                out.push((name.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+/// Geometric mean; `None` when nothing was measured (e.g. sections skipped
+/// under `--smoke`) so absent data is never reported as a speedup of 1.
+fn gmean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// `x{value}` for a measured geomean, `n/a` otherwise (console form).
+fn fmt_gmean(g: Option<f64>, digits: usize) -> String {
+    match g {
+        Some(v) => format!("x{v:.digits$}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// JSON form: the number, or `null` when unmeasured.
+fn json_gmean(g: Option<f64>) -> String {
+    match g {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            "BENCH_SMOKE.json".to_string()
+        } else {
+            "BENCH_PR2.json".to_string()
+        }
+    });
 
     println!("== group matching (naive vs incremental vs parallel) ==");
     let mut rows: Vec<CaseRow> = Vec::new();
-    for case_no in 1..=5usize {
-        rows.push(run_case(&format!("table1:{case_no}"), || {
-            table1_case(case_no).board
+    if smoke {
+        rows.push(run_case("table1:5", || table1_case(5).board));
+    } else {
+        for case_no in 1..=5usize {
+            rows.push(run_case(&format!("table1:{case_no}"), || {
+                table1_case(case_no).board
+            }));
+        }
+        rows.push(run_case("stress:small", || {
+            stress_board(12, 30, 200, 11).board
+        }));
+        rows.push(run_case("stress:large", || {
+            stress_board(16, 40, 300, 12).board
         }));
     }
-    rows.push(run_case("stress:small", || {
-        stress_board(12, 30, 200, 11).board
-    }));
-    rows.push(run_case("stress:large", || {
-        stress_board(16, 40, 300, 12).board
-    }));
 
-    println!("\n== single-trace extension (table2 upper-bound hunts) ==");
     let mut extend_rows: Vec<ExtendRow> = Vec::new();
-    for case_no in 1..=6usize {
-        extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
+    if !smoke {
+        println!("\n== single-trace extension (table2 upper-bound hunts) ==");
+        for case_no in 1..=6usize {
+            extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
+        }
+        // Side-by-side vs the recorded PR 1 baseline, when present.
+        let pr1 = parse_pr1_extension("BENCH_PR1.json");
+        if !pr1.is_empty() {
+            println!("\n-- delta vs BENCH_PR1.json (recorded incremental_s) --");
+            for r in &extend_rows {
+                if let Some((_, old)) = pr1.iter().find(|(n, _)| *n == r.name) {
+                    println!(
+                        "{:<18} pr1 recorded {:>8.4}s  now {:>8.4}s  (x{:.1})",
+                        r.name,
+                        old,
+                        r.incremental_s,
+                        old / r.incremental_s.max(1e-12)
+                    );
+                }
+            }
+        }
+    }
+
+    let mut resolve_rows: Vec<ResolveRow> = Vec::new();
+    if !smoke {
+        println!("\n== DP session resolve (prefix reuse after a windowed splice) ==");
+        for m in [64usize, 160] {
+            resolve_rows.push(run_dp_resolve_case(m));
+        }
     }
 
     println!("\n== DRC scan on matched boards (brute vs indexed) ==");
     let mut drc_rows: Vec<DrcRow> = Vec::new();
-    for (name, mut board) in [
-        ("table1:4", table1_case(4).board),
-        ("stress:large", stress_board(16, 40, 300, 12).board),
-    ] {
+    let drc_boards: Vec<(&str, Board)> = if smoke {
+        vec![("table1:5", table1_case(5).board)]
+    } else {
+        vec![
+            ("table1:4", table1_case(4).board),
+            ("stress:large", stress_board(16, 40, 300, 12).board),
+        ]
+    };
+    for (name, mut board) in drc_boards {
         let _ = match_board_group(&mut board, 0, &parallel_config());
         drc_rows.push(run_drc_case(name, &board));
     }
 
     // Headline: geometric-mean speedups.
-    let gmean =
-        |xs: &[f64]| -> f64 { (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp() };
     let match_speedups: Vec<f64> = rows
         .iter()
         .map(|r| r.naive_s / r.incremental_s.max(1e-12))
@@ -260,23 +534,48 @@ fn main() {
         .iter()
         .map(|r| r.brute_s / r.indexed_s.max(1e-12))
         .collect();
+    let ext_vs_pr1: Vec<f64> = extend_rows
+        .iter()
+        .map(|r| r.pr1path_s / r.incremental_s.max(1e-12))
+        .collect();
+    let ext_vs_naive: Vec<f64> = extend_rows
+        .iter()
+        .map(|r| r.naive_s / r.incremental_s.max(1e-12))
+        .collect();
     println!(
-        "\ngeomean speedup: matching x{:.1}, drc x{:.1}",
-        gmean(&match_speedups),
-        gmean(&drc_speedups)
+        "\ngeomean speedup: matching {}, extension {} vs pr1path ({} vs naive), drc {}",
+        fmt_gmean(gmean(&match_speedups), 1),
+        fmt_gmean(gmean(&ext_vs_pr1), 2),
+        fmt_gmean(gmean(&ext_vs_naive), 2),
+        fmt_gmean(gmean(&drc_speedups), 1)
     );
 
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/1\",");
-    let _ = writeln!(j, "  \"pr\": 1,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/2\",");
+    let _ = writeln!(j, "  \"pr\": 2,");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
-        "  \"geomean_matching_speedup\": {:.3},",
-        gmean(&match_speedups)
+        "  \"geomean_matching_speedup\": {},",
+        json_gmean(gmean(&match_speedups))
     );
-    let _ = writeln!(j, "  \"geomean_drc_speedup\": {:.3},", gmean(&drc_speedups));
+    let _ = writeln!(
+        j,
+        "  \"geomean_extension_speedup_vs_pr1path\": {},",
+        json_gmean(gmean(&ext_vs_pr1))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_extension_speedup_vs_naive\": {},",
+        json_gmean(gmean(&ext_vs_naive))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_drc_speedup\": {},",
+        json_gmean(gmean(&drc_speedups))
+    );
     let _ = writeln!(j, "  \"group_matching\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -296,16 +595,41 @@ fn main() {
     let _ = writeln!(j, "  ],");
     let _ = writeln!(j, "  \"single_trace_extension\": [");
     for (i, r) in extend_rows.iter().enumerate() {
+        let s = &r.stats;
+        let pops = r.iterations.max(1) as f64;
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"speedup\": {:.3}, \"iterations\": {}, \"patterns\": {}}}{}",
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"pr1path_s\": {:.6}, \"incremental_s\": {:.6}, \"speedup_vs_naive\": {:.3}, \"speedup_vs_pr1path\": {:.3}, \"iterations\": {}, \"patterns\": {}, \"hq_requested\": {}, \"hq_executed\": {}, \"hq_pruned\": {}, \"hq_memo_hits\": {}, \"hq_skip_rate\": {:.4}, \"dp_points_per_pop\": {:.1}}}{}",
             r.name,
             r.naive_s,
+            r.pr1path_s,
             r.incremental_s,
             r.naive_s / r.incremental_s.max(1e-12),
+            r.pr1path_s / r.incremental_s.max(1e-12),
             r.iterations,
             r.patterns,
+            s.hq_requested,
+            s.hq_executed,
+            s.hq_pruned,
+            s.hq_memo_hits,
+            s.skip_rate(),
+            s.points_evaluated as f64 / pops,
             if i + 1 < extend_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"dp_resolve\": [");
+    for (i, r) in resolve_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"m\": {}, \"scratch_s\": {:.9}, \"resolve_s\": {:.9}, \"speedup\": {:.3}, \"points_per_resolve\": {:.1}, \"memo_hit_rate\": {:.4}}}{}",
+            r.m,
+            r.scratch_s,
+            r.resolve_s,
+            r.scratch_s / r.resolve_s.max(1e-12),
+            r.points_per_resolve,
+            r.memo_hit_rate,
+            if i + 1 < resolve_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(j, "  ],");

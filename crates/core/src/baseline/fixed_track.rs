@@ -160,6 +160,7 @@ pub fn extend_trace_fixed(
         trace,
         iterations,
         patterns,
+        stats: Default::default(),
     }
 }
 

@@ -37,6 +37,12 @@ pub struct ExtendConfig {
     /// pipeline (kept as the reference for equivalence tests and the
     /// before/after benchmark).
     pub incremental: bool,
+    /// Use per-position upper-bound profiles in the incremental engine's
+    /// segment DP: a stage-1 clearance sweep computed once per pop lets the
+    /// DP skip height queries whose capped value provably cannot beat the
+    /// incumbent state. Output is bit-identical either way (the bounds are
+    /// sound); off reproduces the PR 1 incremental path for benchmarking.
+    pub dp_profile: bool,
     /// Process independent traces (and groups) of a matching run on worker
     /// threads. Results are written back in deterministic order, so under
     /// the model's invariant that a trace belongs to at most one group,
@@ -59,6 +65,7 @@ impl Default for ExtendConfig {
             requeue: true,
             requeue_min_protect: 2.0,
             incremental: true,
+            dp_profile: true,
             parallel: true,
         }
     }

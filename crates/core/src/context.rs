@@ -151,6 +151,15 @@ impl WorldIndex {
 /// A merge-sort tree over the clipped polygons' nodes answers Alg. 2's
 /// `P_check` range queries; a uniform grid over their edges accelerates the
 /// "sides" intersections of Eq. 11.
+///
+/// A context is immutable once built, which is what makes the per-position
+/// upper-bound profile ([`crate::shrink::build_ub_profile`]) sound: the
+/// profile snapshots the stage-1 side clearances for every discretized foot
+/// position against `edges`/`grid`, and every later
+/// [`crate::shrink::max_pattern_height_scratch`] probe of the same context
+/// evaluates the same geometry — so the cached caps stay true upper bounds
+/// for the context's whole lifetime (one queue pop in the engine; a splice
+/// builds fresh contexts for the segments it creates).
 #[derive(Debug)]
 pub struct ShrinkContext {
     /// Constraint polygons in pattern-side coordinates. Routable-area

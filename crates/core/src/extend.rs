@@ -6,17 +6,23 @@
 //!   **once per trace**, re-transforms only the polygons near each popped
 //!   segment's candidate window, tracks segments by stable id, and maintains
 //!   the trace length incrementally — the per-iteration cost is governed by
-//!   local geometry, not by how much meander has accumulated.
+//!   local geometry, not by how much meander has accumulated. With
+//!   [`ExtendConfig::dp_profile`] (default on) each pop additionally builds
+//!   a per-position upper-bound profile from the side contexts'
+//!   stage-1 clearances, so the segment DP executes only the height queries
+//!   whose result can still matter (the pruning is sound: placements are
+//!   bit-identical with the profile on or off).
 //! * [`extend_trace_rebuild`] re-clones and re-transforms the whole world on
-//!   every queue pop (the original pipeline). It is kept as the reference
-//!   implementation for equivalence tests and as the "before" side of the
-//!   performance baseline.
+//!   every queue pop (the original pipeline) and runs the DP with only the
+//!   global `h_init` cap. It is kept as the reference implementation for
+//!   equivalence tests and as the "before" side of the performance
+//!   baseline.
 
 use crate::config::ExtendConfig;
 use crate::context::{ShrinkContext, WorldContext, WorldIndex};
-use crate::dp::{extend_segment_dp, DpInput, Placement};
+use crate::dp::{DpInput, DpSession, DpStats, HeightBounds, Placement};
 use crate::pattern::{build_local_meander, splice_meander};
-use crate::shrink::{max_pattern_height_scratch, ShrinkScratch};
+use crate::shrink::{build_ub_profile, max_pattern_height_scratch, ShrinkScratch};
 use crate::tracebuf::TraceBuf;
 use meander_drc::DesignRules;
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect};
@@ -50,6 +56,9 @@ pub struct ExtendOutcome {
     pub iterations: usize,
     /// Patterns inserted.
     pub patterns: usize,
+    /// Aggregated DP work counters over every pop (height queries, pruned
+    /// queries, rows evaluated — the bench records these per case).
+    pub stats: DpStats,
 }
 
 impl ExtendOutcome {
@@ -132,6 +141,11 @@ impl Disc {
 
 /// Runs the segment DP against prepared side contexts and returns the local
 /// meander replacement, or `None` when nothing legal fits.
+///
+/// With `use_profile`, a per-position stage-1 clearance profile is built
+/// first ([`build_ub_profile`]) so the DP can skip height queries whose
+/// capped value cannot matter — same output, fewer shrink-kernel runs. DP
+/// work counters accumulate into `stats`.
 #[allow(clippy::too_many_arguments)]
 fn plan_segment(
     len: f64,
@@ -142,8 +156,22 @@ fn plan_segment(
     ctx_dn: &ShrinkContext,
     config: &ExtendConfig,
     scratch: &mut ShrinkScratch,
+    use_profile: bool,
+    stats: &mut DpStats,
 ) -> Option<(Polyline, usize)> {
     let h_init = remaining / 2.0;
+    let profile = use_profile.then(|| {
+        build_ub_profile(
+            ctx_up,
+            ctx_dn,
+            disc.m,
+            disc.ldisc,
+            params.g_eff,
+            h_init,
+            params.h_min,
+            scratch,
+        )
+    });
     let scratch_cell = RefCell::new(scratch);
     let height = |lo: usize, hi: usize, dir: i8| -> f64 {
         let ctx = if dir > 0 { ctx_up } else { ctx_dn };
@@ -159,7 +187,7 @@ fn plan_segment(
         .height
     };
 
-    let outcome = extend_segment_dp(&DpInput {
+    let dp_input = DpInput {
         m: disc.m,
         ldisc: disc.ldisc,
         gap_steps: disc.gap_steps,
@@ -171,11 +199,19 @@ fn plan_segment(
         min_width_steps: disc.gap_steps,
         max_width_steps: config.max_width_steps,
         height: &height,
-        // No probe can exceed the shrink start height; lets the DP skip
-        // candidates that cannot beat the incumbent value.
-        height_cap: h_init,
+        // No probe can exceed the shrink start height — and with the
+        // profile, no probe can exceed its feet's stage-1 clearance caps.
+        bounds: match &profile {
+            Some(p) => HeightBounds::Profile(p),
+            None => HeightBounds::Uniform(h_init),
+        },
         config,
-    });
+    };
+    // Single-solve session: the memo would never hit within one pass, so
+    // it stays off; resolving callers (see `DpSession`) enable it.
+    let mut session = DpSession::new(&dp_input, false);
+    let outcome = session.solve(&dp_input);
+    stats.absorb(session.stats());
     if outcome.placements.is_empty() {
         return None;
     }
@@ -232,6 +268,7 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
     let mut queue: VecDeque<u32> = (0..trace.segment_records() as u32).collect();
     let mut iterations = 0usize;
     let mut patterns = 0usize;
+    let mut stats = DpStats::default();
 
     // Reused query state.
     let mut static_scratch = GridScratch::new();
@@ -295,6 +332,8 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
             &ctx_dn,
             config,
             &mut shrink_scratch,
+            config.dp_profile,
+            &mut stats,
         ) else {
             continue;
         };
@@ -320,6 +359,7 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
         trace: out,
         iterations,
         patterns,
+        stats,
     }
 }
 
@@ -360,6 +400,7 @@ pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> E
     let mut queue: VecDeque<(Point, Point)> = trace.segments().map(|s| (s.a, s.b)).collect();
     let mut iterations = 0usize;
     let mut patterns = 0usize;
+    let mut stats = DpStats::default();
     let mut shrink_scratch = ShrinkScratch::new();
 
     while trace.length() < input.target - params.tol
@@ -396,6 +437,8 @@ pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> E
         let ctx_up = ShrinkContext::build(&world, &frame, len, 1);
         let ctx_dn = ShrinkContext::build(&world, &frame, len, -1);
 
+        // The rebuild engine stays on the uniform cap — it is the PR 1
+        // reference path the perf baseline measures against.
         let Some((local, kept)) = plan_segment(
             len,
             remaining,
@@ -405,6 +448,8 @@ pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> E
             &ctx_dn,
             config,
             &mut shrink_scratch,
+            false,
+            &mut stats,
         ) else {
             continue;
         };
@@ -428,6 +473,7 @@ pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> E
         trace,
         iterations,
         patterns,
+        stats,
     }
 }
 

@@ -40,5 +40,6 @@ pub mod shrink;
 pub mod tracebuf;
 
 pub use config::ExtendConfig;
+pub use dp::{DpSession, DpStats, HeightBounds, UbProfile};
 pub use driver::{match_all_groups, match_board_group, miter_group, GroupReport, TraceReport};
 pub use extend::{extend_trace, ExtendOutcome};

@@ -17,8 +17,23 @@
 //!    otherwise `h_ob` drops below the whole polygon. Polygons fully inside
 //!    the *inner* border are legally enclosed: the pattern routes around
 //!    them.
+//!
+//! ## The upper-bound profile
+//!
+//! The segment DP probes `O(m·w)` candidate patterns against this
+//! procedure. [`build_ub_profile`] precomputes, once per segment and side,
+//! the **stage-1 cap for every discretized foot position**: the lowest
+//! crossing of the vertical outer-border side at that position with any
+//! context edge, evaluated with the *same* `segment_intersection` calls and
+//! the *same* start height stage 1 would use. Because stages 2–3 only ever
+//! lower `h_ob`, the resulting per-position value is a sound upper bound on
+//! any [`max_pattern_height_scratch`] result with a foot there — the DP can
+//! skip a probe whose capped value cannot matter, and the output stays
+//! bit-identical to the unpruned pass. Caps below `h_min` are floored to 0
+//! (the probe would return "no pattern" anyway).
 
 use crate::context::{ShrinkContext, Y_EPS};
+use crate::dp::UbProfile;
 use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection};
 use meander_index::GridScratch;
 
@@ -285,6 +300,95 @@ pub fn max_pattern_height_opts_scratch(
     }
 }
 
+/// The stage-1 cap of one vertical outer-border side at local `x`: the
+/// minimum `dist_seg` over its crossings with context edges, starting from
+/// `hob0 = h_init + gap/2` — computed with exactly the intersection calls
+/// stage 1 would make, so it bounds (from above, in `h_ob` terms) every
+/// shrink result whose border has a side at `x`.
+fn stage1_side_cap(
+    ctx: &ShrinkContext,
+    x: f64,
+    hob0: f64,
+    grid_scratch: &mut GridScratch,
+    edge_ids: &mut Vec<u32>,
+) -> f64 {
+    let side = Segment::new(Point::new(x, Y_EPS), Point::new(x, hob0));
+    let column = Rect::new(Point::new(x, Y_EPS), Point::new(x, hob0));
+    ctx.grid.query_scratch(&column, grid_scratch, edge_ids);
+    let mut cap = hob0;
+    for &id in edge_ids.iter() {
+        let e = &ctx.edges[id as usize];
+        match segment_intersection(&side, e) {
+            SegmentIntersection::None => {}
+            SegmentIntersection::Point(p) => {
+                cap = cap.min(ctx.dist_seg(p));
+            }
+            SegmentIntersection::Overlap(o) => {
+                cap = cap.min(ctx.dist_seg(o.a)).min(ctx.dist_seg(o.b));
+            }
+        }
+    }
+    cap
+}
+
+/// Builds the per-position upper-bound profile for one segment's DP
+/// (paper's discretization: feet at `0..=m`, step `ldisc`).
+///
+/// For every foot index and side the profile stores the stage-1 side cap in
+/// *height* terms (`cap − gap/2`), clamped to `h_init` and floored to 0
+/// when below `h_min` (such a probe returns "no pattern"). Direction
+/// indexing follows [`crate::dp::DirIx`]: entry 0 is the `dn` context
+/// (geometric −1), entry 1 is `up`.
+///
+/// Soundness: a pattern with feet `(j, i)` on side `d` has outer-border
+/// sides at `j·ldisc − gap/2` and `i·ldisc + gap/2`, and
+/// [`max_pattern_height_opts_scratch`] caps `h_ob` by every crossing of
+/// those sides before stages 2–3 shrink it further; the profile evaluates
+/// those same crossings, so `height(j, i, d) ≤ min(left[d][j],
+/// right[d][i], h_init)` holds exactly (same floats, same primitives).
+#[allow(clippy::too_many_arguments)]
+pub fn build_ub_profile(
+    ctx_up: &ShrinkContext,
+    ctx_dn: &ShrinkContext,
+    m: usize,
+    ldisc: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    scratch: &mut ShrinkScratch,
+) -> UbProfile {
+    let g2 = gap / 2.0;
+    let hob0 = h_init + g2;
+    let floor = |cap_hob: f64| -> f64 {
+        let h = cap_hob - g2;
+        if h < h_min - 1e-9 {
+            0.0
+        } else {
+            h.min(h_init)
+        }
+    };
+    let mut side = |ctx: &ShrinkContext, left_side: bool| -> Vec<f64> {
+        (0..=m)
+            .map(|p| {
+                let x0 = p as f64 * ldisc;
+                let x = if left_side { x0 - g2 } else { x0 + g2 };
+                floor(stage1_side_cap(
+                    ctx,
+                    x,
+                    hob0,
+                    &mut scratch.grid,
+                    &mut scratch.edge_ids,
+                ))
+            })
+            .collect()
+    };
+    UbProfile {
+        cap: h_init,
+        left: [side(ctx_dn, true), side(ctx_up, true)],
+        right: [side(ctx_dn, false), side(ctx_up, false)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,5 +574,63 @@ mod tests {
         let ctx = ctx_with(vec![]);
         let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 2.0, 4.0);
         assert_eq!(r.height, 0.0);
+    }
+
+    #[test]
+    fn ub_profile_bounds_every_probe() {
+        // Mixed geometry: a side-blocking wall, a low ceiling patch, and an
+        // enclosable via — the profile must upper-bound every probe result
+        // exactly (no epsilon: same floats, same primitives).
+        let obstacles = vec![
+            Polygon::rectangle(Point::new(0.0, 10.0), Point::new(18.0, 14.0)),
+            Polygon::rectangle(Point::new(55.0, 6.0), Point::new(70.0, 9.0)),
+            Polygon::rectangle(Point::new(34.0, 12.0), Point::new(38.0, 16.0)),
+            // Hugging the segment: floors nearby caps to zero.
+            Polygon::rectangle(Point::new(80.0, 1.0), Point::new(90.0, 3.0)),
+        ];
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-20.0, -60.0),
+                Point::new(120.0, 60.0),
+            )],
+            obstacles,
+            other_uras: vec![],
+        };
+        let ctx_up = ShrinkContext::build(&world, &frame, 100.0, 1);
+        let ctx_dn = ShrinkContext::build(&world, &frame, 100.0, -1);
+
+        let (m, ldisc, h_init, h_min) = (50usize, 2.0, 30.0, 2.0);
+        let mut scratch = ShrinkScratch::new();
+        let profile =
+            build_ub_profile(&ctx_up, &ctx_dn, m, ldisc, GAP, h_init, h_min, &mut scratch);
+
+        for d in 0..2usize {
+            let ctx = if d == 1 { &ctx_up } else { &ctx_dn };
+            for j in 0..m {
+                for i in (j + 2)..=(j + 16).min(m) {
+                    let r = max_pattern_height_scratch(
+                        ctx,
+                        j as f64 * ldisc,
+                        i as f64 * ldisc,
+                        GAP,
+                        h_init,
+                        h_min,
+                        &mut scratch,
+                    );
+                    let cap = profile.cap.min(profile.left[d][j]).min(profile.right[d][i]);
+                    assert!(
+                        r.height <= cap,
+                        "probe ({j},{i},{d}): height {} exceeds profile cap {cap}",
+                        r.height
+                    );
+                }
+            }
+        }
+        // The obstacle hugging the segment must floor some caps to zero.
+        assert!(profile.left[1].contains(&0.0));
+        // Open positions far from everything stay at the global cap.
+        assert!(profile.left[1].contains(&h_init));
     }
 }

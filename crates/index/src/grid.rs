@@ -30,6 +30,13 @@ pub struct SegmentGrid {
     cells: HashMap<(i64, i64), Vec<u32>>,
     len: usize,
     max_id: u32,
+    /// Occupied cell-coordinate bounds `(cx0, cy0, cx1, cy1)`; queries are
+    /// clamped to this range. Without the clamp a query rectangle much
+    /// larger than the occupied region (the extension engine's candidate
+    /// windows are `remaining/2` tall early in a run) walks every *empty*
+    /// cell coordinate it covers — `O(window area / cell²)` hash probes
+    /// per query for nothing.
+    occupied: Option<(i64, i64, i64, i64)>,
 }
 
 /// Reusable visited-stamp state for [`SegmentGrid::query_scratch`].
@@ -92,6 +99,7 @@ impl SegmentGrid {
             cells: HashMap::new(),
             len: 0,
             max_id: 0,
+            occupied: None,
         }
     }
 
@@ -115,6 +123,31 @@ impl SegmentGrid {
         )
     }
 
+    /// Grows the occupied-cell bounds to cover `[cx0, cx1] × [cy0, cy1]`.
+    #[inline]
+    fn cover(&mut self, cx0: i64, cy0: i64, cx1: i64, cy1: i64) {
+        self.occupied = Some(match self.occupied {
+            None => (cx0, cy0, cx1, cy1),
+            Some((ox0, oy0, ox1, oy1)) => (ox0.min(cx0), oy0.min(cy0), ox1.max(cx1), oy1.max(cy1)),
+        });
+    }
+
+    /// The query cell range for `r`: its cell span clamped to the occupied
+    /// bounds. Empty (`None`) when the grid has no entries or `r` lies
+    /// entirely outside them.
+    #[inline]
+    fn clamped_range(&self, r: &Rect) -> Option<(i64, i64, i64, i64)> {
+        let (ox0, oy0, ox1, oy1) = self.occupied?;
+        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
+        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
+        let (cx0, cy0) = (cx0.max(ox0), cy0.max(oy0));
+        let (cx1, cy1) = (cx1.min(ox1), cy1.min(oy1));
+        if cx0 > cx1 || cy0 > cy1 {
+            return None;
+        }
+        Some((cx0, cy0, cx1, cy1))
+    }
+
     /// Registers `seg` under `id` in every cell its bbox overlaps.
     pub fn insert(&mut self, id: u32, seg: &Segment) {
         let bb = seg.bbox();
@@ -125,6 +158,7 @@ impl SegmentGrid {
                 self.cells.entry((cx, cy)).or_default().push(id);
             }
         }
+        self.cover(cx0, cy0, cx1, cy1);
         self.len += 1;
         self.max_id = self.max_id.max(id);
     }
@@ -139,6 +173,7 @@ impl SegmentGrid {
                 self.cells.entry((cx, cy)).or_default().push(id);
             }
         }
+        self.cover(cx0, cy0, cx1, cy1);
         self.len += 1;
         self.max_id = self.max_id.max(id);
     }
@@ -172,8 +207,9 @@ impl SegmentGrid {
     /// sorted and deduplicated.
     pub fn query_into(&self, r: &Rect, out: &mut Vec<u32>) {
         out.clear();
-        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
-        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
+        let Some((cx0, cy0, cx1, cy1)) = self.clamped_range(r) else {
+            return;
+        };
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 if let Some(ids) = self.cells.get(&(cx, cy)) {
@@ -191,9 +227,10 @@ impl SegmentGrid {
     /// order as [`SegmentGrid::query`]).
     pub fn query_scratch(&self, r: &Rect, scratch: &mut GridScratch, out: &mut Vec<u32>) {
         out.clear();
+        let Some((cx0, cy0, cx1, cy1)) = self.clamped_range(r) else {
+            return;
+        };
         scratch.begin(self.max_id);
-        let (cx0, cy0) = self.cell_of(r.min.x, r.min.y);
-        let (cx1, cy1) = self.cell_of(r.max.x, r.max.y);
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 if let Some(ids) = self.cells.get(&(cx, cy)) {
@@ -324,6 +361,27 @@ mod tests {
             g.query_scratch(&r, &mut scratch, &mut got);
             assert_eq!(got, g.query(&r), "query {qi} diverged");
         }
+    }
+
+    #[test]
+    fn huge_query_windows_clamp_to_occupied_cells() {
+        // A window thousands of cells tall must still answer from the few
+        // occupied cells (and an empty grid answers immediately).
+        let empty = SegmentGrid::new(1.0);
+        let vast = Rect::new(Point::new(-1e6, -1e6), Point::new(1e6, 1e6));
+        assert!(empty.query(&vast).is_empty());
+
+        let mut g = SegmentGrid::new(1.0);
+        g.insert(0, &seg(0.0, 0.0, 2.0, 0.0));
+        g.insert(1, &seg(5.0, 3.0, 6.0, 3.0));
+        assert_eq!(g.query(&vast), vec![0, 1]);
+        let mut scratch = GridScratch::new();
+        let mut out = Vec::new();
+        g.query_scratch(&vast, &mut scratch, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        // Disjoint-from-occupied window: empty without cell walking.
+        let far = Rect::new(Point::new(1e5, 1e5), Point::new(2e5, 2e5));
+        assert!(g.query(&far).is_empty());
     }
 
     #[test]
