@@ -11,6 +11,9 @@
 //!   URA-shrink queries, where the reuse wins 3–7×,
 //! * `ura_shrink` — one max-height query vs obstacle count (allocating and
 //!   scratch-reusing variants),
+//! * `batch_distance` — `distance_sq_to_segment_batch` vs the scalar
+//!   `distance_to_segment` loop at candidate counts {4, 16, 64, 256},
+//! * `batch_profile` — batched vs scalar `build_ub_profile` sweep,
 //! * `dtw` — node matching vs node count,
 //! * `simplex` — assignment LP vs grid size,
 //! * `priority_ablation` — connected-pattern priority on/off (Fig. 5),
@@ -21,8 +24,12 @@ use meander_core::baseline::FixedTrackOptions;
 use meander_core::context::{ShrinkContext, WorldContext};
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds, UbProfile};
 use meander_core::extend::ExtendInput;
-use meander_core::shrink::{max_pattern_height, max_pattern_height_scratch, ShrinkScratch};
+use meander_core::shrink::{
+    build_ub_profile, build_ub_profile_batched, max_pattern_height, max_pattern_height_scratch,
+    ShrinkScratch,
+};
 use meander_core::{extend_trace, ExtendConfig};
+use meander_geom::batch::{distance_sq_to_segment_batch, SegBatch};
 use meander_geom::{Frame, Point, Polygon, Polyline, Segment};
 use meander_msdtw::dtw_match;
 use meander_region::{solve_lp_for_bench, LpOutcome};
@@ -160,6 +167,113 @@ fn bench_ura_shrink(c: &mut Criterion) {
     group.finish();
 }
 
+/// `distance_sq_to_segment_batch` vs the scalar `distance_to_segment`
+/// candidate loop — the DRC scan's pair kernel shape.
+fn bench_batch_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_distance");
+    let probe = Segment::new(Point::new(0.0, 0.0), Point::new(40.0, 9.0));
+    for n in [4usize, 16, 64, 256] {
+        // Deterministic pseudo-random candidate cloud: short segments
+        // scattered around the probe, the shape trace segments actually
+        // have in a DRC window (few bbox overlaps with the probe).
+        let mut batch = SegBatch::new();
+        let mut segs = Vec::with_capacity(n);
+        let mut state = 88172645463325252u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            let a = Point::new(rnd() * 120.0 - 40.0, rnd() * 120.0 - 40.0);
+            let s = Segment::new(
+                a,
+                Point::new(a.x + rnd() * 12.0 - 6.0, a.y + rnd() * 12.0 - 6.0),
+            );
+            batch.push(&s);
+            segs.push(s);
+        }
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut best = f64::INFINITY;
+                for s in &segs {
+                    let d = probe.distance_to_segment(s);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                best
+            })
+        });
+        let mut dsq = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| {
+                distance_sq_to_segment_batch(&probe, &batch, &mut dsq);
+                let mut best = f64::INFINITY;
+                for &d in &dsq {
+                    if d < best {
+                        best = d;
+                    }
+                }
+                best.sqrt()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batched vs scalar `build_ub_profile` sweep — the per-pop profile cost
+/// the DP prune depends on.
+fn bench_batch_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_profile");
+    let seg_len = 200.0;
+    let seg = Segment::new(Point::new(0.0, 0.0), Point::new(seg_len, 0.0));
+    let frame = Frame::from_segment(&seg).unwrap();
+    let obstacles: Vec<Polygon> = (0..64)
+        .map(|i| {
+            let x = 6.0 + (i % 16) as f64 * 12.0;
+            let y = 9.0 + (i / 16) as f64 * 11.0;
+            Polygon::regular(Point::new(x, y), 1.5, 8, 0.0)
+        })
+        .collect();
+    let world = WorldContext {
+        area: vec![Polygon::rectangle(
+            Point::new(-20.0, -80.0),
+            Point::new(seg_len + 20.0, 80.0),
+        )],
+        obstacles,
+        other_uras: vec![],
+    };
+    let ctx_up = ShrinkContext::build(&world, &frame, seg_len, 1);
+    let ctx_dn = ShrinkContext::build(&world, &frame, seg_len, -1);
+    for m in [64usize, 160] {
+        let ldisc = seg_len / m as f64;
+        let (gap, h_init, h_min) = (8.0, 40.0, 2.0);
+        let mut scratch = ShrinkScratch::new();
+        group.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| {
+                build_ub_profile(&ctx_up, &ctx_dn, m, ldisc, gap, h_init, h_min, &mut scratch)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", m), &m, |b, _| {
+            b.iter(|| {
+                build_ub_profile_batched(
+                    &ctx_up,
+                    &ctx_dn,
+                    m,
+                    ldisc,
+                    gap,
+                    h_init,
+                    h_min,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_dtw(c: &mut Criterion) {
     let mut group = c.benchmark_group("dtw");
     for n in [16usize, 64, 256] {
@@ -280,6 +394,8 @@ criterion_group!(
     bench_dp_kernel,
     bench_dp_resolve,
     bench_ura_shrink,
+    bench_batch_distance,
+    bench_batch_profile,
     bench_dtw,
     bench_simplex,
     bench_ablations

@@ -1,11 +1,12 @@
 //! Performance baseline: times the matching flow, single-trace extension,
-//! and the DRC scan on the paper's cases plus the large stress board, for
-//! each engine configuration, and emits `BENCH_PR2.json` (schema v2) — the
-//! second point of the repo's performance trajectory. Schema v2 adds
-//! DP-level observability: height-query counts, the bound-prune skip rate
-//! (`hq_skip_rate`), and DP rows evaluated per pop, plus a `dp_resolve`
-//! section
-//! measuring the [`DpSession`] prefix-reuse path directly.
+//! and the DRC scan on the paper's cases plus the stress boards, for each
+//! engine configuration, and emits `BENCH_PR3.json` (schema v3) — the
+//! third point of the repo's performance trajectory. Schema v3 adds the
+//! SoA batch kernels: a live `batched` configuration for extension,
+//! matching, and the DRC scan (bit-identical outputs, asserted here), the
+//! `stress:mixed` plane+via board, per-kernel batch counters (calls,
+//! candidates per batch, lanes wasted on tail padding), and a printed
+//! delta against the recorded `BENCH_PR2.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -17,15 +18,15 @@
 //! * `pr1path`     — indexed incremental engine with the upper-bound
 //!   profile off (`dp_profile: false`): the PR 1 code path, re-measured on
 //!   the current tree so the extension speedups compare like with like
-//! * `incremental` — indexed engine + per-position DP upper-bound profile
+//! * `incremental` — indexed engine + DP upper-bound profile, scalar
+//!   geometry kernels (the PR 2 code path)
+//! * `batched`     — `incremental` with `batch_kernels: true`: stage-1 and
+//!   profile sweeps on the SoA lane-parallel kernels
 //! * `parallel`    — indexed engine, parallel driver
 //!
-//! The headline numbers are `speedup_incremental = naive / incremental` on
-//! the group-matching wall clock, `speedup_vs_pr1path = pr1path /
-//! incremental` on single-trace extension, and `speedup_drc = brute /
-//! indexed` on the post-matching violation scan. When a `BENCH_PR1.json`
-//! is present, a side-by-side delta against its recorded extension times
-//! is printed as well.
+//! The headline numbers are `speedup_batch = incremental / batched` on
+//! single-trace extension and `speedup_batch = indexed / batched` on the
+//! violation scan, alongside the PR 2 headline ratios re-measured live.
 //!
 //! `--smoke` runs the table1:5 matching + DRC slice only (seconds, debug or
 //! release) so CI can keep this binary from rotting between perf PRs.
@@ -34,8 +35,11 @@ use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
 use meander_core::pattern::placements_window;
 use meander_core::{match_board_group, DpStats, ExtendConfig};
-use meander_drc::{check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry};
-use meander_layout::gen::{stress_board, table1_case, table2_case};
+use meander_drc::{
+    check_layout_batched_stats, check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry,
+};
+use meander_geom::batch::BatchStats;
+use meander_layout::gen::{stress_board, stress_mixed_board, table1_case, table2_case};
 use meander_layout::Board;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -44,6 +48,7 @@ fn naive_config() -> ExtendConfig {
     ExtendConfig {
         incremental: false,
         parallel: false,
+        batch_kernels: false,
         ..ExtendConfig::default()
     }
 }
@@ -52,6 +57,7 @@ fn pr1path_config() -> ExtendConfig {
     ExtendConfig {
         parallel: false,
         dp_profile: false,
+        batch_kernels: false,
         ..ExtendConfig::default()
     }
 }
@@ -59,6 +65,15 @@ fn pr1path_config() -> ExtendConfig {
 fn incremental_config() -> ExtendConfig {
     ExtendConfig {
         parallel: false,
+        batch_kernels: false,
+        ..ExtendConfig::default()
+    }
+}
+
+fn batched_config() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        batch_kernels: true,
         ..ExtendConfig::default()
     }
 }
@@ -71,40 +86,65 @@ struct CaseRow {
     name: String,
     naive_s: f64,
     incremental_s: f64,
+    batched_s: f64,
     parallel_s: f64,
     max_err_pct: f64,
     patterns: usize,
 }
 
-fn time_match<F: Fn() -> Board>(make: F, config: &ExtendConfig) -> (f64, f64, usize) {
-    let mut board = make();
-    let t0 = Instant::now();
-    let report = match_board_group(&mut board, 0, config);
-    let secs = t0.elapsed().as_secs_f64();
-    let patterns = report.traces.iter().map(|t| t.patterns).sum();
-    (secs, report.max_error() * 100.0, patterns)
+/// Median of `reps` timings of `f` (single-shot wall clocks on a shared
+/// container swing by tens of percent; medians make the recorded ratios
+/// reproducible). Returns the median seconds and the first run's value.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let (s0, out) = f();
+    let mut times = vec![s0];
+    for _ in 1..reps {
+        times.push(f().0);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out)
+}
+
+fn time_match<F: Fn() -> Board>(make: F, config: &ExtendConfig, reps: usize) -> (f64, f64, usize) {
+    let (secs, (err, patterns)) = median_secs(reps, || {
+        let mut board = make();
+        let t0 = Instant::now();
+        let report = match_board_group(&mut board, 0, config);
+        let secs = t0.elapsed().as_secs_f64();
+        let patterns = report.traces.iter().map(|t| t.patterns).sum();
+        (secs, (report.max_error() * 100.0, patterns))
+    });
+    (secs, err, patterns)
 }
 
 fn run_case<F: Fn() -> Board>(name: &str, make: F) -> CaseRow {
-    let (naive_s, _, _) = time_match(&make, &naive_config());
-    let (incremental_s, max_err_pct, patterns) = time_match(&make, &incremental_config());
-    let (parallel_s, _, _) = time_match(&make, &parallel_config());
+    let (naive_s, _, _) = time_match(&make, &naive_config(), 1);
+    let (incremental_s, max_err_pct, patterns) = time_match(&make, &incremental_config(), 3);
+    let (batched_s, batched_err, batched_patterns) = time_match(&make, &batched_config(), 3);
+    assert_eq!(
+        patterns, batched_patterns,
+        "{name}: batch kernels must not change the outcome"
+    );
+    assert_eq!(max_err_pct.to_bits(), batched_err.to_bits());
+    let (parallel_s, _, _) = time_match(&make, &parallel_config(), 1);
     let row = CaseRow {
         name: name.to_string(),
         naive_s,
         incremental_s,
+        batched_s,
         parallel_s,
         max_err_pct,
         patterns,
     };
     println!(
-        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  parallel {:>9.4}s  (x{:.1} / x{:.1})  maxerr {:.2}%",
+        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  batched {:>9.4}s  parallel {:>9.4}s  (x{:.1} naive, x{:.2} batch)  maxerr {:.2}%",
         row.name,
         row.naive_s,
         row.incremental_s,
+        row.batched_s,
         row.parallel_s,
         row.naive_s / row.incremental_s.max(1e-12),
-        row.naive_s / row.parallel_s.max(1e-12),
+        row.incremental_s / row.batched_s.max(1e-12),
         row.max_err_pct
     );
     row
@@ -115,9 +155,11 @@ struct ExtendRow {
     naive_s: f64,
     pr1path_s: f64,
     incremental_s: f64,
+    batched_s: f64,
     iterations: usize,
     patterns: usize,
     stats: DpStats,
+    batch: BatchStats,
 }
 
 fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
@@ -149,15 +191,17 @@ fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
         c
     };
 
-    let t0 = Instant::now();
-    let slow = extend_trace(&input, &long_run(naive_config()));
-    let naive_s = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let pr1 = extend_trace(&input, &long_run(pr1path_config()));
-    let pr1path_s = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let fast = extend_trace(&input, &long_run(incremental_config()));
-    let incremental_s = t0.elapsed().as_secs_f64();
+    let timed = |config: ExtendConfig| {
+        median_secs(3, || {
+            let t0 = Instant::now();
+            let out = extend_trace(&input, &long_run(config.clone()));
+            (t0.elapsed().as_secs_f64(), out)
+        })
+    };
+    let (naive_s, slow) = timed(naive_config());
+    let (pr1path_s, pr1) = timed(pr1path_config());
+    let (incremental_s, fast) = timed(incremental_config());
+    let (batched_s, batched) = timed(batched_config());
     assert_eq!(
         slow.patterns, fast.patterns,
         "{name}: engines must agree on pattern count"
@@ -167,15 +211,24 @@ fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
         "{name}: profile must not change the outcome"
     );
     assert!((pr1.achieved - fast.achieved).abs() < 1e-9);
+    // The batch kernels are bit-identical, not merely equivalent.
+    assert_eq!(batched.patterns, fast.patterns);
+    assert_eq!(
+        batched.achieved.to_bits(),
+        fast.achieved.to_bits(),
+        "{name}: batch kernels must be bit-identical"
+    );
+    assert_eq!(batched.trace.points(), fast.trace.points());
     let s = fast.stats;
     println!(
-        "{:<18} naive {:>8.4}s  pr1path {:>8.4}s  profile {:>8.4}s  (x{:.2} vs naive, x{:.2} vs pr1)  {} iters, {} patterns, hq {}→{} exec (skip {:.2})",
+        "{:<18} naive {:>8.4}s  pr1path {:>8.4}s  profile {:>8.4}s  batched {:>8.4}s  (x{:.2} vs naive, x{:.2} vs scalar)  {} iters, {} patterns, hq {}→{} exec (skip {:.2})",
         name,
         naive_s,
         pr1path_s,
         incremental_s,
-        naive_s / incremental_s.max(1e-12),
-        pr1path_s / incremental_s.max(1e-12),
+        batched_s,
+        naive_s / batched_s.max(1e-12),
+        incremental_s / batched_s.max(1e-12),
         fast.iterations,
         fast.patterns,
         s.hq_requested,
@@ -187,9 +240,11 @@ fn run_extend_case(name: &str, case_no: usize) -> ExtendRow {
         naive_s,
         pr1path_s,
         incremental_s,
+        batched_s,
         iterations: fast.iterations,
         patterns: fast.patterns,
         stats: s,
+        batch: batched.stats.batch,
     }
 }
 
@@ -197,8 +252,10 @@ struct DrcRow {
     name: String,
     brute_s: f64,
     indexed_s: f64,
+    batched_s: f64,
     violations: usize,
     segments: usize,
+    batch: BatchStats,
 }
 
 fn run_drc_case(name: &str, board: &Board) -> DrcRow {
@@ -232,16 +289,26 @@ fn run_drc_case(name: &str, board: &Board) -> DrcRow {
     let t0 = Instant::now();
     let brute = check_layout_brute(&input);
     let brute_s = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let indexed = check_layout_indexed(&input);
-    let indexed_s = t0.elapsed().as_secs_f64();
+    let (indexed_s, indexed) = median_secs(5, || {
+        let t0 = Instant::now();
+        let v = check_layout_indexed(&input);
+        (t0.elapsed().as_secs_f64(), v)
+    });
+    let (batched_s, (batched, batch)) = median_secs(5, || {
+        let t0 = Instant::now();
+        let v = check_layout_batched_stats(&input);
+        (t0.elapsed().as_secs_f64(), v)
+    });
     assert_eq!(brute, indexed, "{name}: DRC paths must agree exactly");
+    assert_eq!(brute, batched, "{name}: batched DRC must agree exactly");
     println!(
-        "{:<18} brute {:>9.4}s  indexed {:>9.4}s  (x{:.1})  {} segments, {} violations",
+        "{:<18} brute {:>9.4}s  indexed {:>9.4}s  batched {:>9.4}s  (x{:.1} brute, x{:.2} batch)  {} segments, {} violations",
         name,
         brute_s,
         indexed_s,
+        batched_s,
         brute_s / indexed_s.max(1e-12),
+        indexed_s / batched_s.max(1e-12),
         segments,
         brute.len()
     );
@@ -249,8 +316,10 @@ fn run_drc_case(name: &str, board: &Board) -> DrcRow {
         name: name.to_string(),
         brute_s,
         indexed_s,
+        batched_s,
         violations: brute.len(),
         segments,
+        batch,
     }
 }
 
@@ -382,23 +451,26 @@ fn run_dp_resolve_case(m: usize) -> ResolveRow {
     }
 }
 
-/// Pulls `incremental_s` per table2 case out of a prior `BENCH_PR1.json`
-/// (hand-rolled scan; no serde offline). Returns `(case_name, seconds)`.
-fn parse_pr1_extension(path: &str) -> Vec<(String, f64)> {
+/// Pulls a per-case seconds field out of one array section of a prior
+/// `BENCH_PR*.json` (hand-rolled scan; no serde offline). Returns
+/// `(case_name, seconds)` for every row of `section` carrying `key`.
+fn parse_recorded(path: &str, section: &str, key: &str) -> Vec<(String, f64)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
+    let needle = format!("\"{section}\"");
+    let keyq = format!("\"{key}\"");
     let mut out = Vec::new();
-    let mut in_ext = false;
+    let mut in_section = false;
     for line in text.lines() {
-        if line.contains("\"single_trace_extension\"") {
-            in_ext = true;
+        if line.contains(&needle) {
+            in_section = true;
             continue;
         }
-        if in_ext && line.trim_start().starts_with(']') {
+        if in_section && line.trim_start().starts_with(']') {
             break;
         }
-        if !in_ext {
+        if !in_section {
             continue;
         }
         let field = |key: &str| -> Option<&str> {
@@ -408,7 +480,7 @@ fn parse_pr1_extension(path: &str) -> Vec<(String, f64)> {
             let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
             Some(&rest[..end])
         };
-        if let (Some(name), Some(secs)) = (field("\"case\""), field("\"incremental_s\"")) {
+        if let (Some(name), Some(secs)) = (field("\"case\""), field(&keyq)) {
             if let Ok(v) = secs.parse::<f64>() {
                 out.push((name.to_string(), v));
             }
@@ -456,11 +528,11 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR2.json".to_string()
+            "BENCH_PR3.json".to_string()
         }
     });
 
-    println!("== group matching (naive vs incremental vs parallel) ==");
+    println!("== group matching (naive vs incremental vs batched vs parallel) ==");
     let mut rows: Vec<CaseRow> = Vec::new();
     if smoke {
         rows.push(run_case("table1:5", || table1_case(5).board));
@@ -476,6 +548,9 @@ fn main() {
         rows.push(run_case("stress:large", || {
             stress_board(16, 40, 300, 12).board
         }));
+        rows.push(run_case("stress:mixed", || {
+            stress_mixed_board(12, 30, 200, 11).board
+        }));
     }
 
     let mut extend_rows: Vec<ExtendRow> = Vec::new();
@@ -484,20 +559,26 @@ fn main() {
         for case_no in 1..=6usize {
             extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
         }
-        // Side-by-side vs the recorded PR 1 baseline, when present.
-        let pr1 = parse_pr1_extension("BENCH_PR1.json");
-        if !pr1.is_empty() {
-            println!("\n-- delta vs BENCH_PR1.json (recorded incremental_s) --");
+        // Side-by-side vs the recorded PR 2 baseline, when present (the
+        // acceptance gate for this PR compares against these wall clocks).
+        let pr2 = parse_recorded("BENCH_PR2.json", "single_trace_extension", "incremental_s");
+        if !pr2.is_empty() {
+            println!("\n-- delta vs BENCH_PR2.json (recorded incremental_s) --");
+            let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr1.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr2.iter().find(|(n, _)| *n == r.name) {
+                    ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr1 recorded {:>8.4}s  now {:>8.4}s  (x{:.1})",
+                        "{:<18} pr2 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
-                        r.incremental_s,
-                        old / r.incremental_s.max(1e-12)
+                        r.batched_s,
+                        old / r.batched_s.max(1e-12)
                     );
                 }
+            }
+            if let Some(g) = gmean(&ratios) {
+                println!("{:<18} geomean vs recorded PR2: x{g:.2}", "");
             }
         }
     }
@@ -510,7 +591,7 @@ fn main() {
         }
     }
 
-    println!("\n== DRC scan on matched boards (brute vs indexed) ==");
+    println!("\n== DRC scan on matched boards (brute vs indexed vs batched) ==");
     let mut drc_rows: Vec<DrcRow> = Vec::new();
     let drc_boards: Vec<(&str, Board)> = if smoke {
         vec![("table1:5", table1_case(5).board)]
@@ -518,11 +599,29 @@ fn main() {
         vec![
             ("table1:4", table1_case(4).board),
             ("stress:large", stress_board(16, 40, 300, 12).board),
+            ("stress:mixed", stress_mixed_board(12, 30, 200, 11).board),
         ]
     };
     for (name, mut board) in drc_boards {
         let _ = match_board_group(&mut board, 0, &parallel_config());
         drc_rows.push(run_drc_case(name, &board));
+    }
+    if !smoke {
+        let pr2 = parse_recorded("BENCH_PR2.json", "drc_scan", "indexed_s");
+        if !pr2.is_empty() {
+            println!("\n-- delta vs BENCH_PR2.json (recorded indexed_s) --");
+            for r in &drc_rows {
+                if let Some((_, old)) = pr2.iter().find(|(n, _)| *n == r.name) {
+                    println!(
+                        "{:<18} pr2 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        r.name,
+                        old,
+                        r.batched_s,
+                        old / r.batched_s.max(1e-12)
+                    );
+                }
+            }
+        }
     }
 
     // Headline: geometric-mean speedups.
@@ -530,9 +629,17 @@ fn main() {
         .iter()
         .map(|r| r.naive_s / r.incremental_s.max(1e-12))
         .collect();
+    let match_batch: Vec<f64> = rows
+        .iter()
+        .map(|r| r.incremental_s / r.batched_s.max(1e-12))
+        .collect();
     let drc_speedups: Vec<f64> = drc_rows
         .iter()
         .map(|r| r.brute_s / r.indexed_s.max(1e-12))
+        .collect();
+    let drc_batch: Vec<f64> = drc_rows
+        .iter()
+        .map(|r| r.indexed_s / r.batched_s.max(1e-12))
         .collect();
     let ext_vs_pr1: Vec<f64> = extend_rows
         .iter()
@@ -542,24 +649,36 @@ fn main() {
         .iter()
         .map(|r| r.naive_s / r.incremental_s.max(1e-12))
         .collect();
+    let ext_batch: Vec<f64> = extend_rows
+        .iter()
+        .map(|r| r.incremental_s / r.batched_s.max(1e-12))
+        .collect();
     println!(
-        "\ngeomean speedup: matching {}, extension {} vs pr1path ({} vs naive), drc {}",
+        "\ngeomean speedup: matching {} ({} batch), extension {} vs pr1path ({} vs naive, {} batch), drc {} ({} batch)",
         fmt_gmean(gmean(&match_speedups), 1),
+        fmt_gmean(gmean(&match_batch), 2),
         fmt_gmean(gmean(&ext_vs_pr1), 2),
         fmt_gmean(gmean(&ext_vs_naive), 2),
-        fmt_gmean(gmean(&drc_speedups), 1)
+        fmt_gmean(gmean(&ext_batch), 2),
+        fmt_gmean(gmean(&drc_speedups), 1),
+        fmt_gmean(gmean(&drc_batch), 2)
     );
 
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/2\",");
-    let _ = writeln!(j, "  \"pr\": 2,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/3\",");
+    let _ = writeln!(j, "  \"pr\": 3,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
         "  \"geomean_matching_speedup\": {},",
         json_gmean(gmean(&match_speedups))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_matching_batch_speedup\": {},",
+        json_gmean(gmean(&match_batch))
     );
     let _ = writeln!(
         j,
@@ -573,19 +692,31 @@ fn main() {
     );
     let _ = writeln!(
         j,
+        "  \"geomean_extension_batch_speedup\": {},",
+        json_gmean(gmean(&ext_batch))
+    );
+    let _ = writeln!(
+        j,
         "  \"geomean_drc_speedup\": {},",
         json_gmean(gmean(&drc_speedups))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_drc_batch_speedup\": {},",
+        json_gmean(gmean(&drc_batch))
     );
     let _ = writeln!(j, "  \"group_matching\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_incremental\": {:.3}, \"speedup_parallel\": {:.3}, \"max_err_pct\": {:.4}, \"patterns\": {}}}{}",
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"batched_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_incremental\": {:.3}, \"speedup_batch\": {:.3}, \"speedup_parallel\": {:.3}, \"max_err_pct\": {:.4}, \"patterns\": {}}}{}",
             r.name,
             r.naive_s,
             r.incremental_s,
+            r.batched_s,
             r.parallel_s,
             r.naive_s / r.incremental_s.max(1e-12),
+            r.incremental_s / r.batched_s.max(1e-12),
             r.naive_s / r.parallel_s.max(1e-12),
             r.max_err_pct,
             r.patterns,
@@ -596,16 +727,19 @@ fn main() {
     let _ = writeln!(j, "  \"single_trace_extension\": [");
     for (i, r) in extend_rows.iter().enumerate() {
         let s = &r.stats;
+        let b = &r.batch;
         let pops = r.iterations.max(1) as f64;
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"pr1path_s\": {:.6}, \"incremental_s\": {:.6}, \"speedup_vs_naive\": {:.3}, \"speedup_vs_pr1path\": {:.3}, \"iterations\": {}, \"patterns\": {}, \"hq_requested\": {}, \"hq_executed\": {}, \"hq_pruned\": {}, \"hq_memo_hits\": {}, \"hq_skip_rate\": {:.4}, \"dp_points_per_pop\": {:.1}}}{}",
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"pr1path_s\": {:.6}, \"incremental_s\": {:.6}, \"batched_s\": {:.6}, \"speedup_vs_naive\": {:.3}, \"speedup_vs_pr1path\": {:.3}, \"speedup_batch\": {:.3}, \"iterations\": {}, \"patterns\": {}, \"hq_requested\": {}, \"hq_executed\": {}, \"hq_pruned\": {}, \"hq_memo_hits\": {}, \"hq_skip_rate\": {:.4}, \"dp_points_per_pop\": {:.1}, \"batch_calls\": {}, \"batch_candidates_per_call\": {:.2}, \"batch_wasted_lanes\": {}}}{}",
             r.name,
             r.naive_s,
             r.pr1path_s,
             r.incremental_s,
+            r.batched_s,
             r.naive_s / r.incremental_s.max(1e-12),
             r.pr1path_s / r.incremental_s.max(1e-12),
+            r.incremental_s / r.batched_s.max(1e-12),
             r.iterations,
             r.patterns,
             s.hq_requested,
@@ -614,6 +748,9 @@ fn main() {
             s.hq_memo_hits,
             s.skip_rate(),
             s.points_evaluated as f64 / pops,
+            b.calls,
+            b.candidates_per_call(),
+            b.wasted_lanes(),
             if i + 1 < extend_rows.len() { "," } else { "" }
         );
     }
@@ -637,13 +774,18 @@ fn main() {
     for (i, r) in drc_rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"brute_s\": {:.6}, \"indexed_s\": {:.6}, \"speedup\": {:.3}, \"segments\": {}, \"violations\": {}}}{}",
+            "    {{\"case\": \"{}\", \"brute_s\": {:.6}, \"indexed_s\": {:.6}, \"batched_s\": {:.6}, \"speedup\": {:.3}, \"speedup_batch\": {:.3}, \"segments\": {}, \"violations\": {}, \"batch_calls\": {}, \"batch_candidates_per_call\": {:.2}, \"batch_wasted_lanes\": {}}}{}",
             r.name,
             r.brute_s,
             r.indexed_s,
+            r.batched_s,
             r.brute_s / r.indexed_s.max(1e-12),
+            r.indexed_s / r.batched_s.max(1e-12),
             r.segments,
             r.violations,
+            r.batch.calls,
+            r.batch.candidates_per_call(),
+            r.batch.wasted_lanes(),
             if i + 1 < drc_rows.len() { "," } else { "" }
         );
     }

@@ -43,6 +43,15 @@ pub struct ExtendConfig {
     /// incumbent state. Output is bit-identical either way (the bounds are
     /// sound); off reproduces the PR 1 incremental path for benchmarking.
     pub dp_profile: bool,
+    /// Evaluate the shrink stage-1 side intersections and the DP
+    /// upper-bound profile sweep on the SoA batch kernels
+    /// (`meander_geom::batch`): candidates gather once into lane-parallel
+    /// buffers instead of per-candidate scalar calls. Output is
+    /// bit-identical either way — the kernels replay the scalar float
+    /// stream per lane (property-tested). Defaults to the `batch` cargo
+    /// feature; the scalar path stays the portable default and both are
+    /// covered in CI.
+    pub batch_kernels: bool,
     /// Process independent traces (and groups) of a matching run on worker
     /// threads. Results are written back in deterministic order, so under
     /// the model's invariant that a trace belongs to at most one group,
@@ -66,6 +75,7 @@ impl Default for ExtendConfig {
             requeue_min_protect: 2.0,
             incremental: true,
             dp_profile: true,
+            batch_kernels: cfg!(feature = "batch"),
             parallel: true,
         }
     }

@@ -208,6 +208,9 @@ pub struct DpStats {
     pub points_evaluated: u64,
     /// Forward passes run (initial solves + resolves).
     pub solves: u64,
+    /// Batched-kernel work counters (stage-1 / profile sweeps): populated
+    /// by the engine when `ExtendConfig::batch_kernels` is on.
+    pub batch: meander_geom::batch::BatchStats,
 }
 
 impl DpStats {
@@ -231,6 +234,7 @@ impl DpStats {
         self.hq_executed += other.hq_executed;
         self.points_evaluated += other.points_evaluated;
         self.solves += other.solves;
+        self.batch.absorb(&other.batch);
     }
 }
 

@@ -22,7 +22,10 @@ use crate::config::ExtendConfig;
 use crate::context::{ShrinkContext, WorldContext, WorldIndex};
 use crate::dp::{DpInput, DpSession, DpStats, HeightBounds, Placement};
 use crate::pattern::{build_local_meander, splice_meander};
-use crate::shrink::{build_ub_profile, max_pattern_height_scratch, ShrinkScratch};
+use crate::shrink::{
+    build_ub_profile, build_ub_profile_batched, max_pattern_height_batched,
+    max_pattern_height_scratch, ShrinkScratch,
+};
 use crate::tracebuf::TraceBuf;
 use meander_drc::DesignRules;
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect};
@@ -160,8 +163,17 @@ fn plan_segment(
     stats: &mut DpStats,
 ) -> Option<(Polyline, usize)> {
     let h_init = remaining / 2.0;
+    // `batch_kernels` swaps the scalar stage-1 / profile sweeps for the SoA
+    // batch kernels — bit-identical outputs (lane-exactness contract), so
+    // the DP sees the same numbers either way.
+    let batched = config.batch_kernels;
     let profile = use_profile.then(|| {
-        build_ub_profile(
+        let build = if batched {
+            build_ub_profile_batched
+        } else {
+            build_ub_profile
+        };
+        build(
             ctx_up,
             ctx_dn,
             disc.m,
@@ -173,9 +185,14 @@ fn plan_segment(
         )
     });
     let scratch_cell = RefCell::new(scratch);
+    let probe = if batched {
+        max_pattern_height_batched
+    } else {
+        max_pattern_height_scratch
+    };
     let height = |lo: usize, hi: usize, dir: i8| -> f64 {
         let ctx = if dir > 0 { ctx_up } else { ctx_dn };
-        max_pattern_height_scratch(
+        probe(
             ctx,
             lo as f64 * disc.ldisc,
             hi as f64 * disc.ldisc,
@@ -226,6 +243,7 @@ fn plan_segment(
         disc.ldisc,
         ctx_up,
         ctx_dn,
+        batched,
         &mut scratch_cell.borrow_mut(),
     );
     if kept.is_empty() {
@@ -354,6 +372,7 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
     }
 
     let out = trace.to_polyline();
+    stats.batch.absorb(&shrink_scratch.batch);
     ExtendOutcome {
         achieved: out.length(),
         trace: out,
@@ -468,6 +487,7 @@ pub fn extend_trace_rebuild(input: &ExtendInput<'_>, config: &ExtendConfig) -> E
         }
     }
 
+    stats.batch.absorb(&shrink_scratch.batch);
     ExtendOutcome {
         achieved: trace.length(),
         trace,
@@ -495,8 +515,14 @@ fn trim_placements(
     ldisc: f64,
     ctx_up: &ShrinkContext,
     ctx_dn: &ShrinkContext,
+    batched: bool,
     scratch: &mut ShrinkScratch,
 ) -> Vec<Placement> {
+    let probe = if batched {
+        max_pattern_height_batched
+    } else {
+        max_pattern_height_scratch
+    };
     let mut kept = Vec::with_capacity(placements.len());
     let mut acc = 0.0;
     for p in placements {
@@ -509,7 +535,7 @@ fn trim_placements(
         let desired = (remaining - acc) / 2.0;
         if desired >= h_min - 1e-9 {
             let ctx = if p.dir > 0 { ctx_up } else { ctx_dn };
-            let r = max_pattern_height_scratch(
+            let r = probe(
                 ctx,
                 p.lo as f64 * ldisc,
                 p.hi as f64 * ldisc,

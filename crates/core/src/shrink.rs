@@ -34,7 +34,11 @@
 
 use crate::context::{ShrinkContext, Y_EPS};
 use crate::dp::UbProfile;
-use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection};
+use meander_geom::batch::{
+    intersect_x_range_batch, vertical_side_min_cap, BatchStats, SegBatch, PREFILTER_SLACK,
+    SHORT_SEG_LEN,
+};
+use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection, EPS};
 use meander_index::GridScratch;
 
 /// Result of shrinking one candidate pattern.
@@ -69,6 +73,18 @@ pub struct ShrinkScratch {
     removed: Vec<bool>,
     /// Polygons with `cnt > 0` this pass.
     touched: Vec<u32>,
+    /// SoA candidate buffer for the batched stage-1 / profile kernels.
+    seg_batch: SegBatch,
+    /// Foot-position x values of the current profile sweep.
+    xs: Vec<f64>,
+    /// Grid column of each sweep position (precomputed once per sweep so
+    /// the per-edge span search is pure integer compares).
+    colx: Vec<i64>,
+    /// Per-position `h_ob` caps of the current profile sweep.
+    caps: Vec<f64>,
+    /// Batched-kernel work counters, accumulated across calls (the engine
+    /// folds them into its `DpStats` at the end of a run).
+    pub batch: BatchStats,
 }
 
 impl ShrinkScratch {
@@ -108,7 +124,25 @@ pub fn max_pattern_height_scratch(
     h_min: f64,
     scratch: &mut ShrinkScratch,
 ) -> ShrinkResult {
-    max_pattern_height_opts_scratch(ctx, x0, x1, gap, h_init, h_min, true, scratch)
+    max_pattern_height_impl(ctx, x0, x1, gap, h_init, h_min, true, false, scratch)
+}
+
+/// [`max_pattern_height_scratch`] with stage 1 running on the SoA batch
+/// kernels: the side-intersection candidates are materialized into the
+/// scratch's [`SegBatch`] straight from the context grid and both sides
+/// evaluate lane-parallel ([`vertical_side_min_cap`]). Bit-identical
+/// results — the batched kernel reproduces the scalar float stream per
+/// lane (see `meander_geom::batch`); stages 2–3 are untouched.
+pub fn max_pattern_height_batched(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    scratch: &mut ShrinkScratch,
+) -> ShrinkResult {
+    max_pattern_height_impl(ctx, x0, x1, gap, h_init, h_min, true, true, scratch)
 }
 
 /// [`max_pattern_height`] with obstacle enclosure switchable.
@@ -141,6 +175,31 @@ pub fn max_pattern_height_opts_scratch(
     allow_enclose: bool,
     scratch: &mut ShrinkScratch,
 ) -> ShrinkResult {
+    max_pattern_height_impl(
+        ctx,
+        x0,
+        x1,
+        gap,
+        h_init,
+        h_min,
+        allow_enclose,
+        false,
+        scratch,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn max_pattern_height_impl(
+    ctx: &ShrinkContext,
+    x0: f64,
+    x1: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    allow_enclose: bool,
+    batched: bool,
+    scratch: &mut ShrinkScratch,
+) -> ShrinkResult {
     debug_assert!(x0 < x1, "feet must be ordered");
     let none = ShrinkResult {
         height: 0.0,
@@ -156,21 +215,61 @@ pub fn max_pattern_height_opts_scratch(
     let mut hob = h_init + g2;
 
     // ---- Stage 1: sides (Eq. 11). -------------------------------------
-    let probe_rect = Rect::new(Point::new(left, Y_EPS), Point::new(right, hob));
-    let side_l = Segment::new(Point::new(left, Y_EPS), Point::new(left, hob));
-    let side_r = Segment::new(Point::new(right, Y_EPS), Point::new(right, hob));
-    ctx.grid
-        .query_scratch(&probe_rect, &mut scratch.grid, &mut scratch.edge_ids);
-    for &id in &scratch.edge_ids {
-        let e = &ctx.edges[id as usize];
-        for side in [&side_l, &side_r] {
-            match segment_intersection(side, e) {
-                SegmentIntersection::None => {}
-                SegmentIntersection::Point(p) => {
-                    hob = hob.min(ctx.dist_seg(p));
-                }
-                SegmentIntersection::Overlap(o) => {
-                    hob = hob.min(ctx.dist_seg(o.a)).min(ctx.dist_seg(o.b));
+    if batched {
+        // Two thin column gathers instead of the scalar path's full
+        // pattern-wide query: a side's contributions can only come from
+        // edges the grid registers in that side's column. Extending each
+        // column by EPS toward the pattern interior makes the cell-based
+        // candidate membership agree with the wide query *exactly*, even
+        // for tolerance-positive near-misses straddling a cell boundary
+        // (any non-`None` intersection implies a point within EPS of the
+        // side, so the edge's cells overlap `[x, x ± EPS]`'s cells iff
+        // they overlap the wide rect's); `min` over each column's
+        // candidates is then bit-identical to the scalar loop's.
+        let hob0 = hob;
+        let seg_len = ctx.local_segment.b.x;
+        for (x, col) in [
+            (
+                left,
+                Rect::new(Point::new(left, Y_EPS), Point::new(left + EPS, hob0)),
+            ),
+            (
+                right,
+                Rect::new(Point::new(right - EPS, Y_EPS), Point::new(right, hob0)),
+            ),
+        ] {
+            ctx.grid.query_batch(
+                &col,
+                &mut scratch.grid,
+                &mut scratch.edge_ids,
+                &mut scratch.seg_batch,
+            );
+            scratch.batch.record(scratch.seg_batch.len());
+            hob = hob.min(vertical_side_min_cap(
+                x,
+                Y_EPS,
+                hob0,
+                &scratch.seg_batch,
+                seg_len,
+            ));
+        }
+    } else {
+        let probe_rect = Rect::new(Point::new(left, Y_EPS), Point::new(right, hob));
+        let side_l = Segment::new(Point::new(left, Y_EPS), Point::new(left, hob));
+        let side_r = Segment::new(Point::new(right, Y_EPS), Point::new(right, hob));
+        ctx.grid
+            .query_scratch(&probe_rect, &mut scratch.grid, &mut scratch.edge_ids);
+        for &id in &scratch.edge_ids {
+            let e = &ctx.edges[id as usize];
+            for side in [&side_l, &side_r] {
+                match segment_intersection(side, e) {
+                    SegmentIntersection::None => {}
+                    SegmentIntersection::Point(p) => {
+                        hob = hob.min(ctx.dist_seg(p));
+                    }
+                    SegmentIntersection::Overlap(o) => {
+                        hob = hob.min(ctx.dist_seg(o.a)).min(ctx.dist_seg(o.b));
+                    }
                 }
             }
         }
@@ -389,6 +488,107 @@ pub fn build_ub_profile(
     }
 }
 
+/// [`build_ub_profile`] restructured around the SoA batch kernels: **one**
+/// band query per sweep instead of `m + 1` column queries, then an
+/// edge-outer loop handing each candidate edge the contiguous span of foot
+/// positions whose grid column can see it, evaluated lane-parallel by
+/// [`intersect_x_range_batch`].
+///
+/// Bit-identical to the scalar sweep:
+///
+/// * **Same candidate sets.** A column query at `x` returns exactly the
+///   edges whose registered cell rectangle covers column `⌊x/cell⌋` (the
+///   column rect shares the band's y cell range, and the occupied-bounds
+///   clamp can only drop cells no edge occupies). The band query returns a
+///   superset of every column's candidates, and the per-edge span test
+///   `ecx0 ≤ ⌊x/cell⌋ ≤ ecx1` — computed with the grid's own quantization
+///   ([`meander_index::SegmentGrid::cell_coord`]) — reproduces the exact
+///   membership per position.
+/// * **Same floats.** Each lane of the kernel replays the
+///   `segment_intersection(side, edge)` + `dist_seg` float stream, and the
+///   running `min` from `h_ob⁰` is order-independent.
+#[allow(clippy::too_many_arguments)]
+pub fn build_ub_profile_batched(
+    ctx_up: &ShrinkContext,
+    ctx_dn: &ShrinkContext,
+    m: usize,
+    ldisc: f64,
+    gap: f64,
+    h_init: f64,
+    h_min: f64,
+    scratch: &mut ShrinkScratch,
+) -> UbProfile {
+    let g2 = gap / 2.0;
+    let hob0 = h_init + g2;
+    let floor = |cap_hob: f64| -> f64 {
+        let h = cap_hob - g2;
+        if h < h_min - 1e-9 {
+            0.0
+        } else {
+            h.min(h_init)
+        }
+    };
+    // Edges whose x-extent (inflated by the prefilter slack) misses a
+    // column provably contribute nothing there — any non-`None`
+    // intersection outcome implies a point within ~EPS of the vertical
+    // side — so each edge's lane span is its *geometric* x-extent clipped
+    // to its grid-cell span (the cell span alone preserves the scalar
+    // candidate sets; the clip only drops no-op lanes). The collinearity
+    // tolerance scales as `EPS / side height`, so the clip is only applied
+    // when the side is at least `SHORT_SEG_LEN` tall.
+    let tight = hob0 - Y_EPS >= SHORT_SEG_LEN;
+    let mut side = |ctx: &ShrinkContext, left_side: bool| -> Vec<f64> {
+        let seg_len = ctx.local_segment.b.x;
+        let ShrinkScratch {
+            grid,
+            edge_ids,
+            xs,
+            colx,
+            caps,
+            batch,
+            ..
+        } = &mut *scratch;
+        xs.clear();
+        xs.extend((0..=m).map(|p| {
+            let x0 = p as f64 * ldisc;
+            if left_side {
+                x0 - g2
+            } else {
+                x0 + g2
+            }
+        }));
+        colx.clear();
+        colx.extend(xs.iter().map(|&x| ctx.grid.cell_coord(x)));
+        caps.clear();
+        caps.resize(m + 1, hob0);
+        let band = Rect::new(Point::new(xs[0], Y_EPS), Point::new(xs[m], hob0));
+        ctx.grid.query_scratch(&band, grid, edge_ids);
+        for &id in edge_ids.iter() {
+            let e = &ctx.edges[id as usize];
+            let (exlo, exhi) = (e.a.x.min(e.b.x), e.a.x.max(e.b.x));
+            // `xs` (hence `colx`) ascends: both spans are contiguous.
+            let ecx0 = ctx.grid.cell_coord(exlo);
+            let ecx1 = ctx.grid.cell_coord(exhi);
+            let mut lo = colx.partition_point(|&c| c < ecx0);
+            let mut hi = colx.partition_point(|&c| c <= ecx1);
+            if tight {
+                lo = lo.max(xs.partition_point(|&x| x < exlo - PREFILTER_SLACK));
+                hi = hi.min(xs.partition_point(|&x| x <= exhi + PREFILTER_SLACK));
+            }
+            if lo < hi {
+                batch.record(hi - lo);
+                intersect_x_range_batch(&xs[lo..hi], Y_EPS, hob0, e, seg_len, &mut caps[lo..hi]);
+            }
+        }
+        caps.iter().map(|&c| floor(c)).collect()
+    };
+    UbProfile {
+        cap: h_init,
+        left: [side(ctx_dn, true), side(ctx_up, true)],
+        right: [side(ctx_dn, false), side(ctx_up, false)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +774,73 @@ mod tests {
         let ctx = ctx_with(vec![]);
         let r = max_pattern_height(&ctx, 20.0, 40.0, GAP, 2.0, 4.0);
         assert_eq!(r.height, 0.0);
+    }
+
+    #[test]
+    fn batched_paths_bitwise_equal() {
+        // Mixed geometry, both side contexts: the batched stage-1 and the
+        // batched profile sweep must reproduce the scalar floats exactly.
+        let obstacles = vec![
+            Polygon::rectangle(Point::new(0.0, 10.0), Point::new(18.0, 14.0)),
+            Polygon::rectangle(Point::new(55.0, 6.0), Point::new(70.0, 9.0)),
+            Polygon::regular(Point::new(36.0, 14.0), 2.5, 7, 0.3),
+            Polygon::rectangle(Point::new(80.0, 1.0), Point::new(90.0, 3.0)),
+        ];
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let world = WorldContext {
+            area: vec![Polygon::rectangle(
+                Point::new(-20.0, -60.0),
+                Point::new(120.0, 60.0),
+            )],
+            obstacles,
+            other_uras: vec![],
+        };
+        let ctx_up = ShrinkContext::build(&world, &frame, 100.0, 1);
+        let ctx_dn = ShrinkContext::build(&world, &frame, 100.0, -1);
+        let mut scratch = ShrinkScratch::new();
+
+        let (m, ldisc, h_init, h_min) = (50usize, 2.0, 30.0, 2.0);
+        let ps = build_ub_profile(&ctx_up, &ctx_dn, m, ldisc, GAP, h_init, h_min, &mut scratch);
+        let pb =
+            build_ub_profile_batched(&ctx_up, &ctx_dn, m, ldisc, GAP, h_init, h_min, &mut scratch);
+        for d in 0..2 {
+            for p in 0..=m {
+                assert_eq!(
+                    ps.left[d][p].to_bits(),
+                    pb.left[d][p].to_bits(),
+                    "left[{d}][{p}]: {} vs {}",
+                    ps.left[d][p],
+                    pb.left[d][p]
+                );
+                assert_eq!(
+                    ps.right[d][p].to_bits(),
+                    pb.right[d][p].to_bits(),
+                    "right[{d}][{p}]"
+                );
+            }
+        }
+        assert!(scratch.batch.calls > 0, "batched sweep must record work");
+
+        for ctx in [&ctx_up, &ctx_dn] {
+            for j in 0..m {
+                for i in (j + 2)..=(j + 12).min(m) {
+                    let (x0, x1) = (j as f64 * ldisc, i as f64 * ldisc);
+                    let s =
+                        max_pattern_height_scratch(ctx, x0, x1, GAP, h_init, h_min, &mut scratch);
+                    let b =
+                        max_pattern_height_batched(ctx, x0, x1, GAP, h_init, h_min, &mut scratch);
+                    assert_eq!(
+                        s.height.to_bits(),
+                        b.height.to_bits(),
+                        "probe ({j},{i}): {} vs {}",
+                        s.height,
+                        b.height
+                    );
+                    assert_eq!(s.routes_around, b.routes_around, "probe ({j},{i})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 use meander_core::context::{ShrinkContext, WorldContext};
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds, UbProfile};
 use meander_core::extend::{extend_trace, ExtendInput};
-use meander_core::shrink::max_pattern_height;
+use meander_core::shrink::{
+    build_ub_profile, build_ub_profile_batched, max_pattern_height, max_pattern_height_batched,
+    max_pattern_height_scratch, ShrinkScratch,
+};
 use meander_core::ExtendConfig;
 use meander_drc::DesignRules;
 use meander_geom::{Frame, Point, Polygon, Polyline, Segment};
@@ -370,5 +373,105 @@ proptest! {
         let resolved2 = session.solve(&input);
         let scratch2 = extend_segment_dp(&input);
         prop_assert_eq!(&resolved2.placements, &scratch2.placements);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The SoA batch kernels must reproduce the scalar shrink floats
+    // bit-for-bit on randomized obstacle fields: the stage-1 probes, the
+    // per-position upper-bound profile, and the whole engine run.
+    #[test]
+    fn batched_kernels_bit_identical_end_to_end(
+        obs in proptest::collection::vec(
+            (5.0..145.0f64, -40.0..40.0f64, 0.8..5.0f64, 3usize..9),
+            0..12,
+        ),
+        m in 20usize..60,
+        h_init in 6.0..50.0f64,
+        target_factor in 1.2..2.5f64,
+    ) {
+        let r = rules();
+        let g_eff = r.gap + r.width;
+        let seg_len = 150.0;
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(seg_len, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let area = vec![Polygon::rectangle(
+            Point::new(-30.0, -80.0),
+            Point::new(180.0, 80.0),
+        )];
+        let obstacles: Vec<Polygon> = obs
+            .iter()
+            .map(|&(x, y, rad, n)| Polygon::regular(Point::new(x, y), rad, n, 0.25))
+            .collect();
+        let world = WorldContext {
+            area: area.clone(),
+            obstacles: obstacles.clone(),
+            other_uras: vec![],
+        };
+        let ctx_up = ShrinkContext::build(&world, &frame, seg_len, 1);
+        let ctx_dn = ShrinkContext::build(&world, &frame, seg_len, -1);
+        let mut scratch = ShrinkScratch::new();
+        let ldisc = seg_len / m as f64;
+
+        // Profile sweep.
+        let ps = build_ub_profile(&ctx_up, &ctx_dn, m, ldisc, g_eff, h_init, r.protect, &mut scratch);
+        let pb = build_ub_profile_batched(
+            &ctx_up, &ctx_dn, m, ldisc, g_eff, h_init, r.protect, &mut scratch,
+        );
+        for d in 0..2 {
+            for p in 0..=m {
+                prop_assert_eq!(
+                    ps.left[d][p].to_bits(),
+                    pb.left[d][p].to_bits(),
+                    "profile left[{}][{}]", d, p
+                );
+                prop_assert_eq!(
+                    ps.right[d][p].to_bits(),
+                    pb.right[d][p].to_bits(),
+                    "profile right[{}][{}]", d, p
+                );
+            }
+        }
+
+        // Stage-1 probes at assorted feet.
+        for ctx in [&ctx_up, &ctx_dn] {
+            for j in (0..m.saturating_sub(4)).step_by(3) {
+                let (x0, x1) = (j as f64 * ldisc, (j + 4) as f64 * ldisc);
+                let s = max_pattern_height_scratch(ctx, x0, x1, g_eff, h_init, r.protect, &mut scratch);
+                let b = max_pattern_height_batched(ctx, x0, x1, g_eff, h_init, r.protect, &mut scratch);
+                prop_assert_eq!(s.height.to_bits(), b.height.to_bits(), "probe at {}", j);
+                prop_assert_eq!(s.routes_around, b.routes_around);
+            }
+        }
+
+        // Whole engine: identical meander, bit for bit, batch on or off —
+        // for both the incremental and the rebuild pipeline.
+        let trace = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(seg_len, 0.0)]);
+        let input = ExtendInput {
+            trace: &trace,
+            target: seg_len * target_factor,
+            rules: &r,
+            area: &area,
+            obstacles: &obstacles,
+        };
+        for incremental in [true, false] {
+            let mk = |batch_kernels: bool| ExtendConfig {
+                incremental,
+                parallel: false,
+                batch_kernels,
+                ..ExtendConfig::default()
+            };
+            let scalar = extend_trace(&input, &mk(false));
+            let batched = extend_trace(&input, &mk(true));
+            prop_assert_eq!(
+                scalar.achieved.to_bits(),
+                batched.achieved.to_bits(),
+                "achieved diverged (incremental={})", incremental
+            );
+            prop_assert_eq!(scalar.patterns, batched.patterns);
+            prop_assert_eq!(scalar.trace.points(), batched.trace.points());
+        }
     }
 }

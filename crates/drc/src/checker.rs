@@ -6,6 +6,10 @@
 
 use crate::rules::DesignRules;
 use crate::violation::Violation;
+use meander_geom::batch::{
+    accum_point_to_segs_dsq, accum_seg_to_points_dsq, distance_sq_to_segment_batch,
+    mark_intersections, BatchStats, SegBatch, PREFILTER_SLACK,
+};
 use meander_geom::{Point, Polygon, Polyline, Segment};
 use meander_index::{GridScratch, SegmentGrid};
 use std::collections::HashMap;
@@ -70,7 +74,14 @@ pub struct CheckInput {
 /// assert!(check_layout(&input).is_empty());
 /// ```
 pub fn check_layout(input: &CheckInput) -> Vec<Violation> {
-    check_layout_indexed(input)
+    // The scalar indexed scan is the portable default; the `batch` feature
+    // flips the default to the SoA-batched kernels. Both paths are always
+    // compiled (and property-tested equal), so neither can rot.
+    if cfg!(feature = "batch") {
+        check_layout_batched(input)
+    } else {
+        check_layout_indexed(input)
+    }
 }
 
 /// The original all-pairs scan, kept as the reference implementation: the
@@ -186,66 +197,127 @@ pub fn check_layout_brute(input: &CheckInput) -> Vec<Violation> {
 /// * self-intersection uses a per-trace grid, which matters once meandered
 ///   traces carry hundreds of segments.
 pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
-    let traces = &input.traces;
+    let idx = ScanIndex::build(input);
+    let (obs_worst, pair_best) = gather_scalar(input, &idx);
+    emit(input, &idx, &obs_worst, &pair_best)
+}
 
-    // Per-trace segment lists and the global grid.
-    let segs: Vec<Vec<Segment>> = traces
-        .iter()
-        .map(|t| t.centerline.segments().collect())
-        .collect();
-    let total_segs: usize = segs.iter().map(Vec::len).sum();
-    let offsets: Vec<usize> = segs
-        .iter()
-        .scan(0usize, |acc, s| {
-            let o = *acc;
-            *acc += s.len();
-            Some(o)
-        })
-        .collect();
-    let trace_of: Vec<u32> = segs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, s)| std::iter::repeat_n(i as u32, s.len()))
-        .collect();
+/// [`check_layout_indexed`] with the clearance passes running on the SoA
+/// batch kernels of [`meander_geom::batch`]: candidates are materialized
+/// into a reused [`SegBatch`] straight from the grid slab and evaluated
+/// lane-parallel in the squared-distance domain, with one `sqrt` at each
+/// reduced winner. Reports **exactly** the same violation list as
+/// [`check_layout_brute`] / [`check_layout_indexed`] (the lane-exactness
+/// contract; see `meander_geom::batch` and the property suite).
+pub fn check_layout_batched(input: &CheckInput) -> Vec<Violation> {
+    check_layout_batched_stats(input).0
+}
 
-    let max_obs_required = traces
-        .iter()
-        .map(|t| t.rules.centerline_obstacle())
-        .fold(0.0f64, f64::max);
-    let max_gap = traces.iter().map(|t| t.rules.gap).fold(0.0f64, f64::max);
-    let max_width = traces.iter().map(|t| t.width).fold(0.0f64, f64::max);
-    let max_pair_required = max_gap + max_width;
-    let mean_seg_len = if total_segs == 0 {
-        1.0
-    } else {
-        segs.iter()
-            .flat_map(|s| s.iter())
-            .map(Segment::length)
-            .sum::<f64>()
-            / total_segs as f64
-    };
-    let cell = mean_seg_len
-        .max(max_obs_required)
-        .max(max_pair_required)
-        .max(1e-6);
+/// [`check_layout_batched`] that also reports the batch-kernel work
+/// counters (for the perf baseline's observability section).
+pub fn check_layout_batched_stats(input: &CheckInput) -> (Vec<Violation>, BatchStats) {
+    let idx = ScanIndex::build(input);
+    let (obs_worst, pair_best, stats) = gather_batched(input, &idx);
+    (emit(input, &idx, &obs_worst, &pair_best), stats)
+}
 
-    let mut grid = SegmentGrid::new(cell);
-    for (i, list) in segs.iter().enumerate() {
-        for (si, seg) in list.iter().enumerate() {
-            grid.insert((offsets[i] + si) as u32, seg);
+/// Shared scan state: per-trace segment lists, the global segment grid
+/// (ids ascend in `(trace, segment)` order), and the clearance windows.
+struct ScanIndex {
+    segs: Vec<Vec<Segment>>,
+    offsets: Vec<usize>,
+    trace_of: Vec<u32>,
+    max_obs_required: f64,
+    max_pair_required: f64,
+    mean_seg_len: f64,
+    grid: SegmentGrid,
+}
+
+impl ScanIndex {
+    fn build(input: &CheckInput) -> Self {
+        let traces = &input.traces;
+        let segs: Vec<Vec<Segment>> = traces
+            .iter()
+            .map(|t| t.centerline.segments().collect())
+            .collect();
+        let total_segs: usize = segs.iter().map(Vec::len).sum();
+        let offsets: Vec<usize> = segs
+            .iter()
+            .scan(0usize, |acc, s| {
+                let o = *acc;
+                *acc += s.len();
+                Some(o)
+            })
+            .collect();
+        let trace_of: Vec<u32> = segs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| std::iter::repeat_n(i as u32, s.len()))
+            .collect();
+
+        let max_obs_required = traces
+            .iter()
+            .map(|t| t.rules.centerline_obstacle())
+            .fold(0.0f64, f64::max);
+        let max_gap = traces.iter().map(|t| t.rules.gap).fold(0.0f64, f64::max);
+        let max_width = traces.iter().map(|t| t.width).fold(0.0f64, f64::max);
+        let max_pair_required = max_gap + max_width;
+        let mean_seg_len = if total_segs == 0 {
+            1.0
+        } else {
+            segs.iter()
+                .flat_map(|s| s.iter())
+                .map(Segment::length)
+                .sum::<f64>()
+                / total_segs as f64
+        };
+        let cell = mean_seg_len
+            .max(max_obs_required)
+            .max(max_pair_required)
+            .max(1e-6);
+
+        let mut grid = SegmentGrid::new(cell);
+        for (i, list) in segs.iter().enumerate() {
+            for (si, seg) in list.iter().enumerate() {
+                grid.insert((offsets[i] + si) as u32, seg);
+            }
+        }
+        ScanIndex {
+            segs,
+            offsets,
+            trace_of,
+            max_obs_required,
+            max_pair_required,
+            mean_seg_len,
+            grid,
         }
     }
+
+    #[inline]
+    fn seg_of(&self, gid: u32) -> (usize, &Segment) {
+        let i = self.trace_of[gid as usize] as usize;
+        (i, &self.segs[i][gid as usize - self.offsets[i]])
+    }
+}
+
+/// Worst sub-threshold clearance per `(trace, obstacle)` and closest
+/// approach per trace pair — the scalar candidate loops.
+type ObsWorst = HashMap<(usize, usize), (f64, Point)>;
+type PairBest = HashMap<(usize, usize), (f64, Point)>;
+
+fn gather_scalar(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest) {
+    let traces = &input.traces;
     let mut scratch = GridScratch::new();
     let mut candidates: Vec<u32> = Vec::new();
 
     // --- Trace–obstacle pass (grouped per obstacle, emitted per trace). ---
-    let mut obs_worst: HashMap<(usize, usize), (f64, Point)> = HashMap::new();
+    let mut obs_worst: ObsWorst = HashMap::new();
     for (oi, obs) in input.obstacles.iter().enumerate() {
-        let window = obs.bbox().expanded(max_obs_required);
-        grid.query_scratch(&window, &mut scratch, &mut candidates);
+        let window = obs.bbox().expanded(idx.max_obs_required);
+        idx.grid
+            .query_scratch(&window, &mut scratch, &mut candidates);
         for &gid in &candidates {
-            let i = trace_of[gid as usize] as usize;
-            let seg = &segs[i][gid as usize - offsets[i]];
+            let (i, seg) = idx.seg_of(gid);
             let required = traces[i].rules.centerline_obstacle();
             let d = obs.distance_to_segment(seg);
             if d < required - 1e-9 {
@@ -258,13 +330,14 @@ pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
     }
 
     // --- Trace–trace pass (grouped per pair, emitted per first trace). ----
-    let mut pair_best: HashMap<(usize, usize), (f64, Point)> = HashMap::new();
+    let mut pair_best: PairBest = HashMap::new();
     for (i, t) in traces.iter().enumerate() {
-        for seg in &segs[i] {
-            let window = seg.bbox().expanded(max_pair_required);
-            grid.query_scratch(&window, &mut scratch, &mut candidates);
+        for seg in &idx.segs[i] {
+            let window = seg.bbox().expanded(idx.max_pair_required);
+            idx.grid
+                .query_scratch(&window, &mut scratch, &mut candidates);
             for &gid in &candidates {
-                let j = trace_of[gid as usize] as usize;
+                let j = idx.trace_of[gid as usize] as usize;
                 if j <= i {
                     continue;
                 }
@@ -272,7 +345,7 @@ pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
                 if t.coupled_with.contains(&u.id) || u.coupled_with.contains(&t.id) {
                     continue;
                 }
-                let other = &segs[j][gid as usize - offsets[j]];
+                let other = &idx.segs[j][gid as usize - idx.offsets[j]];
                 let d = seg.distance_to_segment(other);
                 let e = pair_best.entry((i, j)).or_insert((f64::INFINITY, seg.a));
                 if d < e.0 {
@@ -281,8 +354,153 @@ pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
             }
         }
     }
+    (obs_worst, pair_best)
+}
 
-    // --- Emission, in the brute-force nesting order. ----------------------
+/// The batched clearance passes. Per probe window, one [`SegBatch`] holds
+/// every candidate; distances reduce in the squared domain; witnesses come
+/// from first-occurrence strict argmins, which is exactly the scalar
+/// `d < best` update order. Equality with [`gather_scalar`] is bit-for-bit:
+///
+/// * a candidate group's minimum over violating candidates equals its
+///   global minimum whenever any candidate violates (the threshold test
+///   moves after the reduction, on the single `sqrt`-ed winner);
+/// * pair updates prefilter in `d²` and confirm with the scalar strict `<`
+///   on the `sqrt`-ed value, so a rounding tie that the scalar scan would
+///   ignore is ignored here too;
+/// * polygon containment ("segment swallowed whole") only runs for
+///   candidates whose start lies within the obstacle bbox inflated by
+///   [`PREFILTER_SLACK`] — a superset of where it can hold.
+fn gather_batched(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest, BatchStats) {
+    let traces = &input.traces;
+    let mut scratch = GridScratch::new();
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut batch = SegBatch::new();
+    let mut stats = BatchStats::default();
+    let mut dsq: Vec<f64> = Vec::new();
+    let mut hit: Vec<bool> = Vec::new();
+
+    // --- Trace–obstacle pass. --------------------------------------------
+    // d(obstacle, seg) decomposes into "obstacle edge ↔ seg endpoint" and
+    // "obstacle vertex ↔ seg" partials plus the intersection/containment
+    // zero cases; the partials run lane-parallel across the candidates.
+    let mut obs_worst: ObsWorst = HashMap::new();
+    for (oi, obs) in input.obstacles.iter().enumerate() {
+        let window = obs.bbox().expanded(idx.max_obs_required);
+        idx.grid
+            .query_batch(&window, &mut scratch, &mut candidates, &mut batch);
+        if candidates.is_empty() {
+            continue;
+        }
+        stats.record(candidates.len());
+        let n = candidates.len();
+        dsq.clear();
+        dsq.resize(n, f64::INFINITY);
+        hit.clear();
+        hit.resize(n, false);
+        for e in obs.edges() {
+            accum_seg_to_points_dsq(&e, batch.ax(), batch.ay(), &mut dsq);
+            accum_seg_to_points_dsq(&e, batch.bx(), batch.by(), &mut dsq);
+            mark_intersections(&e, &batch, &mut hit);
+        }
+        for &v in obs.vertices() {
+            accum_point_to_segs_dsq(v, &batch, &mut dsq);
+        }
+        let near = obs.bbox().expanded(PREFILTER_SLACK);
+        for k in 0..n {
+            if hit[k] || (near.contains(batch.get(k).a) && obs.contains(batch.get(k).a)) {
+                dsq[k] = 0.0;
+            }
+        }
+        // Candidates arrive in ascending gid order, so each trace's run is
+        // contiguous: reduce per run with the scalar `d < best` update rule
+        // (`d²` only prefilters, so `sqrt` runs on improvements alone and
+        // rounding ties resolve exactly as the scalar scan resolves them),
+        // then test the per-trace threshold once on the winner.
+        let mut k = 0;
+        while k < n {
+            let i = idx.trace_of[candidates[k] as usize] as usize;
+            let start = k;
+            while k < n && idx.trace_of[candidates[k] as usize] as usize == i {
+                k += 1;
+            }
+            let (mut best_d, mut best_dsq, mut win) = (f64::INFINITY, f64::INFINITY, start);
+            for (kk, &v) in dsq.iter().enumerate().take(k).skip(start) {
+                if v < best_dsq {
+                    let d = v.sqrt();
+                    if d < best_d {
+                        (best_d, best_dsq, win) = (d, v, kk);
+                    }
+                }
+            }
+            let required = traces[i].rules.centerline_obstacle();
+            if best_d < required - 1e-9 {
+                let (_, seg) = idx.seg_of(candidates[win]);
+                obs_worst.insert((i, oi), (best_d, seg.midpoint()));
+            }
+        }
+    }
+
+    // --- Trace–trace pass. ------------------------------------------------
+    // `(d, d²)` ride together per pair so the prefilter never misses an
+    // update the scalar scan would make (sqrt is monotone) and never takes
+    // one it would skip (the inner strict `<` re-checks on `d`).
+    let mut pair_best2: HashMap<(usize, usize), (f64, f64, Point)> = HashMap::new();
+    let mut eligible: Vec<u32> = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        for seg in &idx.segs[i] {
+            let window = seg.bbox().expanded(idx.max_pair_required);
+            idx.grid
+                .query_scratch(&window, &mut scratch, &mut candidates);
+            // Ownership filters run before any lane is materialized: the
+            // scalar path also skips `j <= i` / coupled candidates before
+            // computing a distance, and dropping them from the batch only
+            // removes lanes whose results would be discarded.
+            eligible.clear();
+            eligible.extend(candidates.iter().copied().filter(|&gid| {
+                let j = idx.trace_of[gid as usize] as usize;
+                j > i && {
+                    let u = &traces[j];
+                    !t.coupled_with.contains(&u.id) && !u.coupled_with.contains(&t.id)
+                }
+            }));
+            if eligible.is_empty() {
+                continue;
+            }
+            idx.grid.fill_batch(&eligible, &mut batch);
+            stats.record(eligible.len());
+            distance_sq_to_segment_batch(seg, &batch, &mut dsq);
+            for (k, &gid) in eligible.iter().enumerate() {
+                let j = idx.trace_of[gid as usize] as usize;
+                let e = pair_best2
+                    .entry((i, j))
+                    .or_insert((f64::INFINITY, f64::INFINITY, seg.a));
+                if dsq[k] < e.1 {
+                    let d = dsq[k].sqrt();
+                    if d < e.0 {
+                        *e = (d, dsq[k], seg.midpoint());
+                    }
+                }
+            }
+        }
+    }
+    let pair_best: PairBest = pair_best2
+        .into_iter()
+        .map(|(key, (d, _, p))| (key, (d, p)))
+        .collect();
+    (obs_worst, pair_best, stats)
+}
+
+/// Emission, in the brute-force nesting order (shared by the scalar and
+/// batched gathers).
+fn emit(
+    input: &CheckInput,
+    idx: &ScanIndex,
+    obs_worst: &ObsWorst,
+    pair_best: &PairBest,
+) -> Vec<Violation> {
+    let traces = &input.traces;
+    let (segs, mean_seg_len) = (&idx.segs, idx.mean_seg_len);
     let mut out = Vec::new();
     for (i, t) in traces.iter().enumerate() {
         // 3. dprotect on simplified centerline.

@@ -33,7 +33,8 @@ pub mod violation;
 pub mod virtual_drc;
 
 pub use checker::{
-    check_layout, check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry,
+    check_layout, check_layout_batched, check_layout_batched_stats, check_layout_brute,
+    check_layout_indexed, CheckInput, TraceGeometry,
 };
 pub use dra::DesignRuleArea;
 pub use resolve::RuleResolver;

@@ -1,7 +1,7 @@
 //! Property tests for the DRC layer.
 
 use meander_drc::{check_layout, CheckInput, DesignRules, TraceGeometry};
-use meander_drc::{check_layout_brute, check_layout_indexed};
+use meander_drc::{check_layout_batched, check_layout_brute, check_layout_indexed};
 use meander_drc::{restore_rules, virtualize_rules};
 use meander_geom::{Point, Polygon, Polyline, Vector};
 use proptest::prelude::*;
@@ -171,7 +171,11 @@ proptest! {
             .map(|((cx, cy), r, n)| Polygon::regular(Point::new(*cx, *cy), *r, *n, 0.15))
             .collect();
         let input = CheckInput { traces, obstacles };
-        prop_assert_eq!(check_layout_indexed(&input), check_layout_brute(&input));
+        let brute = check_layout_brute(&input);
+        prop_assert_eq!(check_layout_indexed(&input), brute.clone());
+        // The SoA-batched kernels must reproduce the exact same list too —
+        // order, values, and witnesses (the lane-exactness contract).
+        prop_assert_eq!(check_layout_batched(&input), brute);
     }
 
     #[test]

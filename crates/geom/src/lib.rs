@@ -18,6 +18,8 @@
 //! * [`miter`] — corner chamfering per the `dmiter` design rule.
 //! * [`intersect`] / [`distance`] — the predicates the URA shrinking procedure
 //!   (paper Alg. 2) is built from.
+//! * [`batch`] — SoA candidate batches and lane-parallel kernels for the DRC
+//!   scan and shrink stage 1, bit-identical to the scalar predicates.
 //!
 //! All comparisons run through the tolerance helpers in [`eps`]; geometry here is
 //! floating-point with an explicit epsilon contract rather than exact arithmetic,
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod angle;
+pub mod batch;
 pub mod distance;
 pub mod eps;
 pub mod frame;
@@ -54,6 +57,7 @@ pub mod segment;
 pub mod vector;
 
 pub use angle::Angle;
+pub use batch::{BatchStats, PointBatch, SegBatch};
 pub use eps::{approx_eq, approx_ge, approx_le, approx_zero, EPS};
 pub use frame::Frame;
 pub use intersect::{segment_intersection, SegmentIntersection};

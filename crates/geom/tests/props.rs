@@ -5,6 +5,10 @@
 //! predicates, offsetting maintains its distance contract, and mitering never
 //! lengthens a trace.
 
+use meander_geom::batch::{
+    distance_sq_to_point_batch, distance_sq_to_segment_batch, intersect_x_range_batch, min_argmin,
+    vertical_side_min_cap, PointBatch, SegBatch,
+};
 use meander_geom::offset::offset_polyline;
 use meander_geom::{
     segment_intersection, Frame, Point, Polygon, Polyline, Rect, Segment, SegmentIntersection,
@@ -28,6 +32,154 @@ fn polyline_strategy() -> impl Strategy<Value = Polyline> {
             pts.windows(2).all(|w| w[0].distance(w[1]) > 1e-2)
         })
         .prop_map(Polyline::new)
+}
+
+/// Candidate sets for the batch kernels: a mix of generic segments,
+/// degenerate zero-length segments, axis-aligned runs that bait collinear
+/// overlaps against axis-aligned probes, and near-vertical edges that force
+/// the side kernels' parallel fallback.
+fn mixed_seg_vec() -> impl Strategy<Value = Vec<Segment>> {
+    proptest::collection::vec(
+        (0usize..5, pt_strategy(), pt_strategy(), 0.1..30.0f64),
+        1..32,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(tag, a, b, len)| match tag {
+                0 => Segment::new(a, a),
+                1 => Segment::new(Point::new(a.x, 0.0), Point::new(a.x + len, 0.0)),
+                2 => Segment::new(Point::new(a.x, a.y), Point::new(a.x, a.y + len)),
+                _ => Segment::new(a, b),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batched_segment_distances_bit_identical(
+        segs in mixed_seg_vec(),
+        probe_tag in 0usize..3,
+        pa in pt_strategy(),
+        pb in pt_strategy(),
+    ) {
+        // Axis-aligned probes collide with the collinear bait; the third
+        // variant exercises arbitrary angles.
+        let probe = match probe_tag {
+            0 => Segment::new(Point::new(pa.x, 0.0), Point::new(pb.x, 0.0)),
+            1 => Segment::new(pa, pa),
+            _ => Segment::new(pa, pb),
+        };
+        let mut batch = SegBatch::new();
+        for s in &segs {
+            batch.push(s);
+        }
+        let mut dsq = Vec::new();
+        distance_sq_to_segment_batch(&probe, &batch, &mut dsq);
+        for (i, s) in segs.iter().enumerate() {
+            let scalar = probe.distance_to_segment(s);
+            prop_assert_eq!(
+                dsq[i].sqrt().to_bits(),
+                scalar.to_bits(),
+                "lane {}: batched {} vs scalar {}",
+                i,
+                dsq[i].sqrt(),
+                scalar
+            );
+        }
+        // The strict-min reduction picks the scalar scan's winner.
+        if let Some((win, best)) = min_argmin(&dsq) {
+            let mut sw = 0;
+            let mut sb = f64::INFINITY;
+            for (i, s) in segs.iter().enumerate() {
+                let d = probe.distance_to_segment(s);
+                if d < sb {
+                    sb = d;
+                    sw = i;
+                }
+            }
+            prop_assert_eq!(win, sw);
+            prop_assert_eq!(best.sqrt().to_bits(), sb.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_point_distances_bit_identical(
+        seg in seg_strategy(),
+        pts in proptest::collection::vec(pt_strategy(), 1..40),
+        degenerate in 0usize..2,
+    ) {
+        let probe = if degenerate == 1 {
+            Segment::new(seg.a, seg.a)
+        } else {
+            seg
+        };
+        let mut pb = PointBatch::new();
+        for &p in &pts {
+            pb.push(p);
+        }
+        let mut dsq = Vec::new();
+        distance_sq_to_point_batch(&probe, &pb, &mut dsq);
+        for (i, &p) in pts.iter().enumerate() {
+            prop_assert_eq!(
+                dsq[i].sqrt().to_bits(),
+                probe.distance_to_point(p).to_bits(),
+                "lane {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn batched_side_caps_bit_identical(
+        segs in mixed_seg_vec(),
+        x0 in -40.0..40.0f64,
+        step in 0.5..4.0f64,
+        yhi in 5.0..60.0f64,
+        seg_len in 10.0..200.0f64,
+    ) {
+        // Reference: the scalar stage-1 contribution of a vertical side.
+        let ylo = 1e-7;
+        let cap_of = |x: f64, e: &Segment| -> f64 {
+            let side = Segment::new(Point::new(x, ylo), Point::new(x, yhi));
+            let baseline = Segment::new(Point::ORIGIN, Point::new(seg_len, 0.0));
+            match segment_intersection(&side, e) {
+                SegmentIntersection::None => f64::INFINITY,
+                SegmentIntersection::Point(p) => baseline.distance_to_point(p),
+                SegmentIntersection::Overlap(o) => baseline
+                    .distance_to_point(o.a)
+                    .min(baseline.distance_to_point(o.b)),
+            }
+        };
+        // Lane-parallel over positions, one edge at a time.
+        let xs: Vec<f64> = (0..24).map(|p| x0 + p as f64 * step).collect();
+        for e in &segs {
+            let mut caps = vec![f64::INFINITY; xs.len()];
+            intersect_x_range_batch(&xs, ylo, yhi, e, seg_len, &mut caps);
+            for (i, &x) in xs.iter().enumerate() {
+                prop_assert_eq!(
+                    caps[i].to_bits(),
+                    cap_of(x, e).to_bits(),
+                    "edge at lane {}", i
+                );
+            }
+        }
+        // Lane-parallel over edges, one position at a time.
+        let mut batch = SegBatch::new();
+        for s in &segs {
+            batch.push(s);
+        }
+        for &x in xs.iter().step_by(5) {
+            let got = vertical_side_min_cap(x, ylo, yhi, &batch, seg_len);
+            let expect = segs
+                .iter()
+                .map(|e| cap_of(x, e))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(got.to_bits(), expect.to_bits());
+        }
+    }
 }
 
 proptest! {

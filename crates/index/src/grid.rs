@@ -1,6 +1,6 @@
 //! Uniform grid over segments for local edge queries.
 
-use meander_geom::{Rect, Segment};
+use meander_geom::{Rect, SegBatch, Segment};
 use std::collections::HashMap;
 
 /// A uniform hash-grid spatial index over segments.
@@ -37,6 +37,11 @@ pub struct SegmentGrid {
     /// cell coordinate it covers — `O(window area / cell²)` hash probes
     /// per query for nothing.
     occupied: Option<(i64, i64, i64, i64)>,
+    /// Endpoint coordinates per id (`[ax, ay, bx, by]`), so
+    /// [`SegmentGrid::query_batch`] can fill SoA buffers straight from the
+    /// slab without the caller's id → geometry re-gather. Rect entries
+    /// store their min → max diagonal.
+    coords: Vec<[f64; 4]>,
 }
 
 /// Reusable visited-stamp state for [`SegmentGrid::query_scratch`].
@@ -100,7 +105,23 @@ impl SegmentGrid {
             len: 0,
             max_id: 0,
             occupied: None,
+            coords: Vec::new(),
         }
+    }
+
+    /// The grid's cell size.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// The cell coordinate a world coordinate falls into — the exact
+    /// quantization [`SegmentGrid::insert`] and the queries use, exposed so
+    /// batched sweeps can reproduce per-column candidate membership without
+    /// issuing one query per column.
+    #[inline]
+    pub fn cell_coord(&self, v: f64) -> i64 {
+        (v / self.cell).floor() as i64
     }
 
     /// Number of inserted segments.
@@ -117,10 +138,7 @@ impl SegmentGrid {
 
     #[inline]
     fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
-        (
-            (x / self.cell).floor() as i64,
-            (y / self.cell).floor() as i64,
-        )
+        (self.cell_coord(x), self.cell_coord(y))
     }
 
     /// Grows the occupied-cell bounds to cover `[cx0, cx1] × [cy0, cy1]`.
@@ -148,6 +166,16 @@ impl SegmentGrid {
         Some((cx0, cy0, cx1, cy1))
     }
 
+    /// Stores the coordinate slab entry for `id` (grown on demand).
+    #[inline]
+    fn store_coords(&mut self, id: u32, entry: [f64; 4]) {
+        let need = id as usize + 1;
+        if self.coords.len() < need {
+            self.coords.resize(need, [0.0; 4]);
+        }
+        self.coords[id as usize] = entry;
+    }
+
     /// Registers `seg` under `id` in every cell its bbox overlaps.
     pub fn insert(&mut self, id: u32, seg: &Segment) {
         let bb = seg.bbox();
@@ -159,6 +187,7 @@ impl SegmentGrid {
             }
         }
         self.cover(cx0, cy0, cx1, cy1);
+        self.store_coords(id, [seg.a.x, seg.a.y, seg.b.x, seg.b.y]);
         self.len += 1;
         self.max_id = self.max_id.max(id);
     }
@@ -174,6 +203,7 @@ impl SegmentGrid {
             }
         }
         self.cover(cx0, cy0, cx1, cy1);
+        self.store_coords(id, [r.min.x, r.min.y, r.max.x, r.max.y]);
         self.len += 1;
         self.max_id = self.max_id.max(id);
     }
@@ -245,6 +275,39 @@ impl SegmentGrid {
         // Cheap for the near-sorted outputs cell iteration produces, and
         // keeps the contract aligned with `query`.
         out.sort_unstable();
+    }
+
+    /// [`SegmentGrid::query_scratch`] that additionally materializes the
+    /// candidates' geometry into a reused SoA [`SegBatch`], straight from
+    /// the grid's coordinate slab: `batch.get(k)` is the segment inserted
+    /// under `ids[k]`. This is the entry point for the batched DRC scan and
+    /// shrink stage 1 — the caller keeps the ids for ownership lookups but
+    /// never re-gathers geometry through them.
+    ///
+    /// Ids registered via [`SegmentGrid::insert_rect`] come out as their
+    /// min → max diagonal; batched distance kernels are only meaningful on
+    /// grids populated through [`SegmentGrid::insert`].
+    pub fn query_batch(
+        &self,
+        r: &Rect,
+        scratch: &mut GridScratch,
+        ids: &mut Vec<u32>,
+        batch: &mut SegBatch,
+    ) {
+        self.query_scratch(r, scratch, ids);
+        self.fill_batch(ids, batch);
+    }
+
+    /// Materializes the geometry of `ids` (previously returned by a query)
+    /// into `batch`, straight from the coordinate slab — for callers that
+    /// filter candidates between the query and the kernel so no lane is
+    /// spent on ids a cheap ownership test already rejects.
+    pub fn fill_batch(&self, ids: &[u32], batch: &mut SegBatch) {
+        batch.clear();
+        for &id in ids {
+            let c = self.coords[id as usize];
+            batch.push_coords(c[0], c[1], c[2], c[3]);
+        }
     }
 }
 
@@ -382,6 +445,31 @@ mod tests {
         // Disjoint-from-occupied window: empty without cell walking.
         let far = Rect::new(Point::new(1e5, 1e5), Point::new(2e5, 2e5));
         assert!(g.query(&far).is_empty());
+    }
+
+    #[test]
+    fn query_batch_materializes_candidates_in_id_order() {
+        let segs: Vec<Segment> = (0..30)
+            .map(|i| {
+                let x = (i % 6) as f64 * 4.0;
+                let y = (i / 6) as f64 * 4.0;
+                seg(x, y, x + 3.0, y + 1.5)
+            })
+            .collect();
+        let g = SegmentGrid::from_segments(2.0, &segs);
+        assert_eq!(g.cell_size(), 2.0);
+        assert_eq!(g.cell_coord(-0.1), -1);
+        assert_eq!(g.cell_coord(3.9), 1);
+        let mut scratch = GridScratch::new();
+        let mut ids = Vec::new();
+        let mut batch = SegBatch::new();
+        let r = Rect::new(Point::new(1.0, 1.0), Point::new(9.0, 9.0));
+        g.query_batch(&r, &mut scratch, &mut ids, &mut batch);
+        assert_eq!(ids, g.query(&r));
+        assert_eq!(batch.len(), ids.len());
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(batch.get(k), segs[id as usize], "candidate {k}");
+        }
     }
 
     #[test]

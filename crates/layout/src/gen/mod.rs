@@ -16,7 +16,7 @@ pub mod table2;
 
 pub use anyangle::any_angle_bus;
 pub use diffpair::{decoupled_pair, DecoupledPairCase};
-pub use stress::{stress_board, StressCase};
+pub use stress::{stress_board, stress_mixed_board, StressCase};
 pub use table1::{table1_case, Table1Case};
 pub use table2::{table2_case, Table2Case};
 

@@ -27,6 +27,16 @@ pub struct StressCase {
     pub members: Vec<TraceId>,
 }
 
+/// Clearance rule used by every stress trace (`d_gap`).
+const DGAP: f64 = 8.0;
+/// Length of one horizontal stair run — deliberately short, so the board
+/// is *segment-rich*: per-iteration DP problems stay small and per-pop
+/// overheads dominate, which is the degradation regime these generators
+/// exist to measure.
+const RUN: f64 = 56.0;
+/// Riser height between runs.
+const RISE: f64 = 10.0;
+
 /// Generates a stress board: `n_traces` staircase traces (each `n_steps`
 /// horizontal runs joined by short risers) stacked in private corridors,
 /// `vias_per_trace` via obstacles intruding into each corridor, and one
@@ -43,7 +53,7 @@ pub fn stress_board(
     assert!(n_traces >= 1 && n_steps >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let dgap = 8.0;
+    let dgap = DGAP;
     let width = dgap / 2.0;
     let rules = DesignRules {
         gap: dgap,
@@ -53,12 +63,8 @@ pub fn stress_board(
         width,
     };
 
-    let run = 56.0; // length of one horizontal stair run — deliberately
-                    // short, so the board is *segment-rich*: per-iteration
-                    // DP problems stay small and the naive engine's
-                    // whole-trace context rebuild dominates, which is the
-                    // degradation regime this generator exists to measure.
-    let rise = 10.0; // riser height between runs
+    let run = RUN;
+    let rise = RISE;
     let span = run * n_steps as f64;
     let pitch = 7.0 * dgap + rise * n_steps as f64;
     let height = pitch * n_traces as f64;
@@ -147,6 +153,59 @@ pub fn stress_board(
     }
 }
 
+/// [`stress_board`] plus *mixed-size* obstacles: a few huge plane polygons
+/// (full-width slabs between the corridors and full-height columns flanking
+/// the board) on top of the dense via field.
+///
+/// This is the regime the ROADMAP flags as the uniform `SegmentGrid`'s weak
+/// spot — one big polygon smears across many cells, so its edges show up in
+/// a large fraction of candidate windows during both group matching and the
+/// DRC scan. The generator exists so grid alternatives (STR-packed R-tree,
+/// hierarchical grid) and the batched kernels have a measured baseline on
+/// boards with both planes and vias.
+///
+/// The initial layout stays DRC-clean: slabs sit `3·d_gap` under the next
+/// corridor's traces and `RISE + 3·d_gap` above their own corridor's top
+/// run; columns keep `≥ 14 > d_gap + w/2` from every centerline. Slabs and
+/// columns lie outside the routable areas, so they cap candidate windows
+/// without blocking the meander space itself.
+///
+/// Deterministic for a given `seed`.
+pub fn stress_mixed_board(
+    n_traces: usize,
+    n_steps: usize,
+    vias_per_trace: usize,
+    seed: u64,
+) -> StressCase {
+    let mut case = stress_board(n_traces, n_steps, vias_per_trace, seed);
+    let span = RUN * n_steps as f64;
+    let pitch = 7.0 * DGAP + RISE * n_steps as f64;
+    let height = pitch * n_traces as f64;
+
+    // Full-width plane slabs in every inter-corridor gap (and one below the
+    // first corridor): x-extent ~span/DGAP grid cells wide each.
+    for i in 0..n_traces {
+        let corridor_top = i as f64 * pitch + RISE * n_steps as f64 + 2.0 * DGAP;
+        case.board.add_obstacle(Obstacle::keepout(
+            Point::new(-DGAP, corridor_top + DGAP),
+            Point::new(span + DGAP, corridor_top + 2.0 * DGAP),
+        ));
+    }
+    case.board.add_obstacle(Obstacle::keepout(
+        Point::new(-DGAP, -3.0 * DGAP),
+        Point::new(span + DGAP, -2.0 * DGAP),
+    ));
+
+    // Full-height plane columns flanking the board: ~height/DGAP cells tall.
+    for x0 in [-2.5 * DGAP, span + 1.75 * DGAP] {
+        case.board.add_obstacle(Obstacle::keepout(
+            Point::new(x0, -pitch),
+            Point::new(x0 + 0.75 * DGAP, height),
+        ));
+    }
+    case
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +238,36 @@ mod tests {
                 case.ltarget
             );
         }
+    }
+
+    #[test]
+    fn mixed_board_adds_planes_and_stays_clean() {
+        let base = stress_board(5, 4, 8, 3);
+        let mixed = stress_mixed_board(5, 4, 8, 3);
+        // Same traces + vias, plus n_traces + 1 slabs and 2 columns.
+        assert_eq!(mixed.board.trace_count(), base.board.trace_count());
+        assert_eq!(
+            mixed.board.obstacles().len(),
+            base.board.obstacles().len() + 5 + 1 + 2
+        );
+        assert!(mixed.board.check().is_empty(), "{:?}", mixed.board.check());
+        // The planes really are mixed-size: at least one obstacle spans the
+        // whole trace extent in x, and one spans every corridor in y.
+        let span = 56.0 * 4.0;
+        assert!(mixed
+            .board
+            .obstacles()
+            .iter()
+            .any(|o| o.polygon().bbox().width() > span));
+        let tall = mixed
+            .board
+            .obstacles()
+            .iter()
+            .map(|o| o.polygon().bbox().height())
+            .fold(0.0f64, f64::max);
+        assert!(tall > 5.0 * (7.0 * 8.0 + 10.0 * 4.0) * 0.9, "tall={tall}");
+        // Determinism.
+        let again = stress_mixed_board(5, 4, 8, 3);
+        assert_eq!(again.board.obstacles().len(), mixed.board.obstacles().len());
     }
 }
