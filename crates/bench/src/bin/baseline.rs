@@ -1,12 +1,12 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! and the DRC scan on the paper's cases plus the stress boards, for each
-//! engine configuration, and emits `BENCH_PR3.json` (schema v3) — the
-//! third point of the repo's performance trajectory. Schema v3 adds the
-//! SoA batch kernels: a live `batched` configuration for extension,
-//! matching, and the DRC scan (bit-identical outputs, asserted here), the
-//! `stress:mixed` plane+via board, per-kernel batch counters (calls,
-//! candidates per batch, lanes wasted on tail padding), and a printed
-//! delta against the recorded `BENCH_PR2.json`.
+//! engine configuration, and emits `BENCH_PR4.json` (schema v4) — the
+//! fourth point of the repo's performance trajectory. Schema v4 adds the
+//! STR R-tree spatial index: live `rtree` configurations for matching and
+//! the DRC scan (`IndexKind::RTree` behind the `SpatialIndex` trait —
+//! bit-identical outputs, asserted here), with `stress:mixed` and
+//! `stress:large` as the headline cases, and a printed delta against the
+//! recorded `BENCH_PR3.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -21,12 +21,18 @@
 //! * `incremental` — indexed engine + DP upper-bound profile, scalar
 //!   geometry kernels (the PR 2 code path)
 //! * `batched`     — `incremental` with `batch_kernels: true`: stage-1 and
-//!   profile sweeps on the SoA lane-parallel kernels
+//!   profile sweeps on the SoA lane-parallel kernels (the PR 3 code path,
+//!   uniform-grid indexes throughout)
+//! * `rtree`       — `batched` with `index: IndexKind::RTree`: the world
+//!   edge index, per-pop shrink contexts, and DRC scan index are STR
+//!   R-trees (and the batched DRC obstacle pass may take its edge-indexed
+//!   candidate-outer path)
 //! * `parallel`    — indexed engine, parallel driver
 //!
-//! The headline numbers are `speedup_batch = incremental / batched` on
-//! single-trace extension and `speedup_batch = indexed / batched` on the
-//! violation scan, alongside the PR 2 headline ratios re-measured live.
+//! The headline numbers are `speedup_rtree = batched / rtree` on the DRC
+//! scan and group matching (the grid-degradation boards `stress:mixed` /
+//! `stress:large` are what the index targets), alongside the PR 3 ratios
+//! re-measured live.
 //!
 //! `--smoke` runs the table1:5 matching + DRC slice only (seconds, debug or
 //! release) so CI can keep this binary from rotting between perf PRs.
@@ -34,9 +40,10 @@
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
 use meander_core::pattern::placements_window;
-use meander_core::{match_board_group, DpStats, ExtendConfig};
+use meander_core::{match_board_group, DpStats, ExtendConfig, IndexKind};
 use meander_drc::{
-    check_layout_batched_stats, check_layout_brute, check_layout_indexed, CheckInput, TraceGeometry,
+    check_layout_batched_stats_with, check_layout_brute, check_layout_indexed, CheckInput,
+    TraceGeometry,
 };
 use meander_geom::batch::BatchStats;
 use meander_layout::gen::{stress_board, stress_mixed_board, table1_case, table2_case};
@@ -44,11 +51,14 @@ use meander_layout::Board;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+// Every measured config pins `index` explicitly so building the bench with
+// the `rtree` feature cannot silently flip a comparison column.
 fn naive_config() -> ExtendConfig {
     ExtendConfig {
         incremental: false,
         parallel: false,
         batch_kernels: false,
+        index: IndexKind::Grid,
         ..ExtendConfig::default()
     }
 }
@@ -58,6 +68,7 @@ fn pr1path_config() -> ExtendConfig {
         parallel: false,
         dp_profile: false,
         batch_kernels: false,
+        index: IndexKind::Grid,
         ..ExtendConfig::default()
     }
 }
@@ -66,6 +77,7 @@ fn incremental_config() -> ExtendConfig {
     ExtendConfig {
         parallel: false,
         batch_kernels: false,
+        index: IndexKind::Grid,
         ..ExtendConfig::default()
     }
 }
@@ -74,12 +86,25 @@ fn batched_config() -> ExtendConfig {
     ExtendConfig {
         parallel: false,
         batch_kernels: true,
+        index: IndexKind::Grid,
+        ..ExtendConfig::default()
+    }
+}
+
+fn rtree_config() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        batch_kernels: true,
+        index: IndexKind::RTree,
         ..ExtendConfig::default()
     }
 }
 
 fn parallel_config() -> ExtendConfig {
-    ExtendConfig::default()
+    ExtendConfig {
+        index: IndexKind::Grid,
+        ..ExtendConfig::default()
+    }
 }
 
 struct CaseRow {
@@ -87,6 +112,7 @@ struct CaseRow {
     naive_s: f64,
     incremental_s: f64,
     batched_s: f64,
+    rtree_s: f64,
     parallel_s: f64,
     max_err_pct: f64,
     patterns: usize,
@@ -126,25 +152,34 @@ fn run_case<F: Fn() -> Board>(name: &str, make: F) -> CaseRow {
         "{name}: batch kernels must not change the outcome"
     );
     assert_eq!(max_err_pct.to_bits(), batched_err.to_bits());
+    let (rtree_s, rtree_err, rtree_patterns) = time_match(&make, &rtree_config(), 3);
+    assert_eq!(
+        patterns, rtree_patterns,
+        "{name}: the R-tree index must not change the outcome"
+    );
+    assert_eq!(max_err_pct.to_bits(), rtree_err.to_bits());
     let (parallel_s, _, _) = time_match(&make, &parallel_config(), 1);
     let row = CaseRow {
         name: name.to_string(),
         naive_s,
         incremental_s,
         batched_s,
+        rtree_s,
         parallel_s,
         max_err_pct,
         patterns,
     };
     println!(
-        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  batched {:>9.4}s  parallel {:>9.4}s  (x{:.1} naive, x{:.2} batch)  maxerr {:.2}%",
+        "{:<18} naive {:>9.4}s  incremental {:>9.4}s  batched {:>9.4}s  rtree {:>9.4}s  parallel {:>9.4}s  (x{:.1} naive, x{:.2} batch, x{:.2} rtree)  maxerr {:.2}%",
         row.name,
         row.naive_s,
         row.incremental_s,
         row.batched_s,
+        row.rtree_s,
         row.parallel_s,
         row.naive_s / row.incremental_s.max(1e-12),
         row.incremental_s / row.batched_s.max(1e-12),
+        row.batched_s / row.rtree_s.max(1e-12),
         row.max_err_pct
     );
     row
@@ -253,6 +288,7 @@ struct DrcRow {
     brute_s: f64,
     indexed_s: f64,
     batched_s: f64,
+    rtree_s: f64,
     violations: usize,
     segments: usize,
     batch: BatchStats,
@@ -296,19 +332,27 @@ fn run_drc_case(name: &str, board: &Board) -> DrcRow {
     });
     let (batched_s, (batched, batch)) = median_secs(5, || {
         let t0 = Instant::now();
-        let v = check_layout_batched_stats(&input);
+        let v = check_layout_batched_stats_with(&input, IndexKind::Grid);
+        (t0.elapsed().as_secs_f64(), v)
+    });
+    let (rtree_s, (rtreed, _)) = median_secs(5, || {
+        let t0 = Instant::now();
+        let v = check_layout_batched_stats_with(&input, IndexKind::RTree);
         (t0.elapsed().as_secs_f64(), v)
     });
     assert_eq!(brute, indexed, "{name}: DRC paths must agree exactly");
     assert_eq!(brute, batched, "{name}: batched DRC must agree exactly");
+    assert_eq!(brute, rtreed, "{name}: R-tree DRC must agree exactly");
     println!(
-        "{:<18} brute {:>9.4}s  indexed {:>9.4}s  batched {:>9.4}s  (x{:.1} brute, x{:.2} batch)  {} segments, {} violations",
+        "{:<18} brute {:>9.4}s  indexed {:>9.4}s  batched {:>9.4}s  rtree {:>9.4}s  (x{:.1} brute, x{:.2} batch, x{:.2} rtree)  {} segments, {} violations",
         name,
         brute_s,
         indexed_s,
         batched_s,
+        rtree_s,
         brute_s / indexed_s.max(1e-12),
         indexed_s / batched_s.max(1e-12),
+        batched_s / rtree_s.max(1e-12),
         segments,
         brute.len()
     );
@@ -317,6 +361,7 @@ fn run_drc_case(name: &str, board: &Board) -> DrcRow {
         brute_s,
         indexed_s,
         batched_s,
+        rtree_s,
         violations: brute.len(),
         segments,
         batch,
@@ -528,11 +573,11 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR3.json".to_string()
+            "BENCH_PR4.json".to_string()
         }
     });
 
-    println!("== group matching (naive vs incremental vs batched vs parallel) ==");
+    println!("== group matching (naive vs incremental vs batched vs rtree vs parallel) ==");
     let mut rows: Vec<CaseRow> = Vec::new();
     if smoke {
         rows.push(run_case("table1:5", || table1_case(5).board));
@@ -559,17 +604,17 @@ fn main() {
         for case_no in 1..=6usize {
             extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
         }
-        // Side-by-side vs the recorded PR 2 baseline, when present (the
+        // Side-by-side vs the recorded PR 3 baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr2 = parse_recorded("BENCH_PR2.json", "single_trace_extension", "incremental_s");
-        if !pr2.is_empty() {
-            println!("\n-- delta vs BENCH_PR2.json (recorded incremental_s) --");
+        let pr3 = parse_recorded("BENCH_PR3.json", "single_trace_extension", "batched_s");
+        if !pr3.is_empty() {
+            println!("\n-- delta vs BENCH_PR3.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr2.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr3.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr2 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr3 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -578,7 +623,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR2: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR3: x{g:.2}", "");
             }
         }
     }
@@ -607,17 +652,32 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr2 = parse_recorded("BENCH_PR2.json", "drc_scan", "indexed_s");
-        if !pr2.is_empty() {
-            println!("\n-- delta vs BENCH_PR2.json (recorded indexed_s) --");
+        let pr3 = parse_recorded("BENCH_PR3.json", "drc_scan", "batched_s");
+        if !pr3.is_empty() {
+            println!("\n-- delta vs BENCH_PR3.json (recorded batched_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr2.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr3.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr2 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr3 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
-                        r.batched_s,
-                        old / r.batched_s.max(1e-12)
+                        r.rtree_s,
+                        old / r.rtree_s.max(1e-12)
+                    );
+                }
+            }
+        }
+        let pr3m = parse_recorded("BENCH_PR3.json", "group_matching", "batched_s");
+        if !pr3m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR3.json (recorded batched_s) --");
+            for r in &rows {
+                if let Some((_, old)) = pr3m.iter().find(|(n, _)| *n == r.name) {
+                    println!(
+                        "{:<18} pr3 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        r.name,
+                        old,
+                        r.rtree_s,
+                        old / r.rtree_s.max(1e-12)
                     );
                 }
             }
@@ -633,6 +693,10 @@ fn main() {
         .iter()
         .map(|r| r.incremental_s / r.batched_s.max(1e-12))
         .collect();
+    let match_rtree: Vec<f64> = rows
+        .iter()
+        .map(|r| r.batched_s / r.rtree_s.max(1e-12))
+        .collect();
     let drc_speedups: Vec<f64> = drc_rows
         .iter()
         .map(|r| r.brute_s / r.indexed_s.max(1e-12))
@@ -640,6 +704,10 @@ fn main() {
     let drc_batch: Vec<f64> = drc_rows
         .iter()
         .map(|r| r.indexed_s / r.batched_s.max(1e-12))
+        .collect();
+    let drc_rtree: Vec<f64> = drc_rows
+        .iter()
+        .map(|r| r.batched_s / r.rtree_s.max(1e-12))
         .collect();
     let ext_vs_pr1: Vec<f64> = extend_rows
         .iter()
@@ -654,21 +722,23 @@ fn main() {
         .map(|r| r.incremental_s / r.batched_s.max(1e-12))
         .collect();
     println!(
-        "\ngeomean speedup: matching {} ({} batch), extension {} vs pr1path ({} vs naive, {} batch), drc {} ({} batch)",
+        "\ngeomean speedup: matching {} ({} batch, {} rtree), extension {} vs pr1path ({} vs naive, {} batch), drc {} ({} batch, {} rtree)",
         fmt_gmean(gmean(&match_speedups), 1),
         fmt_gmean(gmean(&match_batch), 2),
+        fmt_gmean(gmean(&match_rtree), 2),
         fmt_gmean(gmean(&ext_vs_pr1), 2),
         fmt_gmean(gmean(&ext_vs_naive), 2),
         fmt_gmean(gmean(&ext_batch), 2),
         fmt_gmean(gmean(&drc_speedups), 1),
-        fmt_gmean(gmean(&drc_batch), 2)
+        fmt_gmean(gmean(&drc_batch), 2),
+        fmt_gmean(gmean(&drc_rtree), 2)
     );
 
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/3\",");
-    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/4\",");
+    let _ = writeln!(j, "  \"pr\": 4,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -679,6 +749,11 @@ fn main() {
         j,
         "  \"geomean_matching_batch_speedup\": {},",
         json_gmean(gmean(&match_batch))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_matching_rtree_speedup\": {},",
+        json_gmean(gmean(&match_rtree))
     );
     let _ = writeln!(
         j,
@@ -705,18 +780,25 @@ fn main() {
         "  \"geomean_drc_batch_speedup\": {},",
         json_gmean(gmean(&drc_batch))
     );
+    let _ = writeln!(
+        j,
+        "  \"geomean_drc_rtree_speedup\": {},",
+        json_gmean(gmean(&drc_rtree))
+    );
     let _ = writeln!(j, "  \"group_matching\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"batched_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_incremental\": {:.3}, \"speedup_batch\": {:.3}, \"speedup_parallel\": {:.3}, \"max_err_pct\": {:.4}, \"patterns\": {}}}{}",
+            "    {{\"case\": \"{}\", \"naive_s\": {:.6}, \"incremental_s\": {:.6}, \"batched_s\": {:.6}, \"rtree_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_incremental\": {:.3}, \"speedup_batch\": {:.3}, \"speedup_rtree\": {:.3}, \"speedup_parallel\": {:.3}, \"max_err_pct\": {:.4}, \"patterns\": {}}}{}",
             r.name,
             r.naive_s,
             r.incremental_s,
             r.batched_s,
+            r.rtree_s,
             r.parallel_s,
             r.naive_s / r.incremental_s.max(1e-12),
             r.incremental_s / r.batched_s.max(1e-12),
+            r.batched_s / r.rtree_s.max(1e-12),
             r.naive_s / r.parallel_s.max(1e-12),
             r.max_err_pct,
             r.patterns,
@@ -774,13 +856,15 @@ fn main() {
     for (i, r) in drc_rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"brute_s\": {:.6}, \"indexed_s\": {:.6}, \"batched_s\": {:.6}, \"speedup\": {:.3}, \"speedup_batch\": {:.3}, \"segments\": {}, \"violations\": {}, \"batch_calls\": {}, \"batch_candidates_per_call\": {:.2}, \"batch_wasted_lanes\": {}}}{}",
+            "    {{\"case\": \"{}\", \"brute_s\": {:.6}, \"indexed_s\": {:.6}, \"batched_s\": {:.6}, \"rtree_s\": {:.6}, \"speedup\": {:.3}, \"speedup_batch\": {:.3}, \"speedup_rtree\": {:.3}, \"segments\": {}, \"violations\": {}, \"batch_calls\": {}, \"batch_candidates_per_call\": {:.2}, \"batch_wasted_lanes\": {}}}{}",
             r.name,
             r.brute_s,
             r.indexed_s,
             r.batched_s,
+            r.rtree_s,
             r.brute_s / r.indexed_s.max(1e-12),
             r.indexed_s / r.batched_s.max(1e-12),
+            r.batched_s / r.rtree_s.max(1e-12),
             r.segments,
             r.violations,
             r.batch.calls,

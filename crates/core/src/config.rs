@@ -1,5 +1,7 @@
 //! Tunables of the extension engine.
 
+use meander_index::IndexKind;
+
 /// Configuration for [`crate::extend::extend_trace`].
 ///
 /// Defaults follow the paper's setup: discretization tied to the design
@@ -52,6 +54,16 @@ pub struct ExtendConfig {
     /// feature; the scalar path stays the portable default and both are
     /// covered in CI.
     pub batch_kernels: bool,
+    /// Spatial index structure for the incremental engine's world edge
+    /// index and the per-pop shrink contexts: the uniform grid, the
+    /// STR-packed R-tree, or `Auto` (pick per build from the edge-extent
+    /// distribution — see [`IndexKind::resolve`]). Both structures return
+    /// identical candidate sets, so placements are **bit-identical**
+    /// whatever is selected (property-tested); this knob only moves the
+    /// cost model, with the R-tree winning on boards that mix plane
+    /// polygons with via fields. Defaults to `RTree` under the `rtree`
+    /// cargo feature, `Grid` otherwise.
+    pub index: IndexKind,
     /// Process independent traces (and groups) of a matching run on worker
     /// threads. Results are written back in deterministic order, so under
     /// the model's invariant that a trace belongs to at most one group,
@@ -76,6 +88,11 @@ impl Default for ExtendConfig {
             incremental: true,
             dp_profile: true,
             batch_kernels: cfg!(feature = "batch"),
+            index: if cfg!(feature = "rtree") {
+                IndexKind::RTree
+            } else {
+                IndexKind::Grid
+            },
             parallel: true,
         }
     }

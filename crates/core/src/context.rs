@@ -1,7 +1,7 @@
 //! The polygon context a segment is extended against.
 
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect, Segment};
-use meander_index::{GridScratch, MergeSortTree, SegmentGrid};
+use meander_index::{GridScratch, IndexKind, MergeSortTree, SegIndex, SpatialIndex};
 
 /// Tiny lift above the segment line: geometry at `y ≤ Y_EPS` in pattern-side
 /// coordinates belongs to "behind the segment" and is exempt from checking
@@ -70,22 +70,33 @@ pub struct WorldIndex {
     n_area: usize,
     /// Per-polygon bounding boxes.
     bboxes: Vec<Rect>,
-    /// Uniform grid over every static polygon edge.
-    edge_grid: SegmentGrid,
+    /// Spatial index over every static polygon edge (grid or R-tree,
+    /// selection per [`IndexKind`]; candidate sets are identical).
+    edge_index: SegIndex,
     /// Edge id → owning polygon id.
     edge_owner: Vec<u32>,
 }
 
 impl WorldIndex {
-    /// Indexes `area` + `obstacles` with grid cell size `cell`.
+    /// Indexes `area` + `obstacles` with cell size `cell` on the uniform
+    /// grid (the portable default; see [`WorldIndex::build_with`]).
     pub fn build(area: &[Polygon], obstacles: &[Polygon], cell: f64) -> Self {
+        WorldIndex::build_with(area, obstacles, cell, IndexKind::Grid)
+    }
+
+    /// [`WorldIndex::build`] with the edge index structure selected by
+    /// `kind`. `Auto` resolves on the edge-extent distribution — plane
+    /// polygons next to via fields pick the R-tree, paper-sized boards the
+    /// grid ([`IndexKind::resolve`]). Query results are identical either
+    /// way; only the cost model changes.
+    pub fn build_with(area: &[Polygon], obstacles: &[Polygon], cell: f64, kind: IndexKind) -> Self {
         let polys: Vec<Polygon> = area.iter().chain(obstacles.iter()).cloned().collect();
         let bboxes: Vec<Rect> = polys.iter().map(|p| p.bbox()).collect();
-        let mut edge_grid = SegmentGrid::new(cell.max(1e-6));
+        let mut edges: Vec<Segment> = Vec::new();
         let mut edge_owner = Vec::new();
         for (k, poly) in polys.iter().enumerate() {
             for e in poly.edges() {
-                edge_grid.insert(edge_owner.len() as u32, &e);
+                edges.push(e);
                 edge_owner.push(k as u32);
             }
         }
@@ -93,7 +104,7 @@ impl WorldIndex {
             polys,
             n_area: area.len(),
             bboxes,
-            edge_grid,
+            edge_index: SegIndex::from_segments(kind, cell.max(1e-6), &edges),
             edge_owner,
         }
     }
@@ -131,7 +142,7 @@ impl WorldIndex {
                 out.push(k as u32);
             }
         }
-        self.edge_grid.query_scratch(window, scratch, edge_buf);
+        self.edge_index.query_scratch(window, scratch, edge_buf);
         let first_obstacle = out.len();
         for &e in edge_buf.iter() {
             let owner = self.edge_owner[e as usize];
@@ -174,8 +185,10 @@ pub struct ShrinkContext {
     pub is_area: Vec<bool>,
     /// Node tree: point → polygon id.
     pub tree: MergeSortTree<u32>,
-    /// Edge grid over all polygon edges.
-    pub grid: SegmentGrid,
+    /// Spatial index over all polygon edges (grid or R-tree — candidate
+    /// sets identical by the [`meander_index::SpatialIndex`] contract, so
+    /// stage 1 and the profile sweeps are bit-identical either way).
+    pub grid: SegIndex,
     /// Flattened edges (grid ids index into this).
     pub edges: Vec<Segment>,
     /// Owning polygon of each edge.
@@ -195,6 +208,18 @@ impl ShrinkContext {
     /// `frame` maps world → segment-local; `dir` (+1/−1) selects the
     /// pattern side (−1 mirrors y so the shrinking always works "upward").
     pub fn build(world: &WorldContext, frame: &Frame, seg_len: f64, dir: i8) -> Self {
+        Self::build_indexed(world, frame, seg_len, dir, IndexKind::Grid)
+    }
+
+    /// [`ShrinkContext::build`] with the edge index structure selected by
+    /// `kind` (results identical; see the `grid` field).
+    pub fn build_indexed(
+        world: &WorldContext,
+        frame: &Frame,
+        seg_len: f64,
+        dir: i8,
+        kind: IndexKind,
+    ) -> Self {
         let flip = f64::from(dir);
         let to_side = |p: Point| {
             let l = frame.to_local(p);
@@ -218,7 +243,7 @@ impl ShrinkContext {
             }
         }
 
-        Self::assemble(polygons, is_area, area_local, seg_len)
+        Self::assemble(polygons, is_area, area_local, seg_len, kind)
     }
 
     /// Builds **both** side contexts from pre-filtered world geometry,
@@ -227,14 +252,16 @@ impl ShrinkContext {
     /// `world` + `static_ids` name the static polygons near the candidate
     /// window (see [`WorldIndex::candidates`]); `other_uras` are the URA
     /// rectangles of the trace's nearby other segments, already in world
-    /// coordinates. Equivalent to two [`ShrinkContext::build`] calls over
-    /// the same polygon set.
+    /// coordinates. `kind` selects each context's edge index structure
+    /// (results identical either way). Equivalent to two
+    /// [`ShrinkContext::build`] calls over the same polygon set.
     pub fn build_sides(
         world: &WorldIndex,
         static_ids: &[u32],
         other_uras: &[Polygon],
         frame: &Frame,
         seg_len: f64,
+        kind: IndexKind,
     ) -> (ShrinkContext, ShrinkContext) {
         // One transform pass: local "up-side" coordinates; the down side
         // mirrors y afterwards.
@@ -267,7 +294,7 @@ impl ShrinkContext {
                     is_area.push(false);
                 }
             }
-            ShrinkContext::assemble(polygons, is_area, area_local, seg_len)
+            ShrinkContext::assemble(polygons, is_area, area_local, seg_len, kind)
         };
 
         (build_one(1.0), build_one(-1.0))
@@ -279,6 +306,7 @@ impl ShrinkContext {
         is_area: Vec<bool>,
         area_local: Vec<Polygon>,
         seg_len: f64,
+        kind: IndexKind,
     ) -> Self {
         let mut nodes = Vec::new();
         let mut edges = Vec::new();
@@ -296,10 +324,7 @@ impl ShrinkContext {
         }
         let tree = MergeSortTree::build(nodes);
         let cell = (seg_len / 8.0).max(1.0);
-        let mut grid = SegmentGrid::new(cell);
-        for (i, e) in edges.iter().enumerate() {
-            grid.insert(i as u32, e);
-        }
+        let grid = SegIndex::from_segments(kind, cell, &edges);
 
         ShrinkContext {
             polygons,

@@ -121,9 +121,11 @@ pub struct UbProfile {
 
 /// Upper-bound information the DP may exploit to skip height queries.
 ///
-/// [`HeightBounds::Uniform`] is the original single global cap (PR 1's
-/// `height_cap`); [`HeightBounds::Profile`] adds per-position resolution.
-/// Use `Uniform(f64::INFINITY)` when no bound is known.
+/// [`HeightBounds::Uniform`] is the single global cap (the shrink start
+/// height `h_init` — historically a separate `DpInput` field, folded into
+/// this enum when the per-position profile landed);
+/// [`HeightBounds::Profile`] adds per-position resolution. Use
+/// `Uniform(f64::INFINITY)` when no bound is known.
 #[derive(Debug, Clone, Copy)]
 pub enum HeightBounds<'a> {
     /// One cap for every candidate.

@@ -280,7 +280,7 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
     // Index the static world once per trace. Cell size: a few clearance
     // units — URA windows are a handful of `d_gap` across late in a run.
     let world_cell = (params.g_eff * 4.0).max(1.0);
-    let world = WorldIndex::build(input.area, &params.obstacles, world_cell);
+    let world = WorldIndex::build_with(input.area, &params.obstacles, world_cell, config.index);
     let mut trace = TraceBuf::from_polyline(input.trace, world_cell);
 
     let mut queue: VecDeque<u32> = (0..trace.segment_records() as u32).collect();
@@ -339,7 +339,8 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
         );
         let uras = uras_for(&trace, &near_ids, params.g_eff);
 
-        let (ctx_up, ctx_dn) = ShrinkContext::build_sides(&world, &static_ids, &uras, &frame, len);
+        let (ctx_up, ctx_dn) =
+            ShrinkContext::build_sides(&world, &static_ids, &uras, &frame, len, config.index);
 
         let Some((local, kept)) = plan_segment(
             len,
@@ -835,6 +836,53 @@ mod tests {
             with.achieved,
             without.achieved
         );
+    }
+
+    #[test]
+    fn index_kinds_bit_identical() {
+        // Grid, R-tree, and Auto world/context indexes return identical
+        // candidate sets, so the whole engine output must match bit for
+        // bit — vertices included — on boards with obstacles, corridors,
+        // and a plane-sized slab.
+        use meander_index::IndexKind;
+        let r = rules();
+        let trace = straight(200.0);
+        let area = roomy_area(200.0);
+        let obstacles = vec![
+            Polygon::rectangle(Point::new(-10.0, 20.0), Point::new(210.0, 26.0)), // plane slab
+            Polygon::regular(Point::new(60.0, -30.0), 6.0, 8, 0.1),
+            Polygon::regular(Point::new(140.0, 14.0), 3.0, 6, 0.4),
+        ];
+        let input = ExtendInput {
+            trace: &trace,
+            target: 420.0,
+            rules: &r,
+            area: &area,
+            obstacles: &obstacles,
+        };
+        let run = |index: IndexKind| {
+            extend_trace_incremental(
+                &input,
+                &ExtendConfig {
+                    index,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+        };
+        let grid = run(IndexKind::Grid);
+        assert!(grid.patterns >= 1);
+        for kind in [IndexKind::RTree, IndexKind::Auto] {
+            let other = run(kind);
+            assert_eq!(
+                grid.achieved.to_bits(),
+                other.achieved.to_bits(),
+                "{kind:?}: achieved diverged"
+            );
+            assert_eq!(grid.patterns, other.patterns, "{kind:?}");
+            assert_eq!(grid.iterations, other.iterations, "{kind:?}");
+            assert_eq!(grid.trace.points(), other.trace.points(), "{kind:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,45 @@
 //!   differential pairs through MSDTW automatically,
 //! * [`baseline`] — the "without DP" fixed-track ablation comparator
 //!   (Table II) and the AiDT-like greedy tuner (Table I).
+//!
+//! ## Spatial indexing
+//!
+//! The engine's hot queries (world polygons near a candidate window,
+//! edges near a stage-1 side, the DP profile band) run behind the
+//! [`meander_index::SpatialIndex`] contract; [`ExtendConfig::index`]
+//! selects the uniform grid, the STR-packed R-tree, or `Auto`
+//! (per-build choice by obstacle-size variance). The two structures
+//! return identical candidate sets — cell-quantized candidacy with
+//! occupied-bounds clamping, ascending deduplicated output — so router
+//! placements are **bit-identical** whichever is selected
+//! (property-tested); see `ARCHITECTURE.md` for the full invariant list.
+//!
+//! ```
+//! use meander_core::extend::{extend_trace, ExtendInput};
+//! use meander_core::{ExtendConfig, IndexKind};
+//! use meander_drc::DesignRules;
+//! use meander_geom::{Point, Polygon, Polyline};
+//!
+//! // A small board: one trace in a corridor with one via obstacle.
+//! let trace = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)]);
+//! let area = vec![Polygon::rectangle(Point::new(-20.0, -50.0), Point::new(170.0, 50.0))];
+//! let obstacles = vec![Polygon::regular(Point::new(75.0, 20.0), 4.0, 8, 0.0)];
+//! let input = ExtendInput {
+//!     trace: &trace,
+//!     target: 200.0,
+//!     rules: &DesignRules::default(),
+//!     area: &area,
+//!     obstacles: &obstacles,
+//! };
+//! let run = |index| {
+//!     extend_trace(&input, &ExtendConfig { index, parallel: false, ..Default::default() })
+//! };
+//! let grid = run(IndexKind::Grid);
+//! let rtree = run(IndexKind::RTree);
+//! assert!((grid.achieved - 200.0).abs() <= 0.2);
+//! // Identical candidate sets ⇒ bit-identical meander.
+//! assert_eq!(grid.trace.points(), rtree.trace.points());
+//! ```
 
 pub mod baseline;
 pub mod config;
@@ -43,3 +82,4 @@ pub use config::ExtendConfig;
 pub use dp::{DpSession, DpStats, HeightBounds, UbProfile};
 pub use driver::{match_all_groups, match_board_group, miter_group, GroupReport, TraceReport};
 pub use extend::{extend_trace, ExtendOutcome};
+pub use meander_index::IndexKind;

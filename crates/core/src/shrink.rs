@@ -39,7 +39,7 @@ use meander_geom::batch::{
     SHORT_SEG_LEN,
 };
 use meander_geom::{segment_intersection, Point, Rect, Segment, SegmentIntersection, EPS};
-use meander_index::GridScratch;
+use meander_index::{GridScratch, SpatialIndex};
 
 /// Result of shrinking one candidate pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]

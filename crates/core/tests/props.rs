@@ -475,3 +475,98 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The spatial-index contract end to end: grid-, R-tree-, and
+    // Auto-indexed engines (and shrink contexts) must produce bit-identical
+    // results on randomized obstacle fields that include a plane-sized
+    // slab — the regime where the structures' query *costs* differ most.
+    #[test]
+    fn index_kinds_bit_identical_end_to_end(
+        obs in proptest::collection::vec(
+            (5.0..145.0f64, -40.0..40.0f64, 0.8..5.0f64, 3usize..9),
+            0..10,
+        ),
+        slab_y in 18.0..45.0f64,
+        h_init in 6.0..50.0f64,
+        target_factor in 1.2..2.2f64,
+    ) {
+        use meander_core::context::ShrinkContext;
+        use meander_index::IndexKind;
+
+        let r = rules();
+        let g_eff = r.gap + r.width;
+        let seg_len = 150.0;
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(seg_len, 0.0));
+        let frame = Frame::from_segment(&seg).unwrap();
+        let area = vec![Polygon::rectangle(
+            Point::new(-30.0, -80.0),
+            Point::new(180.0, 80.0),
+        )];
+        let mut obstacles: Vec<Polygon> = obs
+            .iter()
+            .map(|&(x, y, rad, n)| Polygon::regular(Point::new(x, y), rad, n, 0.25))
+            .collect();
+        // A full-width plane slab: smears across the whole grid row and is
+        // exactly what `Auto` exists to detect.
+        obstacles.push(Polygon::rectangle(
+            Point::new(-25.0, slab_y),
+            Point::new(175.0, slab_y + 4.0),
+        ));
+
+        // Context-level: every stage-1 probe bit-identical across kinds.
+        let world = WorldContext {
+            area: area.clone(),
+            obstacles: obstacles.clone(),
+            other_uras: vec![],
+        };
+        let ctx_grid = ShrinkContext::build_indexed(&world, &frame, seg_len, 1, IndexKind::Grid);
+        let ctx_rtree = ShrinkContext::build_indexed(&world, &frame, seg_len, 1, IndexKind::RTree);
+        let mut scratch = ShrinkScratch::new();
+        for j in (0..28).step_by(5) {
+            let (x0, x1) = (j as f64 * 5.0, j as f64 * 5.0 + 22.0);
+            let a = max_pattern_height_scratch(&ctx_grid, x0, x1, g_eff, h_init, r.protect, &mut scratch);
+            let b = max_pattern_height_scratch(&ctx_rtree, x0, x1, g_eff, h_init, r.protect, &mut scratch);
+            prop_assert_eq!(a.height.to_bits(), b.height.to_bits(), "probe {}", j);
+            prop_assert_eq!(a.routes_around, b.routes_around);
+            let c = max_pattern_height_batched(&ctx_rtree, x0, x1, g_eff, h_init, r.protect, &mut scratch);
+            prop_assert_eq!(a.height.to_bits(), c.height.to_bits(), "batched probe {}", j);
+        }
+
+        // Engine-level: identical meander bit for bit, all kinds, scalar
+        // and batched kernels.
+        let trace = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(seg_len, 0.0)]);
+        let input = ExtendInput {
+            trace: &trace,
+            target: seg_len * target_factor,
+            rules: &r,
+            area: &area,
+            obstacles: &obstacles,
+        };
+        let run = |index: IndexKind, batch_kernels: bool| {
+            extend_trace(&input, &ExtendConfig {
+                index,
+                batch_kernels,
+                parallel: false,
+                ..ExtendConfig::default()
+            })
+        };
+        let reference = run(IndexKind::Grid, false);
+        for (kind, bk) in [
+            (IndexKind::RTree, false),
+            (IndexKind::RTree, true),
+            (IndexKind::Auto, false),
+        ] {
+            let other = run(kind, bk);
+            prop_assert_eq!(
+                reference.achieved.to_bits(),
+                other.achieved.to_bits(),
+                "achieved diverged ({:?}, batch={})", kind, bk
+            );
+            prop_assert_eq!(reference.patterns, other.patterns);
+            prop_assert_eq!(reference.trace.points(), other.trace.points());
+        }
+    }
+}

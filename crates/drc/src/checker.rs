@@ -8,11 +8,24 @@ use crate::rules::DesignRules;
 use crate::violation::Violation;
 use meander_geom::batch::{
     accum_point_to_segs_dsq, accum_seg_to_points_dsq, distance_sq_to_segment_batch,
-    mark_intersections, BatchStats, SegBatch, PREFILTER_SLACK,
+    mark_intersections, pt_seg_dsq, BatchStats, SegBatch, PREFILTER_SLACK,
 };
+use meander_geom::intersect::segments_intersect;
 use meander_geom::{Point, Polygon, Polyline, Segment};
-use meander_index::{GridScratch, SegmentGrid};
+use meander_index::{GridScratch, IndexKind, SegIndex, SegmentGrid, SpatialIndex};
 use std::collections::HashMap;
+
+/// The index structure the un-suffixed entry points build: the grid unless
+/// the `rtree` cargo feature flips the default (mirroring how the `batch`
+/// feature flips the kernel default). The `_with` variants select
+/// explicitly; all combinations report identical violation lists.
+fn default_kind() -> IndexKind {
+    if cfg!(feature = "rtree") {
+        IndexKind::RTree
+    } else {
+        IndexKind::Grid
+    }
+}
 
 /// Geometry of one trace as the checker sees it.
 #[derive(Debug, Clone)]
@@ -197,7 +210,40 @@ pub fn check_layout_brute(input: &CheckInput) -> Vec<Violation> {
 /// * self-intersection uses a per-trace grid, which matters once meandered
 ///   traces carry hundreds of segments.
 pub fn check_layout_indexed(input: &CheckInput) -> Vec<Violation> {
-    let idx = ScanIndex::build(input);
+    check_layout_indexed_with(input, default_kind())
+}
+
+/// [`check_layout_indexed`] with the scan index structure selected by
+/// `kind` (grid, STR R-tree, or `Auto`). Both structures return identical
+/// candidate sets, so the violation list — order, values, witnesses — is
+/// the same for every kind (property-tested); choose by the board's shape
+/// (the R-tree wins when plane-sized obstacles meet dense traces).
+///
+/// ```
+/// use meander_drc::{check_layout_indexed_with, CheckInput, DesignRules, TraceGeometry};
+/// use meander_geom::{Point, Polygon, Polyline};
+/// use meander_index::IndexKind;
+///
+/// let input = CheckInput {
+///     traces: vec![TraceGeometry {
+///         id: 0,
+///         centerline: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]),
+///         width: 4.0,
+///         rules: DesignRules::default(),
+///         area: vec![],
+///         coupled_with: vec![],
+///     }],
+///     // A plane-sized obstacle too close to the trace: required
+///     // clearance is 8 + 4/2 = 10 but the slab sits at distance 5.
+///     obstacles: vec![Polygon::rectangle(Point::new(-50.0, 5.0), Point::new(150.0, 30.0))],
+/// };
+/// let grid = check_layout_indexed_with(&input, IndexKind::Grid);
+/// let rtree = check_layout_indexed_with(&input, IndexKind::RTree);
+/// assert_eq!(grid.len(), 1);
+/// assert_eq!(grid, rtree); // identical list, witnesses included
+/// ```
+pub fn check_layout_indexed_with(input: &CheckInput, kind: IndexKind) -> Vec<Violation> {
+    let idx = ScanIndex::build(input, kind);
     let (obs_worst, pair_best) = gather_scalar(input, &idx);
     emit(input, &idx, &obs_worst, &pair_best)
 }
@@ -213,15 +259,31 @@ pub fn check_layout_batched(input: &CheckInput) -> Vec<Violation> {
     check_layout_batched_stats(input).0
 }
 
+/// [`check_layout_batched`] with the scan index structure selected by
+/// `kind` (see [`check_layout_indexed_with`]; output is identical for
+/// every kind).
+pub fn check_layout_batched_with(input: &CheckInput, kind: IndexKind) -> Vec<Violation> {
+    check_layout_batched_stats_with(input, kind).0
+}
+
 /// [`check_layout_batched`] that also reports the batch-kernel work
 /// counters (for the perf baseline's observability section).
 pub fn check_layout_batched_stats(input: &CheckInput) -> (Vec<Violation>, BatchStats) {
-    let idx = ScanIndex::build(input);
+    check_layout_batched_stats_with(input, default_kind())
+}
+
+/// [`check_layout_batched_stats`] with the scan index structure selected
+/// by `kind`.
+pub fn check_layout_batched_stats_with(
+    input: &CheckInput,
+    kind: IndexKind,
+) -> (Vec<Violation>, BatchStats) {
+    let idx = ScanIndex::build(input, kind);
     let (obs_worst, pair_best, stats) = gather_batched(input, &idx);
     (emit(input, &idx, &obs_worst, &pair_best), stats)
 }
 
-/// Shared scan state: per-trace segment lists, the global segment grid
+/// Shared scan state: per-trace segment lists, the global segment index
 /// (ids ascend in `(trace, segment)` order), and the clearance windows.
 struct ScanIndex {
     segs: Vec<Vec<Segment>>,
@@ -230,11 +292,15 @@ struct ScanIndex {
     max_obs_required: f64,
     max_pair_required: f64,
     mean_seg_len: f64,
-    grid: SegmentGrid,
+    grid: SegIndex,
+    /// The caller's selection, passed through unresolved so `Auto` gets
+    /// re-judged per population: the scan index resolves it on the trace
+    /// segments, each per-obstacle edge index on that obstacle's edges.
+    kind: IndexKind,
 }
 
 impl ScanIndex {
-    fn build(input: &CheckInput) -> Self {
+    fn build(input: &CheckInput, kind: IndexKind) -> Self {
         let traces = &input.traces;
         let segs: Vec<Vec<Segment>> = traces
             .iter()
@@ -276,12 +342,8 @@ impl ScanIndex {
             .max(max_pair_required)
             .max(1e-6);
 
-        let mut grid = SegmentGrid::new(cell);
-        for (i, list) in segs.iter().enumerate() {
-            for (si, seg) in list.iter().enumerate() {
-                grid.insert((offsets[i] + si) as u32, seg);
-            }
-        }
+        let flat: Vec<Segment> = segs.iter().flatten().copied().collect();
+        let grid = SegIndex::from_segments(kind, cell, &flat);
         ScanIndex {
             segs,
             offsets,
@@ -290,6 +352,7 @@ impl ScanIndex {
             max_pair_required,
             mean_seg_len,
             grid,
+            kind,
         }
     }
 
@@ -357,6 +420,15 @@ fn gather_scalar(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest) {
     (obs_worst, pair_best)
 }
 
+/// Obstacles with at least this many edges *and* at least
+/// [`EDGE_INDEX_MIN_CANDIDATES`] candidate segments in their window take
+/// the edge-indexed accumulation path; below the thresholds the dense
+/// edge-outer lane loops win (a rectangle's four edges are cheaper to
+/// stream than to index).
+const EDGE_INDEX_MIN_EDGES: usize = 8;
+/// Candidate-count floor for the edge-indexed obstacle path.
+const EDGE_INDEX_MIN_CANDIDATES: usize = 16;
+
 /// The batched clearance passes. Per probe window, one [`SegBatch`] holds
 /// every candidate; distances reduce in the squared domain; witnesses come
 /// from first-occurrence strict argmins, which is exactly the scalar
@@ -371,6 +443,26 @@ fn gather_scalar(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest) {
 /// * polygon containment ("segment swallowed whole") only runs for
 ///   candidates whose start lies within the obstacle bbox inflated by
 ///   [`PREFILTER_SLACK`] — a superset of where it can hold.
+///
+/// ## The edge-indexed obstacle pass
+///
+/// The dense obstacle accumulation is edge-outer: every obstacle edge
+/// streams partials across *every* candidate lane — `O(edges ×
+/// candidates)` even though a candidate far from an edge contributes
+/// nothing. For many-edged obstacles with big windows (plane polygons on
+/// the `stress:mixed` regime) the pass flips candidate-outer: a
+/// per-obstacle edge index (same [`IndexKind`] as the scan index) hands
+/// each candidate only the edges within the clearance radius `R =
+/// max_obs_required`, and the partials accumulate through the same
+/// [`pt_seg_dsq`] float stream the lane kernels run.
+///
+/// Skipping far edges is exact, not approximate: every omitted partial is
+/// `> R²` (an edge at distance `> R` from the candidate keeps all four of
+/// its endpoint/vertex partials above `R`, and cannot intersect it), so
+/// `dsq[k]` is computed exactly whenever its true value is `< R²` — and a
+/// violation needs `d < required ≤ R`. Values at or above `R²` may be
+/// inflated, but the per-trace winner is then `≥ required` on both paths
+/// and nothing is emitted either way.
 fn gather_batched(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest, BatchStats) {
     let traces = &input.traces;
     let mut scratch = GridScratch::new();
@@ -379,11 +471,16 @@ fn gather_batched(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest, B
     let mut stats = BatchStats::default();
     let mut dsq: Vec<f64> = Vec::new();
     let mut hit: Vec<bool> = Vec::new();
+    let mut edge_scratch = GridScratch::new();
+    let mut near_edges: Vec<u32> = Vec::new();
+    let mut edges: Vec<Segment> = Vec::new();
 
     // --- Trace–obstacle pass. --------------------------------------------
     // d(obstacle, seg) decomposes into "obstacle edge ↔ seg endpoint" and
     // "obstacle vertex ↔ seg" partials plus the intersection/containment
-    // zero cases; the partials run lane-parallel across the candidates.
+    // zero cases; the partials run lane-parallel across the candidates
+    // (dense path) or candidate-outer over the nearby-edge subsets
+    // (edge-indexed path — see above; both are exact).
     let mut obs_worst: ObsWorst = HashMap::new();
     for (oi, obs) in input.obstacles.iter().enumerate() {
         let window = obs.bbox().expanded(idx.max_obs_required);
@@ -398,13 +495,55 @@ fn gather_batched(input: &CheckInput, idx: &ScanIndex) -> (ObsWorst, PairBest, B
         dsq.resize(n, f64::INFINITY);
         hit.clear();
         hit.resize(n, false);
-        for e in obs.edges() {
-            accum_seg_to_points_dsq(&e, batch.ax(), batch.ay(), &mut dsq);
-            accum_seg_to_points_dsq(&e, batch.bx(), batch.by(), &mut dsq);
-            mark_intersections(&e, &batch, &mut hit);
-        }
-        for &v in obs.vertices() {
-            accum_point_to_segs_dsq(v, &batch, &mut dsq);
+        edges.clear();
+        edges.extend(obs.edges());
+        if edges.len() >= EDGE_INDEX_MIN_EDGES && n >= EDGE_INDEX_MIN_CANDIDATES {
+            let mean_edge = edges.iter().map(Segment::length).sum::<f64>() / edges.len() as f64;
+            let cell = mean_edge.max(idx.max_obs_required).max(1e-6);
+            let eidx = SegIndex::from_segments(idx.kind, cell, &edges);
+            for k in 0..n {
+                let (sax, say) = (batch.ax()[k], batch.ay()[k]);
+                let (sbx, sby) = (batch.bx()[k], batch.by()[k]);
+                let cand_window = batch.get(k).bbox().expanded(idx.max_obs_required);
+                eidx.query_scratch(&cand_window, &mut edge_scratch, &mut near_edges);
+                let mut acc = dsq[k];
+                for &eid in &near_edges {
+                    let e = &edges[eid as usize];
+                    // Edge ↔ candidate-endpoint partials…
+                    let d = pt_seg_dsq(sax, say, e.a.x, e.a.y, e.b.x, e.b.y);
+                    if d < acc {
+                        acc = d;
+                    }
+                    let d = pt_seg_dsq(sbx, sby, e.a.x, e.a.y, e.b.x, e.b.y);
+                    if d < acc {
+                        acc = d;
+                    }
+                    // …and vertex ↔ candidate partials (each polygon vertex
+                    // is an endpoint of its two adjacent edges; the repeat
+                    // accumulation is an idempotent `min` of equal bits).
+                    let d = pt_seg_dsq(e.a.x, e.a.y, sax, say, sbx, sby);
+                    if d < acc {
+                        acc = d;
+                    }
+                    let d = pt_seg_dsq(e.b.x, e.b.y, sax, say, sbx, sby);
+                    if d < acc {
+                        acc = d;
+                    }
+                    if !hit[k] && segments_intersect(e, &batch.get(k)) {
+                        hit[k] = true;
+                    }
+                }
+                dsq[k] = acc;
+            }
+        } else {
+            for e in &edges {
+                accum_seg_to_points_dsq(e, batch.ax(), batch.ay(), &mut dsq);
+                accum_seg_to_points_dsq(e, batch.bx(), batch.by(), &mut dsq);
+                mark_intersections(e, &batch, &mut hit);
+            }
+            for &v in obs.vertices() {
+                accum_point_to_segs_dsq(v, &batch, &mut dsq);
+            }
         }
         let near = obs.bbox().expanded(PREFILTER_SLACK);
         for k in 0..n {
@@ -840,6 +979,36 @@ mod tests {
         let v = check_layout(&input);
         assert_eq!(v.len(), 1);
         assert!(matches!(v[0], Violation::OutsideRoutableArea { .. }));
+    }
+
+    #[test]
+    fn edge_indexed_obstacle_pass_matches_dense() {
+        // A many-edged plane polygon (24-gon, radius big enough to smear
+        // across the whole board) over dozens of short trace segments:
+        // crosses both edge-index thresholds, so the batched gather takes
+        // the candidate-outer path — and must agree with the brute scan
+        // exactly, under every index kind.
+        let mut traces = Vec::new();
+        for t in 0..6u32 {
+            let y = t as f64 * 30.0;
+            let pts: Vec<Point> = (0..12)
+                .map(|i| Point::new(i as f64 * 10.0, y + if i % 2 == 0 { 0.0 } else { 3.0 }))
+                .collect();
+            traces.push(trace(t, pts));
+        }
+        let input = CheckInput {
+            traces,
+            obstacles: vec![
+                Polygon::regular(Point::new(60.0, 80.0), 70.0, 24, 0.1),
+                Polygon::regular(Point::new(30.0, 10.0), 4.0, 24, 0.0),
+            ],
+        };
+        let brute = check_layout_brute(&input);
+        assert!(!brute.is_empty(), "the plane must clip several traces");
+        for kind in [IndexKind::Grid, IndexKind::RTree, IndexKind::Auto] {
+            assert_eq!(check_layout_batched_with(&input, kind), brute, "{kind:?}");
+            assert_eq!(check_layout_indexed_with(&input, kind), brute, "{kind:?}");
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property tests for the DRC layer.
 
-use meander_drc::{check_layout, CheckInput, DesignRules, TraceGeometry};
-use meander_drc::{check_layout_batched, check_layout_brute, check_layout_indexed};
+use meander_drc::{check_layout, CheckInput, DesignRules, IndexKind, TraceGeometry};
+use meander_drc::{
+    check_layout_batched, check_layout_batched_with, check_layout_brute, check_layout_indexed,
+    check_layout_indexed_with,
+};
 use meander_drc::{restore_rules, virtualize_rules};
 use meander_geom::{Point, Polygon, Polyline, Vector};
 use proptest::prelude::*;
@@ -124,7 +127,9 @@ proptest! {
             1..7,
         ),
         obstacles in proptest::collection::vec(
-            ((0.0..300.0f64, 0.0..300.0f64), 1.0..18.0f64, 3usize..9),
+            // Up to 24 vertices: many-edged obstacles cross the DRC's
+            // edge-indexed threshold, so that path is exercised too.
+            ((0.0..300.0f64, 0.0..300.0f64), 1.0..18.0f64, 3usize..25),
             0..9,
         ),
         couple_first_two in 0usize..2,
@@ -175,7 +180,13 @@ proptest! {
         prop_assert_eq!(check_layout_indexed(&input), brute.clone());
         // The SoA-batched kernels must reproduce the exact same list too —
         // order, values, and witnesses (the lane-exactness contract).
-        prop_assert_eq!(check_layout_batched(&input), brute);
+        prop_assert_eq!(check_layout_batched(&input), brute.clone());
+        // And the STR R-tree scan index must reproduce it as well, scalar
+        // and batched: identical candidate sets make the whole scan
+        // bit-identical whatever structure answers the window queries.
+        prop_assert_eq!(check_layout_indexed_with(&input, IndexKind::RTree), brute.clone());
+        prop_assert_eq!(check_layout_batched_with(&input, IndexKind::RTree), brute.clone());
+        prop_assert_eq!(check_layout_batched_with(&input, IndexKind::Auto), brute);
     }
 
     #[test]

@@ -268,9 +268,13 @@ impl PointBatch {
 /// — the exact operation sequence of [`Segment::distance_to_point`] (via
 /// `project` → `clamp` → `point_at` → `Point::distance`) minus the terminal
 /// `sqrt`, so `pt_seg_dsq(..).sqrt()` is bit-identical to the scalar call.
+///
+/// Public so sparse callers (the DRC's edge-indexed obstacle pass, which
+/// visits only the few edges near each candidate) can accumulate the same
+/// float stream the lane kernels produce without materializing a batch.
 #[inline(always)]
 #[allow(clippy::manual_clamp)] // mirrors `eps::clamp` (max-then-min), not `f64::clamp`
-fn pt_seg_dsq(px: f64, py: f64, ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
+pub fn pt_seg_dsq(px: f64, py: f64, ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
     let dx = bx - ax;
     let dy = by - ay;
     let len_sq = dx * dx + dy * dy;

@@ -44,17 +44,22 @@ pub struct SegmentGrid {
     coords: Vec<[f64; 4]>,
 }
 
-/// Reusable visited-stamp state for [`SegmentGrid::query_scratch`].
+/// Reusable query state for [`SegmentGrid::query_scratch`] and
+/// [`crate::RTree::query_scratch`].
 ///
-/// Deduplicating candidates with `sort + dedup` costs `O(k log k)` per query
-/// and the stamp approach is `O(k)`: each id's slot stores the stamp of the
-/// last query that saw it, and a slot equal to the current stamp means
-/// "already emitted". One scratch can serve many grids; the marks table
-/// grows to the largest id seen.
+/// For the grid it holds the visited-stamp table: deduplicating candidates
+/// with `sort + dedup` costs `O(k log k)` per query and the stamp approach
+/// is `O(k)` — each id's slot stores the stamp of the last query that saw
+/// it, and a slot equal to the current stamp means "already emitted". For
+/// the R-tree it holds the traversal stack instead (the tree never yields
+/// duplicates). One scratch serves many indexes of either kind; the marks
+/// table grows to the largest id seen.
 #[derive(Debug, Clone, Default)]
 pub struct GridScratch {
     marks: Vec<u32>,
     stamp: u32,
+    /// Node-descent stack for the R-tree arm.
+    pub(crate) stack: Vec<u32>,
 }
 
 impl GridScratch {

@@ -1,7 +1,10 @@
-//! Property tests: both index structures must agree with brute force.
+//! Property tests: both index structures must agree with brute force, and
+//! the two [`SpatialIndex`] implementations must agree with each other
+//! (identical candidate sets — the contract that keeps DRC lists and
+//! placements bit-identical when the index kind is swapped).
 
 use meander_geom::{Point, Rect, Segment};
-use meander_index::{MergeSortTree, SegmentGrid};
+use meander_index::{GridScratch, MergeSortTree, RTree, SegmentGrid};
 use proptest::prelude::*;
 
 fn pt() -> impl Strategy<Value = Point> {
@@ -54,6 +57,49 @@ proptest! {
         // No phantom ids.
         for &c in &candidates {
             prop_assert!((c as usize) < segs.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Randomized boards mixing via-sized and plane-sized segments: the
+    // STR R-tree must return the *exact* candidate set of the grid for
+    // every query window, through every query entry point.
+    #[test]
+    fn rtree_query_sets_equal_grid(
+        small in proptest::collection::vec((pt(), (-4.0..4.0f64, -4.0..4.0f64)), 0..50),
+        planes in proptest::collection::vec((-80.0..-10.0f64, -50.0..50.0f64, 20.0..280.0f64), 0..4),
+        q0 in pt(),
+        w in 0.0..60.0f64,
+        h in 0.0..60.0f64,
+        cell in 0.5..10.0f64,
+    ) {
+        let mut segs: Vec<Segment> = small
+            .iter()
+            .map(|(a, (dx, dy))| Segment::new(*a, Point::new(a.x + dx, a.y + dy)))
+            .collect();
+        // Plane-like long horizontal edges smearing across many cells.
+        for &(x0, y, len) in &planes {
+            segs.push(Segment::new(Point::new(x0, y), Point::new(x0 + len, y + 0.5)));
+        }
+        let grid = SegmentGrid::from_segments(cell, &segs);
+        let tree = RTree::from_segments(cell, &segs);
+        let r = Rect::new(q0, Point::new(q0.x + w, q0.y + h));
+        let expect = grid.query(&r);
+        prop_assert_eq!(&tree.query(&r), &expect);
+        let mut scratch = GridScratch::new();
+        let mut got = Vec::new();
+        tree.query_scratch(&r, &mut scratch, &mut got);
+        prop_assert_eq!(&got, &expect);
+        let mut ids = Vec::new();
+        let mut batch = meander_geom::SegBatch::new();
+        tree.query_batch(&r, &mut scratch, &mut ids, &mut batch);
+        prop_assert_eq!(&ids, &expect);
+        prop_assert_eq!(batch.len(), expect.len());
+        for (k, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(batch.get(k), segs[id as usize]);
         }
     }
 }

@@ -16,9 +16,10 @@
 //! meandering `Δl` of extra length consumes ≈ `Δl · (d_gap + w)` of area.
 //!
 //! Pipeline: [`decompose`] grids the free space into capacity-carrying
-//! regions → [`requirements`] sizes each trace's demand → [`assign`] builds
-//! and solves the LP with the from-scratch two-phase [`simplex`] solver →
-//! winners are folded into per-trace [`meander_layout::RoutableArea`]s.
+//! regions → [`requirements`] sizes each trace's demand → [`assign()`]
+//! builds and solves the LP with the from-scratch two-phase [`simplex`]
+//! solver → winners are folded into per-trace
+//! [`meander_layout::RoutableArea`]s.
 
 pub mod assign;
 pub mod capacity;

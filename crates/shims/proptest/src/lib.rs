@@ -207,7 +207,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S, L> {
         element: S,

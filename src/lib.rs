@@ -29,5 +29,7 @@ pub use meander_region as region;
 
 /// Convenience prelude with the most common types.
 pub mod prelude {
+    pub use meander_core::ExtendConfig;
     pub use meander_geom::{Point, Polygon, Polyline, Rect, Segment, Vector};
+    pub use meander_index::{IndexKind, SpatialIndex};
 }
