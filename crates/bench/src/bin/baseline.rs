@@ -1,12 +1,14 @@
 //! Performance baseline: times the matching flow, single-trace extension,
-//! and the DRC scan on the paper's cases plus the stress boards, for each
-//! engine configuration, and emits `BENCH_PR4.json` (schema v4) — the
-//! fourth point of the repo's performance trajectory. Schema v4 adds the
-//! STR R-tree spatial index: live `rtree` configurations for matching and
-//! the DRC scan (`IndexKind::RTree` behind the `SpatialIndex` trait —
-//! bit-identical outputs, asserted here), with `stress:mixed` and
-//! `stress:large` as the headline cases, and a printed delta against the
-//! recorded `BENCH_PR3.json`.
+//! the DRC scan, and the **multi-board fleet engine** on the paper's cases
+//! plus the stress boards, for each engine configuration, and emits
+//! `BENCH_PR5.json` (schema v5) — the fifth point of the repo's
+//! performance trajectory. Schema v5 adds the `fleet` section: a 16-board
+//! serving-size fleet routed per-board sequentially, batched without
+//! library sharing, and batched **with** the shared obstacle-library world
+//! (`meander_fleet::route_fleet` — bit-identical outputs, asserted here),
+//! with boards/sec, amortized index-build time, and the work-stealing
+//! scheduler's steal/busy counters; plus a printed delta against the
+//! recorded `BENCH_PR4.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -29,24 +31,31 @@
 //!   candidate-outer path)
 //! * `parallel`    — indexed engine, parallel driver
 //!
-//! The headline numbers are `speedup_rtree = batched / rtree` on the DRC
-//! scan and group matching (the grid-degradation boards `stress:mixed` /
-//! `stress:large` are what the index targets), alongside the PR 3 ratios
-//! re-measured live.
+//! The fleet rows are measured on this container honestly: at 1 CPU the
+//! scheduler runs on one worker (steal counters ≈ 0) and the shrink
+//! side-context worker pair stays inactive — the shared-vs-unshared delta
+//! isolates the library-index amortization alone. Re-measure on multicore
+//! hardware for scheduler scaling.
 //!
-//! `--smoke` runs the table1:5 matching + DRC slice only (seconds, debug or
-//! release) so CI can keep this binary from rotting between perf PRs.
+//! `--smoke` runs the table1:5 matching + DRC slice plus a 4-board mini
+//! fleet (seconds, debug or release) so CI keeps both binaries' paths from
+//! rotting between perf PRs.
 
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
+use meander_core::match_all_groups;
 use meander_core::pattern::placements_window;
 use meander_core::{match_board_group, DpStats, ExtendConfig, IndexKind};
 use meander_drc::{
     check_layout_batched_stats_with, check_layout_brute, check_layout_indexed, CheckInput,
     TraceGeometry,
 };
+use meander_fleet::{route_fleet, BoardSet, FleetConfig};
 use meander_geom::batch::BatchStats;
-use meander_layout::gen::{stress_board, stress_mixed_board, table1_case, table2_case};
+use meander_layout::gen::{
+    fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case, table2_case,
+    FleetCase,
+};
 use meander_layout::Board;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -496,6 +505,129 @@ fn run_dp_resolve_case(m: usize) -> ResolveRow {
     }
 }
 
+struct FleetRow {
+    name: String,
+    boards: usize,
+    jobs: usize,
+    units: usize,
+    /// Per-board sequential `match_all_groups` over materialized twins.
+    sequential_s: f64,
+    /// Fleet engine, library materialized per board (no sharing).
+    unshared_s: f64,
+    /// Fleet engine, shared library world.
+    shared_s: f64,
+    /// One-time shared-world build inside the shared run (already included
+    /// in `shared_s` — reported separately to show the amortization).
+    base_build_s: f64,
+    library_polygons: usize,
+    workers: usize,
+    steals: u64,
+    steal_attempts: u64,
+    stolen_jobs: u64,
+    busy_s: f64,
+}
+
+impl FleetRow {
+    fn boards_per_sec(&self, secs: f64) -> f64 {
+        self.boards as f64 / secs.max(1e-12)
+    }
+}
+
+/// Times one fleet three ways — per-board sequential, fleet without
+/// library sharing, fleet with it — asserting bit-identical outcomes
+/// across all three (achieved lengths and pattern counts per trace).
+fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> FleetRow {
+    // Fleet rows pin the engine like `batched_config` (serial per-unit
+    // driver; the fleet scheduler owns the fan-out).
+    let extend = batched_config();
+
+    // Reference: sequential per-board matching on materialized twins.
+    let fingerprint = |reports: &[Vec<meander_core::GroupReport>]| -> Vec<u64> {
+        reports
+            .iter()
+            .flatten()
+            .flat_map(|g| {
+                g.traces
+                    .iter()
+                    .map(|t| t.achieved.to_bits() ^ (t.patterns as u64) << 1)
+            })
+            .collect()
+    };
+    let (sequential_s, want) = median_secs(reps, || {
+        let fleet = make();
+        let t0 = Instant::now();
+        let reports: Vec<Vec<meander_core::GroupReport>> = fleet
+            .boards
+            .iter()
+            .map(|lb| {
+                let mut board = lb.to_board();
+                match_all_groups(&mut board, &extend)
+            })
+            .collect();
+        (t0.elapsed().as_secs_f64(), fingerprint(&reports))
+    });
+
+    let fleet_run = |share: bool| {
+        let fleet = make();
+        let mut set = BoardSet::new(fleet.boards);
+        let t0 = Instant::now();
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: extend.clone(),
+                workers: None,
+                share_library: share,
+            },
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        let got = fingerprint(&report.reports);
+        (secs, (report, got))
+    };
+    let (unshared_s, (_, got_unshared)) = median_secs(reps, || fleet_run(false));
+    assert_eq!(
+        want, got_unshared,
+        "{name}: unshared fleet must be bit-identical to sequential"
+    );
+    let (shared_s, (shared_report, got_shared)) = median_secs(reps, || fleet_run(true));
+    assert_eq!(
+        want, got_shared,
+        "{name}: shared fleet must be bit-identical to sequential"
+    );
+
+    let s = shared_report.stats;
+    let row = FleetRow {
+        name: name.to_string(),
+        boards: s.boards,
+        jobs: s.jobs,
+        units: s.units,
+        sequential_s,
+        unshared_s,
+        shared_s,
+        base_build_s: s.base_build.as_secs_f64(),
+        library_polygons: s.library_polygons,
+        workers: s.scheduler.workers,
+        steals: s.scheduler.steals,
+        steal_attempts: s.scheduler.steal_attempts,
+        stolen_jobs: s.scheduler.stolen_jobs,
+        busy_s: s.scheduler.total_busy().as_secs_f64(),
+    };
+    println!(
+        "{:<18} sequential {:>8.4}s  unshared {:>8.4}s  shared {:>8.4}s  (x{:.2} sharing, x{:.2} vs sequential)  {:.2} boards/s shared, base build {:>8.5}s ({} lib polys), {} workers, {} steals",
+        row.name,
+        row.sequential_s,
+        row.unshared_s,
+        row.shared_s,
+        row.unshared_s / row.shared_s.max(1e-12),
+        row.sequential_s / row.shared_s.max(1e-12),
+        row.boards_per_sec(row.shared_s),
+        row.base_build_s,
+        row.library_polygons,
+        row.workers,
+        row.steals,
+    );
+    row
+}
+
 /// Pulls a per-case seconds field out of one array section of a prior
 /// `BENCH_PR*.json` (hand-rolled scan; no serde offline). Returns
 /// `(case_name, seconds)` for every row of `section` carrying `key`.
@@ -573,7 +705,7 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR4.json".to_string()
+            "BENCH_PR5.json".to_string()
         }
     });
 
@@ -604,17 +736,17 @@ fn main() {
         for case_no in 1..=6usize {
             extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
         }
-        // Side-by-side vs the recorded PR 3 baseline, when present (the
+        // Side-by-side vs the recorded PR 4 baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr3 = parse_recorded("BENCH_PR3.json", "single_trace_extension", "batched_s");
-        if !pr3.is_empty() {
-            println!("\n-- delta vs BENCH_PR3.json (recorded batched_s) --");
+        let pr4 = parse_recorded("BENCH_PR4.json", "single_trace_extension", "batched_s");
+        if !pr4.is_empty() {
+            println!("\n-- delta vs BENCH_PR4.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr3.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr4.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr3 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr4 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -623,7 +755,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR3: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR4: x{g:.2}", "");
             }
         }
     }
@@ -652,13 +784,13 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr3 = parse_recorded("BENCH_PR3.json", "drc_scan", "batched_s");
-        if !pr3.is_empty() {
-            println!("\n-- delta vs BENCH_PR3.json (recorded batched_s) --");
+        let pr4 = parse_recorded("BENCH_PR4.json", "drc_scan", "rtree_s");
+        if !pr4.is_empty() {
+            println!("\n-- delta vs BENCH_PR4.json (recorded rtree_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr3.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr4.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr3 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr4 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -667,13 +799,13 @@ fn main() {
                 }
             }
         }
-        let pr3m = parse_recorded("BENCH_PR3.json", "group_matching", "batched_s");
-        if !pr3m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR3.json (recorded batched_s) --");
+        let pr4m = parse_recorded("BENCH_PR4.json", "group_matching", "rtree_s");
+        if !pr4m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR4.json (recorded rtree_s) --");
             for r in &rows {
-                if let Some((_, old)) = pr3m.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr4m.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr3 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr4 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -682,6 +814,24 @@ fn main() {
                 }
             }
         }
+    }
+
+    println!("\n== fleet batch routing (sequential vs unshared vs shared library) ==");
+    println!(
+        "(1-CPU container: one worker, steal counters ≈ 0, shrink side pair inactive — the \
+         shared-vs-unshared delta isolates library-index amortization; re-measure scheduler \
+         scaling on multicore)"
+    );
+    let mut fleet_rows: Vec<FleetRow> = Vec::new();
+    if smoke {
+        fleet_rows.push(run_fleet_case(
+            "fleet:small:4",
+            || fleet_boards_small(4, 21, 42),
+            1,
+        ));
+    } else {
+        fleet_rows.push(run_fleet_case("fleet:16", || fleet_boards(16, 21, 42), 3));
+        fleet_rows.push(run_fleet_case("fleet:32", || fleet_boards(32, 5, 9), 3));
     }
 
     // Headline: geometric-mean speedups.
@@ -721,6 +871,19 @@ fn main() {
         .iter()
         .map(|r| r.incremental_s / r.batched_s.max(1e-12))
         .collect();
+    let fleet_sharing: Vec<f64> = fleet_rows
+        .iter()
+        .map(|r| r.unshared_s / r.shared_s.max(1e-12))
+        .collect();
+    let fleet_vs_sequential: Vec<f64> = fleet_rows
+        .iter()
+        .map(|r| r.sequential_s / r.shared_s.max(1e-12))
+        .collect();
+    println!(
+        "fleet geomean: {} sharing speedup, {} vs per-board sequential",
+        fmt_gmean(gmean(&fleet_sharing), 2),
+        fmt_gmean(gmean(&fleet_vs_sequential), 2)
+    );
     println!(
         "\ngeomean speedup: matching {} ({} batch, {} rtree), extension {} vs pr1path ({} vs naive, {} batch), drc {} ({} batch, {} rtree)",
         fmt_gmean(gmean(&match_speedups), 1),
@@ -737,9 +900,19 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/4\",");
-    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/5\",");
+    let _ = writeln!(j, "  \"pr\": 5,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        j,
+        "  \"geomean_fleet_sharing_speedup\": {},",
+        json_gmean(gmean(&fleet_sharing))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_fleet_vs_sequential\": {},",
+        json_gmean(gmean(&fleet_vs_sequential))
+    );
     let _ = writeln!(
         j,
         "  \"geomean_matching_speedup\": {},",
@@ -849,6 +1022,33 @@ fn main() {
             r.points_per_resolve,
             r.memo_hit_rate,
             if i + 1 < resolve_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"fleet\": [");
+    for (i, r) in fleet_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"case\": \"{}\", \"boards\": {}, \"jobs\": {}, \"units\": {}, \"sequential_s\": {:.6}, \"unshared_s\": {:.6}, \"shared_s\": {:.6}, \"base_build_s\": {:.6}, \"library_polygons\": {}, \"boards_per_sec_shared\": {:.3}, \"boards_per_sec_unshared\": {:.3}, \"speedup_sharing\": {:.3}, \"speedup_vs_sequential\": {:.3}, \"workers\": {}, \"steals\": {}, \"steal_attempts\": {}, \"stolen_jobs\": {}, \"busy_s\": {:.6}}}{}",
+            r.name,
+            r.boards,
+            r.jobs,
+            r.units,
+            r.sequential_s,
+            r.unshared_s,
+            r.shared_s,
+            r.base_build_s,
+            r.library_polygons,
+            r.boards_per_sec(r.shared_s),
+            r.boards_per_sec(r.unshared_s),
+            r.unshared_s / r.shared_s.max(1e-12),
+            r.sequential_s / r.shared_s.max(1e-12),
+            r.workers,
+            r.steals,
+            r.steal_attempts,
+            r.stolen_jobs,
+            r.busy_s,
+            if i + 1 < fleet_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(j, "  ],");

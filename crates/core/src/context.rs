@@ -1,7 +1,9 @@
 //! The polygon context a segment is extended against.
 
+use meander_drc::DesignRules;
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect, Segment};
-use meander_index::{GridScratch, IndexKind, MergeSortTree, SegIndex, SpatialIndex};
+use meander_index::{GridScratch, IndexKind, MergeSortTree, OverlayIndex, SegIndex, SpatialIndex};
+use std::sync::Arc;
 
 /// Tiny lift above the segment line: geometry at `y ≤ Y_EPS` in pattern-side
 /// coordinates belongs to "behind the segment" and is exempt from checking
@@ -55,6 +57,119 @@ pub fn segment_ura(seg: &Segment, gap: f64) -> Option<Polygon> {
     Some(frame.polygon_to_world(&local))
 }
 
+/// Effective clearance between trace *centerlines* (`d_gap` of the URA
+/// construction): edge gap plus one trace width (two half-widths).
+#[inline]
+pub fn effective_gap(rules: &DesignRules) -> f64 {
+    rules.gap + rules.width
+}
+
+/// How far obstacles are inflated into centerline terms: they demand
+/// `d_obs + w/2` from a centerline while the URA only guarantees
+/// `g_eff/2`; the difference is made up by growing the polygon.
+#[inline]
+pub fn obstacle_inflation(rules: &DesignRules) -> f64 {
+    (rules.obstacle + rules.width / 2.0 - effective_gap(rules) / 2.0).max(0.0)
+}
+
+/// Cell size of the per-trace world edge index: a few clearance units —
+/// URA windows are a handful of `d_gap` across late in a run.
+#[inline]
+pub fn world_cell(rules: &DesignRules) -> f64 {
+    (effective_gap(rules) * 4.0).max(1.0)
+}
+
+/// Prebuilt, shareable world geometry for an obstacle **library**: the
+/// library's polygons inflated into centerline terms, with their edges
+/// spatially indexed — built **once** per `(library, rules)` and reused by
+/// every trace of every board of a fleet, instead of re-indexed inside each
+/// [`WorldIndex::build_with`].
+///
+/// The inflation amount and the index lattice are functions of the design
+/// rules ([`obstacle_inflation`], [`world_cell`]); a base only composes
+/// with traces whose rules derive the *same* floats
+/// ([`WorldBase::compatible`] — callers fall back to materializing the raw
+/// polygons otherwise, trading the amortization for unchanged output). The
+/// per-trace remainder (routable-area borders, board-local obstacles) goes
+/// into an [`OverlayIndex`] layered over this base; by the overlay's
+/// union-equals-monolithic contract the candidate sets — and therefore the
+/// router's placements — are **bit-identical** to indexing everything per
+/// trace.
+#[derive(Debug)]
+pub struct WorldBase {
+    /// The library polygons as given (un-inflated) — the fallback
+    /// materialization path for incompatible rules.
+    raw: Vec<Polygon>,
+    /// Library polygons inflated by [`obstacle_inflation`] — exactly what
+    /// `EngineParams` would compute per trace.
+    polys: Vec<Polygon>,
+    /// Shared edge index over `polys` (edge `e` belongs to polygon
+    /// `edge_owner[e]`).
+    edge_index: Arc<SegIndex>,
+    edge_owner: Vec<u32>,
+    n_edges: u32,
+    /// Lattice cell size the index was built on ([`world_cell`]).
+    cell: f64,
+    /// Inflation the polygons were grown by ([`obstacle_inflation`]).
+    inflate: f64,
+}
+
+impl WorldBase {
+    /// Inflates and indexes `library` for traces governed by `rules`, with
+    /// the index structure selected by `kind` (`Auto` resolves on the
+    /// library's edge extents; candidate sets are identical either way).
+    pub fn build(library: &[Polygon], rules: &DesignRules, kind: IndexKind) -> Self {
+        let inflate = obstacle_inflation(rules);
+        let cell = world_cell(rules);
+        let polys: Vec<Polygon> = library.iter().map(|p| p.offset_convex(inflate)).collect();
+        let mut edges: Vec<Segment> = Vec::new();
+        let mut edge_owner = Vec::new();
+        for (k, poly) in polys.iter().enumerate() {
+            for e in poly.edges() {
+                edges.push(e);
+                edge_owner.push(k as u32);
+            }
+        }
+        WorldBase {
+            raw: library.to_vec(),
+            polys,
+            edge_index: Arc::new(SegIndex::from_segments(kind, cell.max(1e-6), &edges)),
+            edge_owner,
+            n_edges: edges.len() as u32,
+            cell,
+            inflate,
+        }
+    }
+
+    /// `true` when a trace under `rules` derives exactly the inflation and
+    /// lattice this base was built with — the condition for the overlay
+    /// path to be bit-identical to per-trace indexing. (The index *kind*
+    /// is deliberately not compared: candidate sets are structure-
+    /// independent.)
+    pub fn compatible(&self, rules: &DesignRules) -> bool {
+        obstacle_inflation(rules).to_bits() == self.inflate.to_bits()
+            && world_cell(rules).to_bits() == self.cell.to_bits()
+    }
+
+    /// Number of library polygons.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// `true` when the library is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    /// The un-inflated library polygons (fallback materialization).
+    #[inline]
+    pub fn raw(&self) -> &[Polygon] {
+        &self.raw
+    }
+}
+
 /// Immutable, per-trace spatial index over the *static* world geometry
 /// (routable-area borders and inflated obstacles, in world coordinates).
 ///
@@ -62,18 +177,30 @@ pub fn segment_ura(seg: &Segment, gap: f64) -> Option<Polygon> {
 /// queue pop; this index is built **once per trace** and each iteration asks
 /// it only for the polygons that can reach the popped segment's candidate
 /// window, so [`ShrinkContext`] construction becomes output-sensitive.
+///
+/// In the fleet regime ([`WorldIndex::build_shared`]) the obstacle-library
+/// part of the world comes from a prebuilt [`WorldBase`]: only the
+/// per-trace remainder is indexed here, as an [`OverlayIndex`] overlay.
+/// Polygon ids then run: own area polygons, base (library) polygons, own
+/// board-local obstacles — the same order a monolithic board with its
+/// library obstacles listed first would produce, so candidate id lists are
+/// identical across the two builds.
 #[derive(Debug)]
 pub struct WorldIndex {
-    /// Area polygons first, then obstacle polygons.
+    /// Shared library world, if this index was built over one.
+    base: Option<Arc<WorldBase>>,
+    /// Number of polygon ids occupied by the base (0 without one).
+    n_base: usize,
+    /// Own polygons: areas first, then non-library obstacles.
     polys: Vec<Polygon>,
     /// Number of leading area polygons.
     n_area: usize,
-    /// Per-polygon bounding boxes.
+    /// Per-own-polygon bounding boxes (area containment tests).
     bboxes: Vec<Rect>,
-    /// Spatial index over every static polygon edge (grid or R-tree,
-    /// selection per [`IndexKind`]; candidate sets are identical).
-    edge_index: SegIndex,
-    /// Edge id → owning polygon id.
+    /// Edge index: base (library) edges under their shared index, own
+    /// edges as the overlay (ids offset by the base's edge count).
+    edge_index: OverlayIndex,
+    /// Own edge id → owning *own* polygon index.
     edge_owner: Vec<u32>,
 }
 
@@ -90,6 +217,32 @@ impl WorldIndex {
     /// grid ([`IndexKind::resolve`]). Query results are identical either
     /// way; only the cost model changes.
     pub fn build_with(area: &[Polygon], obstacles: &[Polygon], cell: f64, kind: IndexKind) -> Self {
+        Self::assemble(area, obstacles, cell, kind, None)
+    }
+
+    /// Builds the per-trace index *over* a shared [`WorldBase`]: only
+    /// `area` and the board-local `obstacles` (already inflated by the
+    /// caller, like [`WorldIndex::build_with`]'s) are indexed here; the
+    /// library's inflated polygons and their edge index are reused from
+    /// `base`. Queries answer exactly like a monolithic build over
+    /// `area + base + obstacles` (see [`OverlayIndex`]).
+    pub fn build_shared(
+        area: &[Polygon],
+        obstacles: &[Polygon],
+        base: Arc<WorldBase>,
+        kind: IndexKind,
+    ) -> Self {
+        let cell = base.cell;
+        Self::assemble(area, obstacles, cell, kind, Some(base))
+    }
+
+    fn assemble(
+        area: &[Polygon],
+        obstacles: &[Polygon],
+        cell: f64,
+        kind: IndexKind,
+        base: Option<Arc<WorldBase>>,
+    ) -> Self {
         let polys: Vec<Polygon> = area.iter().chain(obstacles.iter()).cloned().collect();
         let bboxes: Vec<Rect> = polys.iter().map(|p| p.bbox()).collect();
         let mut edges: Vec<Segment> = Vec::new();
@@ -100,19 +253,43 @@ impl WorldIndex {
                 edge_owner.push(k as u32);
             }
         }
+        let own = SegIndex::from_segments(kind, cell.max(1e-6), &edges);
+        let (edge_index, n_base) = match &base {
+            Some(b) => (
+                OverlayIndex::over(Arc::clone(&b.edge_index), b.n_edges, own),
+                b.len(),
+            ),
+            None => (OverlayIndex::solo(own), 0),
+        };
         WorldIndex {
+            base,
+            n_base,
             polys,
             n_area: area.len(),
             bboxes,
-            edge_index: SegIndex::from_segments(kind, cell.max(1e-6), &edges),
+            edge_index,
             edge_owner,
         }
     }
 
-    /// The indexed polygons (areas first).
+    /// Total number of indexed polygons (own + base).
     #[inline]
-    pub fn polys(&self) -> &[Polygon] {
-        &self.polys
+    pub fn n_polys(&self) -> usize {
+        self.polys.len() + self.n_base
+    }
+
+    /// The polygon with combined id `k` (own areas, then base polygons,
+    /// then own obstacles).
+    #[inline]
+    pub fn poly(&self, k: u32) -> &Polygon {
+        let k = k as usize;
+        if k < self.n_area {
+            &self.polys[k]
+        } else if k < self.n_area + self.n_base {
+            &self.base.as_ref().expect("base ids imply a base").polys[k - self.n_area]
+        } else {
+            &self.polys[k - self.n_base]
+        }
     }
 
     /// `true` when polygon `k` is a routable-area border.
@@ -144,10 +321,18 @@ impl WorldIndex {
         }
         self.edge_index.query_scratch(window, scratch, edge_buf);
         let first_obstacle = out.len();
+        let base_edges = self.edge_index.base_ids();
         for &e in edge_buf.iter() {
-            let owner = self.edge_owner[e as usize];
-            if !self.is_area(owner) {
-                out.push(owner);
+            if e < base_edges {
+                // Library edge: owner sits in the base id band.
+                let b = self.base.as_ref().expect("base ids imply a base");
+                out.push(self.n_area as u32 + b.edge_owner[e as usize]);
+            } else {
+                let owner = self.edge_owner[(e - base_edges) as usize];
+                if (owner as usize) >= self.n_area {
+                    // Own obstacle: shift past the base id band.
+                    out.push(owner + self.n_base as u32);
+                }
             }
         }
         out[first_obstacle..].sort_unstable();
@@ -263,11 +448,33 @@ impl ShrinkContext {
         seg_len: f64,
         kind: IndexKind,
     ) -> (ShrinkContext, ShrinkContext) {
+        Self::build_sides_with(world, static_ids, other_uras, frame, seg_len, kind, false)
+    }
+
+    /// [`ShrinkContext::build_sides`] with an optional worker pair: the two
+    /// side contexts are independent once the shared transform pass is
+    /// done, so with `pair_workers` the `up` side builds on a scoped thread
+    /// while the `dn` side builds on the caller's. Each side's construction
+    /// is the identical deterministic computation either way, so the
+    /// results are **bit-identical** (covered by the serial-equality test
+    /// below). Engine callers gate this on [`crate::par::multi_core`] —
+    /// on a 1-CPU host the spawn is pure overhead and the flag stays off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_sides_with(
+        world: &WorldIndex,
+        static_ids: &[u32],
+        other_uras: &[Polygon],
+        frame: &Frame,
+        seg_len: f64,
+        kind: IndexKind,
+        pair_workers: bool,
+    ) -> (ShrinkContext, ShrinkContext) {
         // One transform pass: local "up-side" coordinates; the down side
         // mirrors y afterwards.
         let mut local: Vec<(Vec<Point>, bool)> = Vec::with_capacity(static_ids.len());
         for &k in static_ids {
-            let verts: Vec<Point> = world.polys()[k as usize]
+            let verts: Vec<Point> = world
+                .poly(k)
                 .vertices()
                 .iter()
                 .map(|&p| frame.to_local(p))
@@ -297,7 +504,15 @@ impl ShrinkContext {
             ShrinkContext::assemble(polygons, is_area, area_local, seg_len, kind)
         };
 
-        (build_one(1.0), build_one(-1.0))
+        if pair_workers {
+            std::thread::scope(|s| {
+                let up = s.spawn(|| build_one(1.0));
+                let dn = build_one(-1.0);
+                (up.join().expect("side-context worker"), dn)
+            })
+        } else {
+            (build_one(1.0), build_one(-1.0))
+        }
     }
 
     /// Builds the query structures over side-local polygons.
@@ -457,6 +672,111 @@ mod tests {
         assert!((bb.min.x - 46.0).abs() < 1e-9);
         assert!((bb.max.x - 54.0).abs() < 1e-9);
         assert!((bb.min.y - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_pair_side_contexts_equal_serial() {
+        // `build_sides_with(.., pair_workers: true)` runs the identical
+        // per-side computation on a scoped worker; every derived field must
+        // match the serial build exactly (the engine gates the pair on
+        // `parallel` + core count, so this is the serial-equality guard).
+        let (frame, len) = frame_for(Point::new(3.0, 4.0), Point::new(120.0, 60.0));
+        let area = vec![Polygon::rectangle(
+            Point::new(-20.0, -80.0),
+            Point::new(160.0, 120.0),
+        )];
+        let obstacles: Vec<Polygon> = (0..12)
+            .map(|i| {
+                let x = 10.0 + (i % 6) as f64 * 18.0;
+                let y = -30.0 + (i / 6) as f64 * 70.0;
+                Polygon::regular(Point::new(x, y), 3.0, 8, 0.2)
+            })
+            .collect();
+        let world = WorldIndex::build_with(&area, &obstacles, 8.0, IndexKind::Grid);
+        let ids: Vec<u32> = (0..world.n_polys() as u32).collect();
+        let uras = vec![Polygon::rectangle(
+            Point::new(40.0, 30.0),
+            Point::new(60.0, 38.0),
+        )];
+        let serial = ShrinkContext::build_sides_with(
+            &world,
+            &ids,
+            &uras,
+            &frame,
+            len,
+            IndexKind::Grid,
+            false,
+        );
+        let paired = ShrinkContext::build_sides_with(
+            &world,
+            &ids,
+            &uras,
+            &frame,
+            len,
+            IndexKind::Grid,
+            true,
+        );
+        for (s, p) in [(&serial.0, &paired.0), (&serial.1, &paired.1)] {
+            assert_eq!(s.polygons.len(), p.polygons.len());
+            for (a, b) in s.polygons.iter().zip(&p.polygons) {
+                assert_eq!(a.vertices(), b.vertices());
+            }
+            assert_eq!(s.is_area, p.is_area);
+            assert_eq!(s.node_count, p.node_count);
+            assert_eq!(s.edges, p.edges);
+            assert_eq!(s.edge_owner, p.edge_owner);
+            assert_eq!(s.local_segment, p.local_segment);
+            assert_eq!(s.area_local.len(), p.area_local.len());
+        }
+    }
+
+    #[test]
+    fn shared_base_candidates_equal_monolithic() {
+        // The same world split as (area+local) over a library base must
+        // return identical candidate id lists for every window.
+        let area = vec![Polygon::rectangle(
+            Point::new(-10.0, -10.0),
+            Point::new(200.0, 100.0),
+        )];
+        let library: Vec<Polygon> = (0..10)
+            .map(|i| Polygon::regular(Point::new(15.0 + i as f64 * 18.0, 30.0), 3.0, 8, 0.0))
+            .collect();
+        let local = vec![
+            Polygon::regular(Point::new(50.0, 70.0), 4.0, 6, 0.3),
+            Polygon::rectangle(Point::new(-5.0, 90.0), Point::new(195.0, 95.0)),
+        ];
+        // Rules with zero obstacle inflation (`obstacle = gap/2`), so the
+        // base's polygons pass through unchanged and both indexes see the
+        // same geometry — this test isolates the id/candidate mapping; the
+        // inflation equivalence is covered at engine level.
+        let rules = meander_drc::DesignRules {
+            obstacle: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(obstacle_inflation(&rules), 0.0);
+        let mono: Vec<Polygon> = library.iter().chain(&local).cloned().collect();
+        let cell = world_cell(&rules);
+        let monolithic = WorldIndex::build_with(&area, &mono, cell, IndexKind::Grid);
+        let base = Arc::new(WorldBase::build(&library, &rules, IndexKind::Grid));
+        let shared = WorldIndex::build_shared(&area, &local, Arc::clone(&base), IndexKind::Grid);
+        assert_eq!(monolithic.n_polys(), shared.n_polys());
+        let mut scratch = GridScratch::new();
+        let mut edge_buf = Vec::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for wi in 0..40 {
+            let x0 = -20.0 + wi as f64 * 5.0;
+            let window = Rect::new(Point::new(x0, 10.0), Point::new(x0 + 30.0, 80.0));
+            monolithic.candidates(&window, &mut scratch, &mut edge_buf, &mut a);
+            shared.candidates(&window, &mut scratch, &mut edge_buf, &mut b);
+            assert_eq!(a, b, "window {wi} diverged");
+            for &k in &a {
+                assert_eq!(
+                    monolithic.poly(k).vertices(),
+                    shared.poly(k).vertices(),
+                    "poly {k} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! to the serial run.
 
 use crate::config::ExtendConfig;
-use crate::extend::{extend_trace, ExtendInput, ExtendOutcome};
+use crate::context::WorldBase;
+use crate::extend::{extend_trace_shared, ExtendInput, ExtendOutcome};
 use crate::par::par_map;
 use meander_drc::virtualize_rules;
 use meander_geom::{Polygon, Polyline};
 use meander_layout::{Board, MatchGroup, TraceId};
 use meander_msdtw::{merge_pair, restore_pair, PairGeometry};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-trace (or per-sub-trace) result.
@@ -71,9 +73,13 @@ impl GroupReport {
     }
 }
 
-/// One unit of matching work, gathered from the board up front.
+/// One unit of matching work — a single-ended trace or one differential
+/// pair — gathered from the board up front by [`plan_units`]. A unit is a
+/// pure function of its snapshot: running it never reads the board, which
+/// is what lets `crates/fleet` schedule units of *many* boards on one
+/// work-stealing pool and still write back deterministically.
 #[derive(Debug, Clone)]
-struct UnitInput {
+pub struct UnitInput {
     target: f64,
     kind: UnitKind,
 }
@@ -98,17 +104,26 @@ enum UnitKind {
     },
 }
 
-/// A unit's computed result, to be applied to the board in order.
+/// A unit's computed result, to be applied to the board in order by
+/// [`apply_outputs`].
 #[derive(Debug)]
-struct UnitOutput {
+pub struct UnitOutput {
     /// Busy time spent computing this unit.
     busy: Duration,
     updates: Vec<(TraceId, Polyline)>,
     reports: Vec<TraceReport>,
 }
 
+impl UnitOutput {
+    /// Busy time spent computing this unit.
+    #[inline]
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+}
+
 /// Plans the units of `group` in member-declaration order.
-fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInput> {
+pub fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInput> {
     let mut units = Vec::new();
     let mut done: HashSet<TraceId> = HashSet::new();
     for &id in group.members() {
@@ -172,16 +187,18 @@ fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInput> 
     units
 }
 
+#[allow(clippy::too_many_arguments)]
 fn extend_pure(
     id: TraceId,
     trace: &Polyline,
     rules: &meander_drc::DesignRules,
     area: &[Polygon],
     obstacles: &[Polygon],
+    base: Option<&Arc<WorldBase>>,
     target: f64,
     config: &ExtendConfig,
 ) -> (TraceReport, ExtendOutcome) {
-    let out = extend_trace(
+    let out = extend_trace_shared(
         &ExtendInput {
             trace,
             target,
@@ -190,6 +207,7 @@ fn extend_pure(
             obstacles,
         },
         config,
+        base,
     );
     (
         TraceReport {
@@ -203,8 +221,21 @@ fn extend_pure(
     )
 }
 
-/// Runs one unit against the shared obstacle set. Pure: no board access.
-fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> UnitOutput {
+/// Runs one unit against the board's obstacle set. Pure: no board access.
+pub fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> UnitOutput {
+    run_unit_shared(unit, obstacles, None, config)
+}
+
+/// [`run_unit`] against a shared obstacle-library world: `obstacles` holds
+/// only the board-local polygons, the library comes prebuilt from `base`
+/// ([`WorldBase`]). Output is bit-identical to [`run_unit`] over
+/// `base.raw() ++ obstacles` (see [`extend_trace_shared`]).
+pub fn run_unit_shared(
+    unit: &UnitInput,
+    obstacles: &[Polygon],
+    base: Option<&Arc<WorldBase>>,
+    config: &ExtendConfig,
+) -> UnitOutput {
     let start = Instant::now();
     let mut updates = Vec::new();
     let mut reports = Vec::new();
@@ -215,8 +246,16 @@ fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> U
             rules,
             area,
         } => {
-            let (report, out) =
-                extend_pure(*id, trace, rules, area, obstacles, unit.target, config);
+            let (report, out) = extend_pure(
+                *id,
+                trace,
+                rules,
+                area,
+                obstacles,
+                base,
+                unit.target,
+                config,
+            );
             updates.push((*id, out.trace));
             reports.push(report);
         }
@@ -234,7 +273,7 @@ fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> U
             let mut merged_ok = false;
             if let Ok(merged) = merge_pair(&geom) {
                 let vrules = virtualize_rules(rules, *sep);
-                let out = extend_trace(
+                let out = extend_trace_shared(
                     &ExtendInput {
                         trace: &merged.median,
                         target: unit.target,
@@ -243,6 +282,7 @@ fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> U
                         obstacles,
                     },
                     config,
+                    base,
                 );
                 if let Some((new_p, new_n)) = restore_pair(&out.trace, *sep) {
                     let (lp, ln) = (new_p.length(), new_n.length());
@@ -269,8 +309,16 @@ fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> U
             if !merged_ok {
                 // Degenerate pair: independent extension fallback.
                 for (sub, trace) in [(*p, p0), (*n, n0)] {
-                    let (report, out) =
-                        extend_pure(sub, trace, rules, area, obstacles, unit.target, config);
+                    let (report, out) = extend_pure(
+                        sub,
+                        trace,
+                        rules,
+                        area,
+                        obstacles,
+                        base,
+                        unit.target,
+                        config,
+                    );
                     updates.push((sub, out.trace));
                     reports.push(report);
                 }
@@ -284,8 +332,10 @@ fn run_unit(unit: &UnitInput, obstacles: &[Polygon], config: &ExtendConfig) -> U
     }
 }
 
-/// Applies unit outputs to the board in order, collecting reports.
-fn apply_outputs(board: &mut Board, outputs: Vec<UnitOutput>) -> (Vec<TraceReport>, Duration) {
+/// Applies unit outputs to the board in order, collecting reports and the
+/// summed busy time. Callers must pass outputs in the order [`plan_units`]
+/// planned them — that ordering is the whole determinism argument.
+pub fn apply_outputs(board: &mut Board, outputs: Vec<UnitOutput>) -> (Vec<TraceReport>, Duration) {
     let mut reports = Vec::new();
     let mut busy = Duration::ZERO;
     for out in outputs {
@@ -301,7 +351,8 @@ fn apply_outputs(board: &mut Board, outputs: Vec<UnitOutput>) -> (Vec<TraceRepor
     (reports, busy)
 }
 
-fn gather_obstacles(board: &Board) -> Vec<Polygon> {
+/// The board's obstacle polygons in declaration order.
+pub fn gather_obstacles(board: &Board) -> Vec<Polygon> {
     board
         .obstacles()
         .iter()
@@ -311,7 +362,8 @@ fn gather_obstacles(board: &Board) -> Vec<Polygon> {
 
 /// Length-matches group `group_idx` of `board` in place.
 ///
-/// Single-ended members go straight to [`extend_trace`]. Differential-pair
+/// Single-ended members go straight to [`crate::extend::extend_trace`].
+/// Differential-pair
 /// members are merged by MSDTW into a median trace, meandered under the
 /// virtual DRC ([`meander_drc::virtualize_rules`]), and restored; if the
 /// merge fails (degenerate pair) the sub-traces fall back to independent
@@ -328,6 +380,19 @@ pub fn match_board_group(
     group_idx: usize,
     config: &ExtendConfig,
 ) -> GroupReport {
+    match_board_group_shared(board, group_idx, config, None)
+}
+
+/// [`match_board_group`] against a shared obstacle-library world: the
+/// board's own obstacle list holds only board-local polygons, the library
+/// comes prebuilt from `base`. Bit-identical to [`match_board_group`] on
+/// the board with `base.raw()` prepended to its obstacles.
+pub fn match_board_group_shared(
+    board: &mut Board,
+    group_idx: usize,
+    config: &ExtendConfig,
+    base: Option<&Arc<WorldBase>>,
+) -> GroupReport {
     let group: MatchGroup = board.groups()[group_idx].clone();
     let lengths = board.group_lengths(&group);
     let target = group.resolve_target(&lengths);
@@ -336,11 +401,11 @@ pub fn match_board_group(
     let obstacles = gather_obstacles(board);
     let units = plan_units(board, &group, target);
     let outputs: Vec<UnitOutput> = if config.parallel && units.len() > 1 {
-        par_map(&units, |u| run_unit(u, &obstacles, config))
+        par_map(&units, |u| run_unit_shared(u, &obstacles, base, config))
     } else {
         units
             .iter()
-            .map(|u| run_unit(u, &obstacles, config))
+            .map(|u| run_unit_shared(u, &obstacles, base, config))
             .collect()
     };
     let (reports, _busy) = apply_outputs(board, outputs);
@@ -364,28 +429,54 @@ pub fn match_board_group(
 /// big group; each group's reported runtime is then its summed unit busy
 /// time.
 pub fn match_all_groups(board: &mut Board, config: &ExtendConfig) -> Vec<GroupReport> {
+    match_all_groups_shared(board, config, None)
+}
+
+/// Snapshots every group of `board` up front: one `(target, units)` entry
+/// per group, in declaration order, planned against the board's *current*
+/// trace geometry. This is the batched parallel path's planning step,
+/// exposed so `crates/fleet` can flatten many boards' groups into one
+/// work-stealing job pool. Valid under the model's invariant that a trace
+/// belongs to at most one group (otherwise later groups would need earlier
+/// groups' write-backs in their snapshots).
+pub fn plan_board_units(board: &Board) -> Vec<(f64, Vec<UnitInput>)> {
+    (0..board.groups().len())
+        .map(|gi| {
+            let group: MatchGroup = board.groups()[gi].clone();
+            let lengths = board.group_lengths(&group);
+            let target = group.resolve_target(&lengths);
+            let units = plan_units(board, &group, target);
+            (target, units)
+        })
+        .collect()
+}
+
+/// [`match_all_groups`] against a shared obstacle-library world (see
+/// [`match_board_group_shared`]).
+pub fn match_all_groups_shared(
+    board: &mut Board,
+    config: &ExtendConfig,
+    base: Option<&Arc<WorldBase>>,
+) -> Vec<GroupReport> {
     let n_groups = board.groups().len();
     if !config.parallel {
         return (0..n_groups)
-            .map(|gi| match_board_group(board, gi, config))
+            .map(|gi| match_board_group_shared(board, gi, config, base))
             .collect();
     }
 
     // Gather every group's units up front.
     let obstacles = gather_obstacles(board);
+    let planned = plan_board_units(board);
     let mut group_units: Vec<(f64, usize)> = Vec::with_capacity(n_groups);
     let mut flat: Vec<UnitInput> = Vec::new();
-    for gi in 0..n_groups {
-        let group: MatchGroup = board.groups()[gi].clone();
-        let lengths = board.group_lengths(&group);
-        let target = group.resolve_target(&lengths);
-        let mut units = plan_units(board, &group, target);
+    for (target, mut units) in planned {
         group_units.push((target, units.len()));
         flat.append(&mut units);
     }
 
     let mut outputs: std::collections::VecDeque<UnitOutput> =
-        par_map(&flat, |u| run_unit(u, &obstacles, config)).into();
+        par_map(&flat, |u| run_unit_shared(u, &obstacles, base, config)).into();
 
     group_units
         .into_iter()

@@ -19,7 +19,7 @@
 //!   baseline.
 
 use crate::config::ExtendConfig;
-use crate::context::{ShrinkContext, WorldContext, WorldIndex};
+use crate::context::{ShrinkContext, WorldBase, WorldContext, WorldIndex};
 use crate::dp::{DpInput, DpSession, DpStats, HeightBounds, Placement};
 use crate::pattern::{build_local_meander, splice_meander};
 use crate::shrink::{
@@ -32,6 +32,7 @@ use meander_geom::{Frame, Point, Polygon, Polyline, Rect};
 use meander_index::GridScratch;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Inputs for [`extend_trace`].
 #[derive(Debug, Clone)]
@@ -87,13 +88,12 @@ impl EngineParams {
         let rules = input.rules;
         let tol = (input.target * config.tolerance).max(1e-9);
         let h_min = rules.protect.max(1e-9);
-        // Effective clearance between trace *centerlines*: edge gap plus one
-        // trace width (two half-widths). The URA construction is phrased in
-        // centerline distances, so this is the `d_gap` it works with.
-        let g_eff = rules.gap + rules.width;
-        // Obstacles demand `d_obs + w/2` from a centerline while the URA only
-        // guarantees `g_eff/2`; inflate them by the difference.
-        let inflate = (rules.obstacle + rules.width / 2.0 - g_eff / 2.0).max(0.0);
+        // Effective centerline clearance and obstacle inflation, from the
+        // same rule-derived formulas `WorldBase::build` uses — sharing the
+        // functions is what keeps a prebuilt library base bit-compatible
+        // with the per-trace derivation.
+        let g_eff = crate::context::effective_gap(rules);
+        let inflate = crate::context::obstacle_inflation(rules);
         let obstacles: Vec<Polygon> = input
             .obstacles
             .iter()
@@ -271,16 +271,71 @@ pub fn extend_trace(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOut
     }
 }
 
+/// [`extend_trace`] against a shared, prebuilt obstacle-library world.
+///
+/// `input.obstacles` holds only the *board-local* obstacles; the library's
+/// polygons (and their edge index) come pre-inflated from `base`, built
+/// once per fleet by [`WorldBase::build`]. Output is **bit-identical** to
+/// [`extend_trace`] over `base.raw() ++ input.obstacles`:
+///
+/// * when `base` is compatible with this trace's rules (same inflation,
+///   same lattice — [`WorldBase::compatible`]), the incremental engine
+///   overlays the per-trace index on the shared one, and the overlay's
+///   union-equals-monolithic contract keeps every candidate set identical;
+/// * otherwise (different rules, or the rebuild engine) the library is
+///   materialized in front of the local obstacles and the ordinary path
+///   runs — same output, no amortization.
+pub fn extend_trace_shared(
+    input: &ExtendInput<'_>,
+    config: &ExtendConfig,
+    base: Option<&Arc<WorldBase>>,
+) -> ExtendOutcome {
+    match base {
+        None => extend_trace(input, config),
+        Some(b) if config.incremental && b.compatible(input.rules) => {
+            extend_trace_incremental_impl(input, config, Some(b))
+        }
+        Some(b) => {
+            // Deterministic fallback: the library becomes ordinary leading
+            // obstacles (the order a materialized board lists them in).
+            let mut obstacles: Vec<Polygon> = b.raw().to_vec();
+            obstacles.extend(input.obstacles.iter().cloned());
+            extend_trace(
+                &ExtendInput {
+                    obstacles: &obstacles,
+                    ..*input
+                },
+                config,
+            )
+        }
+    }
+}
+
 /// The incremental engine (see the module docs).
 pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
+    extend_trace_incremental_impl(input, config, None)
+}
+
+fn extend_trace_incremental_impl(
+    input: &ExtendInput<'_>,
+    config: &ExtendConfig,
+    base: Option<&Arc<WorldBase>>,
+) -> ExtendOutcome {
     let rules = input.rules;
     let params = EngineParams::derive(input, config);
     let g2 = params.g_eff / 2.0;
 
-    // Index the static world once per trace. Cell size: a few clearance
-    // units — URA windows are a handful of `d_gap` across late in a run.
-    let world_cell = (params.g_eff * 4.0).max(1.0);
-    let world = WorldIndex::build_with(input.area, &params.obstacles, world_cell, config.index);
+    // Index the static world once per trace (cell size: a few clearance
+    // units — URA windows are a handful of `d_gap` across late in a run);
+    // with a shared base, only the area + board-local remainder is indexed
+    // here and the library's index is reused.
+    let world_cell = crate::context::world_cell(rules);
+    let world = match base {
+        Some(b) => {
+            WorldIndex::build_shared(input.area, &params.obstacles, Arc::clone(b), config.index)
+        }
+        None => WorldIndex::build_with(input.area, &params.obstacles, world_cell, config.index),
+    };
     let mut trace = TraceBuf::from_polyline(input.trace, world_cell);
 
     let mut queue: VecDeque<u32> = (0..trace.segment_records() as u32).collect();
@@ -339,8 +394,27 @@ pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) 
         );
         let uras = uras_for(&trace, &near_ids, params.g_eff);
 
-        let (ctx_up, ctx_dn) =
-            ShrinkContext::build_sides(&world, &static_ids, &uras, &frame, len, config.index);
+        // The two side contexts build on a worker pair when the driver-level
+        // parallel flag is on, the host has cores to spare (a 1-CPU
+        // container would pay the spawn for nothing), *and* the context is
+        // big enough that per-side assembly dwarfs the ~tens-of-µs scoped
+        // spawn/join — small pops (the common case on paper-sized boards)
+        // stay serial so the default config cannot regress them. Either
+        // way the builds are the same deterministic computation, so output
+        // is identical.
+        const PAIR_MIN_POLYS: usize = 96;
+        let pair_workers = config.parallel
+            && static_ids.len() + uras.len() >= PAIR_MIN_POLYS
+            && crate::par::multi_core();
+        let (ctx_up, ctx_dn) = ShrinkContext::build_sides_with(
+            &world,
+            &static_ids,
+            &uras,
+            &frame,
+            len,
+            config.index,
+            pair_workers,
+        );
 
         let Some((local, kept)) = plan_segment(
             len,
@@ -883,6 +957,111 @@ mod tests {
             assert_eq!(grid.iterations, other.iterations, "{kind:?}");
             assert_eq!(grid.trace.points(), other.trace.points(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn shared_base_bit_identical() {
+        // Routing against a prebuilt library base must reproduce the
+        // monolithic run bit for bit — library polygons listed before the
+        // board-local ones, like a materialized fleet board.
+        let r = rules();
+        let trace = straight(200.0);
+        let area = roomy_area(200.0);
+        let library = vec![
+            Polygon::rectangle(Point::new(-10.0, 20.0), Point::new(210.0, 26.0)),
+            Polygon::regular(Point::new(60.0, -30.0), 6.0, 8, 0.1),
+            Polygon::regular(Point::new(150.0, -24.0), 4.0, 8, 0.3),
+        ];
+        let local = vec![Polygon::regular(Point::new(110.0, 16.0), 3.0, 6, 0.4)];
+        let mono: Vec<Polygon> = library.iter().chain(&local).cloned().collect();
+        let config = ExtendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let want = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 420.0,
+                rules: &r,
+                area: &area,
+                obstacles: &mono,
+            },
+            &config,
+        );
+        assert!(want.patterns >= 1);
+        for kind in [
+            meander_index::IndexKind::Grid,
+            meander_index::IndexKind::RTree,
+        ] {
+            let base = Arc::new(WorldBase::build(&library, &r, kind));
+            assert!(base.compatible(&r));
+            let got = extend_trace_shared(
+                &ExtendInput {
+                    trace: &trace,
+                    target: 420.0,
+                    rules: &r,
+                    area: &area,
+                    obstacles: &local,
+                },
+                &ExtendConfig {
+                    index: kind,
+                    ..config.clone()
+                },
+                Some(&base),
+            );
+            assert_eq!(want.achieved.to_bits(), got.achieved.to_bits(), "{kind:?}");
+            assert_eq!(want.patterns, got.patterns, "{kind:?}");
+            assert_eq!(want.iterations, got.iterations, "{kind:?}");
+            assert_eq!(want.trace.points(), got.trace.points(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn incompatible_base_falls_back_identically() {
+        // A base built for *different* rules (different inflation/lattice)
+        // must not be overlaid — the fallback materializes the library and
+        // still produces the exact monolithic result.
+        let r = rules();
+        let mut other = r;
+        other.gap = 10.0; // different g_eff ⇒ different cell + inflation
+        let trace = straight(160.0);
+        let area = roomy_area(160.0);
+        let library = vec![Polygon::regular(Point::new(80.0, 20.0), 5.0, 8, 0.0)];
+        let local = vec![Polygon::regular(Point::new(40.0, -18.0), 3.0, 6, 0.2)];
+        let base = Arc::new(WorldBase::build(
+            &library,
+            &other,
+            meander_index::IndexKind::Grid,
+        ));
+        assert!(!base.compatible(&r));
+        let mono: Vec<Polygon> = library.iter().chain(&local).cloned().collect();
+        let config = ExtendConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let want = extend_trace(
+            &ExtendInput {
+                trace: &trace,
+                target: 280.0,
+                rules: &r,
+                area: &area,
+                obstacles: &mono,
+            },
+            &config,
+        );
+        let got = extend_trace_shared(
+            &ExtendInput {
+                trace: &trace,
+                target: 280.0,
+                rules: &r,
+                area: &area,
+                obstacles: &local,
+            },
+            &config,
+            Some(&base),
+        );
+        assert_eq!(want.achieved.to_bits(), got.achieved.to_bits());
+        assert_eq!(want.trace.points(), got.trace.points());
     }
 
     #[test]

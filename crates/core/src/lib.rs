@@ -79,7 +79,12 @@ pub mod shrink;
 pub mod tracebuf;
 
 pub use config::ExtendConfig;
+pub use context::WorldBase;
 pub use dp::{DpSession, DpStats, HeightBounds, UbProfile};
-pub use driver::{match_all_groups, match_board_group, miter_group, GroupReport, TraceReport};
-pub use extend::{extend_trace, ExtendOutcome};
+pub use driver::{
+    apply_outputs, gather_obstacles, match_all_groups, match_all_groups_shared, match_board_group,
+    match_board_group_shared, miter_group, plan_board_units, plan_units, run_unit, run_unit_shared,
+    GroupReport, TraceReport, UnitInput, UnitOutput,
+};
+pub use extend::{extend_trace, extend_trace_shared, ExtendOutcome};
 pub use meander_index::IndexKind;

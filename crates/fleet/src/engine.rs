@@ -1,0 +1,401 @@
+//! The batch engine: flatten a [`BoardSet`] into `(board, group)` jobs,
+//! route them on the work-stealing pool, write back in order.
+//!
+//! ## Job model
+//!
+//! The unit of scheduling is one **group of one board** — coarse enough
+//! that a job amortizes its board's snapshot, fine enough that a 16-board
+//! fleet keeps a worker pool busy even when board sizes are skewed (the
+//! steal-half deques absorb the skew). Inside a job, the group's units
+//! (traces / differential pairs) run serially through the same
+//! [`meander_core::run_unit_shared`] the single-board driver uses.
+//!
+//! ## Library sharing
+//!
+//! Boards reference an immutable [`meander_layout::ObstacleLibrary`]. With
+//! [`FleetConfig::share_library`] the engine builds one
+//! [`WorldBase`] per distinct library — the library's polygons inflated
+//! and edge-indexed **once** — and every trace of every board overlays its
+//! per-trace remainder on it, instead of re-indexing the library's
+//! geometry per trace. With it off, each board materializes `library ++
+//! local` obstacles and routes exactly like a standalone board (the
+//! baseline the bench compares against).
+//!
+//! ## Determinism
+//!
+//! Fleet output is **bit-identical** to routing each board's materialized
+//! twin ([`meander_layout::LibraryBoard::to_board`]) through
+//! [`meander_core::match_all_groups`] sequentially:
+//!
+//! * jobs snapshot their inputs up front and are pure functions of them
+//!   (no job reads another's write-back — sound under the model invariant
+//!   that a trace belongs to at most one group);
+//! * the scheduler only moves *where* a job runs; results land in
+//!   input-order slots and write back in `(board, group, unit)` order;
+//! * the shared-library world answers every spatial query identically to
+//!   the monolithic per-trace index (`meander_index::OverlayIndex`'s
+//!   union-equals-monolithic contract), so the routed floats themselves
+//!   are the same stream.
+//!
+//! Wall-clock fields ([`GroupReport::runtime`], [`FleetStats`] timings)
+//! are measurements, not outputs — they are excluded from the identity.
+
+use crate::steal::{steal_map, StealCounters};
+use meander_core::{
+    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, ExtendConfig, GroupReport,
+    UnitInput, UnitOutput, WorldBase,
+};
+use meander_geom::Polygon;
+use meander_layout::LibraryBoard;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A fleet of boards, each referencing a shared obstacle library.
+///
+/// Boards may reference *different* libraries (the engine builds one
+/// shared world per distinct library); the common case is one library
+/// across the whole set.
+#[derive(Debug, Clone, Default)]
+pub struct BoardSet {
+    boards: Vec<LibraryBoard>,
+}
+
+impl BoardSet {
+    /// Wraps a fleet of library-referencing boards.
+    pub fn new(boards: Vec<LibraryBoard>) -> Self {
+        BoardSet { boards }
+    }
+
+    /// The boards.
+    #[inline]
+    pub fn boards(&self) -> &[LibraryBoard] {
+        &self.boards
+    }
+
+    /// Mutable board access (the engine writes results back here).
+    #[inline]
+    pub fn boards_mut(&mut self) -> &mut [LibraryBoard] {
+        &mut self.boards
+    }
+
+    /// Number of boards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// `true` when the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+}
+
+/// Tunables of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-unit engine configuration (index kind, batch kernels, DP
+    /// profile, …). The fleet scheduler replaces the driver-level fan-out,
+    /// so [`ExtendConfig::parallel`] only gates the intra-pop side-context
+    /// worker pair here.
+    pub extend: ExtendConfig,
+    /// Worker count; `None` uses the host's available parallelism.
+    pub workers: Option<usize>,
+    /// Build each distinct obstacle library's world once and overlay it
+    /// per trace (`true`, the point of the fleet), or materialize
+    /// `library ++ local` per board and index per trace like standalone
+    /// boards (`false` — the amortization-off baseline). Output is
+    /// bit-identical either way.
+    pub share_library: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            extend: ExtendConfig::default(),
+            workers: None,
+            share_library: true,
+        }
+    }
+}
+
+/// Scheduler and sharing observability for one fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Boards routed.
+    pub boards: usize,
+    /// `(board, group)` jobs scheduled.
+    pub jobs: usize,
+    /// Matching units (traces / pairs) across all jobs.
+    pub units: usize,
+    /// Distinct obstacle libraries encountered.
+    pub libraries: usize,
+    /// Total polygons across those libraries.
+    pub library_polygons: usize,
+    /// Time spent building the shared [`WorldBase`]s (zero when
+    /// `share_library` is off) — the cost that is paid once instead of
+    /// per trace.
+    pub base_build: Duration,
+    /// Wall clock of the scheduled phase (planning + routing + write-back
+    /// excluded: this is the pool's span).
+    pub route_wall: Duration,
+    /// Scheduler counters (workers, steals, per-worker busy).
+    pub scheduler: StealCounters,
+}
+
+/// One fleet run's results: per-board group reports (board order, group
+/// order — exactly what per-board [`meander_core::match_all_groups`]
+/// returns) plus the run's stats.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// `reports[b]` are board `b`'s group reports.
+    pub reports: Vec<Vec<GroupReport>>,
+    /// Scheduler / sharing observability.
+    pub stats: FleetStats,
+}
+
+/// One scheduled job: a group of a board, snapshotted.
+struct Job {
+    board: usize,
+    target: f64,
+    units: Vec<UnitInput>,
+    /// The obstacle polygons `run_unit_shared` sees: board-local only in
+    /// shared mode, `library ++ local` when materialized.
+    obstacles: Arc<Vec<Polygon>>,
+    base: Option<Arc<WorldBase>>,
+}
+
+struct JobOutput {
+    outputs: Vec<UnitOutput>,
+}
+
+/// Routes every group of every board of `set`, in place.
+///
+/// Results (trace geometry, group reports) are bit-identical to routing
+/// each board's materialized twin through `match_all_groups` sequentially,
+/// for every worker count and both `share_library` states (see the
+/// [module docs](self) for the argument; property-tested in
+/// `tests/determinism.rs`).
+pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
+    let n_boards = set.boards.len();
+    let workers = config
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+
+    // ---- Shared worlds: one WorldBase per distinct library. -------------
+    // One dedup pass finds the distinct libraries (by Arc identity); both
+    // sharing modes report the same `libraries`/`library_polygons` stats
+    // from it. In shared mode, each distinct library with at least one
+    // routed trace gets a prebuilt base — rules come from the first trace
+    // of the first board using it; units whose rules derive different
+    // inflation/lattice floats fall back to materialization inside the
+    // engine (bit-identical, just unamortized), so a mixed-rules fleet is
+    // correct — merely slower.
+    type LibKey = *const meander_layout::ObstacleLibrary;
+    let mut distinct: Vec<(LibKey, usize)> = Vec::new(); // (library, first board)
+    for (b, lb) in set.boards.iter().enumerate() {
+        let key = Arc::as_ptr(lb.library());
+        if !distinct.iter().any(|(k, _)| *k == key) {
+            distinct.push((key, b));
+        }
+    }
+    let libraries = distinct.len();
+    let library_polygons: usize = distinct
+        .iter()
+        .map(|&(_, b)| set.boards[b].library().len())
+        .sum();
+    let mut bases: Vec<(LibKey, Arc<WorldBase>)> = Vec::new();
+    let mut base_build = Duration::ZERO;
+    if config.share_library {
+        for &(key, first_board) in &distinct {
+            let lb = &set.boards[first_board];
+            let Some((_, first_trace)) = lb.board().traces().next() else {
+                continue; // no trace anywhere on the first board: no rules to derive
+            };
+            let rules = *first_trace.rules();
+            let t0 = Instant::now();
+            let base = WorldBase::build(&lb.library().polygons(), &rules, config.extend.index);
+            base_build += t0.elapsed();
+            bases.push((key, Arc::new(base)));
+        }
+    }
+
+    // ---- Flatten boards × groups into jobs (snapshot everything). -------
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut units_total = 0usize;
+    let mut groups_per_board: Vec<usize> = Vec::with_capacity(n_boards);
+    for (b, lb) in set.boards.iter().enumerate() {
+        let obstacles: Arc<Vec<Polygon>> = if config.share_library {
+            Arc::new(gather_obstacles(lb.board()))
+        } else {
+            let mut all = lb.library().polygons();
+            all.extend(gather_obstacles(lb.board()));
+            Arc::new(all)
+        };
+        let base = if config.share_library {
+            let key = Arc::as_ptr(lb.library());
+            bases
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, b)| Arc::clone(b))
+        } else {
+            None
+        };
+        let planned = plan_board_units(lb.board());
+        groups_per_board.push(planned.len());
+        for (target, units) in planned {
+            units_total += units.len();
+            jobs.push(Job {
+                board: b,
+                target,
+                units,
+                obstacles: Arc::clone(&obstacles),
+                base: base.clone(),
+            });
+        }
+    }
+    let n_jobs = jobs.len();
+
+    // ---- Route on the work-stealing pool. -------------------------------
+    let extend = &config.extend;
+    let t0 = Instant::now();
+    let (outputs, scheduler) = steal_map(&jobs, workers, |job: &Job| JobOutput {
+        outputs: job
+            .units
+            .iter()
+            .map(|u| run_unit_shared(u, &job.obstacles, job.base.as_ref(), extend))
+            .collect(),
+    });
+    let route_wall = t0.elapsed();
+
+    // ---- Deterministic write-back: (board, group, unit) order. ----------
+    let mut reports: Vec<Vec<GroupReport>> = groups_per_board
+        .iter()
+        .map(|&g| Vec::with_capacity(g))
+        .collect();
+    for (job, out) in jobs.iter().zip(outputs) {
+        let board = set.boards[job.board].board_mut();
+        let (traces, busy) = apply_outputs(board, out.outputs);
+        reports[job.board].push(GroupReport {
+            target: job.target,
+            traces,
+            runtime: busy,
+        });
+    }
+
+    FleetReport {
+        reports,
+        stats: FleetStats {
+            boards: n_boards,
+            jobs: n_jobs,
+            units: units_total,
+            libraries,
+            library_polygons,
+            base_build,
+            route_wall,
+            scheduler,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meander_core::match_all_groups;
+    use meander_layout::gen::fleet_boards_small;
+
+    fn serial_extend() -> ExtendConfig {
+        ExtendConfig {
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    /// Fleet results must match per-board sequential `match_all_groups`
+    /// exactly — geometry bits included — in both sharing modes.
+    #[test]
+    fn fleet_matches_sequential_bitwise() {
+        for share in [true, false] {
+            let fleet = fleet_boards_small(5, 21, 42);
+            let mut set = BoardSet::new(fleet.boards.clone());
+            let report = route_fleet(
+                &mut set,
+                &FleetConfig {
+                    extend: serial_extend(),
+                    workers: Some(3),
+                    share_library: share,
+                },
+            );
+            assert_eq!(report.stats.boards, 5);
+            assert_eq!(
+                report.stats.scheduler.total_executed() as usize,
+                report.stats.jobs
+            );
+
+            for (b, lb) in fleet.boards.iter().enumerate() {
+                let mut reference = lb.to_board();
+                let want = match_all_groups(&mut reference, &serial_extend());
+                let got = &report.reports[b];
+                assert_eq!(want.len(), got.len(), "share={share} board {b}");
+                for (w, g) in want.iter().zip(got.iter()) {
+                    assert_eq!(w.target.to_bits(), g.target.to_bits());
+                    assert_eq!(w.traces.len(), g.traces.len());
+                    for (x, y) in w.traces.iter().zip(&g.traces) {
+                        assert_eq!(x.id, y.id);
+                        assert_eq!(x.patterns, y.patterns);
+                        assert_eq!(x.achieved.to_bits(), y.achieved.to_bits());
+                        assert_eq!(x.initial.to_bits(), y.initial.to_bits());
+                        assert_eq!(x.via_msdtw, y.via_msdtw);
+                    }
+                }
+                // Geometry: the fleet board's local part must now hold the
+                // exact routed centerlines of the reference.
+                for (id, t) in reference.traces() {
+                    let routed = set.boards()[b].board().trace(id).unwrap();
+                    assert_eq!(
+                        t.centerline(),
+                        routed.centerline(),
+                        "share={share} board {b} trace {id:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mode_builds_one_base() {
+        let fleet = fleet_boards_small(4, 9, 13);
+        let mut set = BoardSet::new(fleet.boards);
+        let report = route_fleet(&mut set, &FleetConfig::default());
+        assert_eq!(report.stats.libraries, 1);
+        assert!(report.stats.library_polygons > 0);
+        assert!(report.stats.base_build > Duration::ZERO);
+        assert_eq!(report.reports.len(), 4);
+        // Unshared mode reports the library but builds no base.
+        let fleet = fleet_boards_small(4, 9, 13);
+        let mut set = BoardSet::new(fleet.boards);
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                share_library: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.stats.libraries, 1);
+        assert_eq!(report.stats.base_build, Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let mut set = BoardSet::new(vec![]);
+        let report = route_fleet(&mut set, &FleetConfig::default());
+        assert_eq!(report.stats.boards, 0);
+        assert_eq!(report.stats.jobs, 0);
+        assert!(report.reports.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # meander-fleet
+//!
+//! Multi-board batch routing: the serving regime where many boards —
+//! sharing one immutable obstacle library — are length-matched as a single
+//! workload.
+//!
+//! The single-board flow ([`meander_core::match_all_groups`]) rebuilds the
+//! world's spatial index per trace and fans units out through one atomic
+//! cursor. A fleet changes both economics:
+//!
+//! * **Shared obstacle libraries.** Boards reference an
+//!   [`meander_layout::ObstacleLibrary`]; the engine inflates and
+//!   edge-indexes it **once** ([`meander_core::WorldBase`]) and every
+//!   trace of every board overlays only its per-trace remainder
+//!   ([`meander_index::OverlayIndex`]) — the index construction the
+//!   single-board flow repeats per trace is amortized across the fleet.
+//! * **Work stealing.** `boards × groups` jobs of uneven cost spread over
+//!   per-worker deques with steal-half rebalancing ([`steal::steal_map`]),
+//!   generalizing the single atomic-cursor `par_map`.
+//! * **Deterministic write-back.** Results land in input-order slots and
+//!   write back in `(board, group, unit)` order, so fleet output is
+//!   **bit-identical** to routing each board's materialized twin
+//!   sequentially — any worker count, both sharing modes (property-tested
+//!   in `tests/determinism.rs`).
+//!
+//! ```
+//! use meander_fleet::{route_fleet, BoardSet, FleetConfig};
+//! use meander_layout::gen::fleet_boards_small;
+//!
+//! let fleet = fleet_boards_small(3, 7, 11);
+//! let mut set = BoardSet::new(fleet.boards);
+//! let report = route_fleet(&mut set, &FleetConfig::default());
+//! assert_eq!(report.reports.len(), 3);
+//! // Every group routed close to its target.
+//! for board in &report.reports {
+//!     for group in board {
+//!         assert!(group.max_error() < 0.05, "err {}", group.max_error());
+//!     }
+//! }
+//! ```
+
+pub mod engine;
+pub mod steal;
+
+pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};
+pub use steal::{steal_map, StealCounters};

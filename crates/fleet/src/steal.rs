@@ -1,0 +1,281 @@
+//! Work-stealing scheduler: per-worker deques with steal-half.
+//!
+//! The single-board driver's [`meander_core::par::par_map`] hands out work
+//! through one shared atomic cursor — fine for a dozen units, but a fleet
+//! flattens *boards × groups* jobs of wildly uneven cost (a 2-trace board
+//! next to a 6-trace one), and a single cursor serializes every claim
+//! through one cache line. This scheduler generalizes it to the classic
+//! shape: each worker owns a deque seeded round-robin, pops locally from
+//! the front, and — when dry — steals the *back half* of a victim's deque
+//! in one grab. Stealing halves (rather than single jobs) keeps thieves
+//! off the victims' locks: a worker that inherits a long tail serves
+//! itself locally from then on.
+//!
+//! ## Determinism
+//!
+//! Scheduling decides only *who computes what when*. Every job's result
+//! lands in the slot of its input index, and callers consume the slots in
+//! input order — so the output vector (and everything written back from
+//! it) is identical for every worker count, steal pattern, and timing, as
+//! long as each job is a pure function of its input. That is the same
+//! order-indexed write-back contract `par_map` established; the fleet's
+//! end-to-end bit-identity tests ride on it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Scheduler observability: how the fleet's jobs moved between workers.
+#[derive(Debug, Clone, Default)]
+pub struct StealCounters {
+    /// Workers that ran (1 for the serial fallback).
+    pub workers: usize,
+    /// Successful steal operations (each may move several jobs).
+    pub steals: u64,
+    /// Jobs moved by steals.
+    pub stolen_jobs: u64,
+    /// Victim probes, including empty-handed ones.
+    pub steal_attempts: u64,
+    /// Jobs executed per worker (index = worker id).
+    pub executed: Vec<u64>,
+    /// Busy time (inside job closures) per worker.
+    pub busy: Vec<Duration>,
+}
+
+impl StealCounters {
+    /// Total busy time across workers.
+    pub fn total_busy(&self) -> Duration {
+        self.busy.iter().sum()
+    }
+
+    /// Total executed jobs (must equal the scheduled job count).
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+}
+
+/// Maps `f` over `items` on `workers` work-stealing workers, returning
+/// results in input order plus the scheduler counters.
+///
+/// Items are seeded round-robin (item `i` starts on worker `i % workers`),
+/// so a fleet's boards spread across the pool even before any stealing.
+/// Falls back to a serial map for 0/1 items or 1 worker. Panics in `f`
+/// propagate after all workers join.
+pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, StealCounters)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let t0 = Instant::now();
+        let out: Vec<R> = items.iter().map(&f).collect();
+        let counters = StealCounters {
+            workers: 1,
+            executed: vec![n as u64],
+            busy: vec![t0.elapsed()],
+            ..Default::default()
+        };
+        return (out, counters);
+    }
+
+    // Round-robin seeding: deque w holds {i | i % workers == w}, ascending.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let remaining = AtomicUsize::new(n);
+    let steals = AtomicU64::new(0);
+    let stolen_jobs = AtomicU64::new(0);
+    let steal_attempts = AtomicU64::new(0);
+
+    let per_worker: Vec<(u64, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let slots = &slots;
+                let remaining = &remaining;
+                let steals = &steals;
+                let stolen_jobs = &stolen_jobs;
+                let steal_attempts = &steal_attempts;
+                let f = &f;
+                scope.spawn(move || {
+                    // Accounts a claimed job as finished even if `f`
+                    // unwinds — without this, a panicking worker would
+                    // leave `remaining > 0` and every other worker would
+                    // spin forever instead of joining (and letting the
+                    // scope propagate the panic).
+                    struct DoneGuard<'a>(&'a AtomicUsize);
+                    impl Drop for DoneGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::Release);
+                        }
+                    }
+                    let mut executed = 0u64;
+                    let mut busy = Duration::ZERO;
+                    let mut dry_rounds = 0u32;
+                    loop {
+                        // Local pop from the front (submission order).
+                        let job = deques[w].lock().expect("deque").pop_front();
+                        if let Some(i) = job {
+                            dry_rounds = 0;
+                            let _done = DoneGuard(remaining);
+                            let t0 = Instant::now();
+                            let r = f(&items[i]);
+                            busy += t0.elapsed();
+                            *slots[i].lock().expect("slot") = Some(r);
+                            executed += 1;
+                            continue;
+                        }
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // Dry: probe victims round-robin from our right
+                        // neighbor, stealing the back half of the first
+                        // non-empty deque in one grab.
+                        let mut stole = false;
+                        for k in 1..workers {
+                            let v = (w + k) % workers;
+                            steal_attempts.fetch_add(1, Ordering::Relaxed);
+                            let grabbed: VecDeque<usize> = {
+                                let mut victim = deques[v].lock().expect("victim deque");
+                                let keep = victim.len() / 2;
+                                victim.split_off(keep)
+                            };
+                            if grabbed.is_empty() {
+                                continue;
+                            }
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            stolen_jobs.fetch_add(grabbed.len() as u64, Ordering::Relaxed);
+                            let mut own = deques[w].lock().expect("deque");
+                            own.extend(grabbed);
+                            stole = true;
+                            break;
+                        }
+                        if !stole {
+                            // Everything queued is in flight elsewhere.
+                            // Yield for a few rounds (a straggler may
+                            // still spawn no new work, but finishes soon
+                            // in the common case), then back off to short
+                            // sleeps so a long tail job isn't contended
+                            // by W−1 spinning cores.
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            dry_rounds += 1;
+                            if dry_rounds < 8 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        }
+                    }
+                    (executed, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("steal worker"))
+            .collect()
+    });
+
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect();
+    let counters = StealCounters {
+        workers,
+        steals: steals.into_inner(),
+        stolen_jobs: stolen_jobs.into_inner(),
+        steal_attempts: steal_attempts.into_inner(),
+        executed: per_worker.iter().map(|(e, _)| *e).collect(),
+        busy: per_worker.into_iter().map(|(_, b)| b).collect(),
+    };
+    (out, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 3, 8] {
+            let (out, counters) = steal_map(&items, workers, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+            assert_eq!(counters.total_executed(), items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        let (out, c) = steal_map(&empty, 4, |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(c.workers, 1);
+        let (out, c) = steal_map(&[41u32], 4, |&x| x + 1);
+        assert_eq!(out, vec![42]);
+        assert_eq!(c.total_executed(), 1);
+    }
+
+    #[test]
+    fn uneven_jobs_all_execute() {
+        // Wildly uneven job costs: front-loaded heavy work forces the
+        // round-robin seed to rebalance through steals (on a multi-core
+        // host) or run through serially (1 CPU) — either way, every job
+        // executes exactly once and order is preserved.
+        let items: Vec<u64> = (0..64).map(|i| if i < 4 { 200_000 } else { 50 }).collect();
+        let (out, counters) = steal_map(&items, 4, |&spin| {
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(counters.total_executed(), 64);
+        assert_eq!(counters.executed.len(), counters.workers);
+        assert_eq!(counters.busy.len(), counters.workers);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let items: Vec<u32> = (0..3).collect();
+        let (out, counters) = steal_map(&items, 16, |&x| x + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(counters.workers <= 3);
+        assert_eq!(counters.total_executed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "steal worker")]
+    fn panicking_job_propagates_instead_of_hanging() {
+        // A job that unwinds must still count as finished (DoneGuard), so
+        // the other workers drain and join, and the scope re-raises the
+        // panic — rather than spinning forever on `remaining > 0`.
+        let items: Vec<u32> = (0..16).collect();
+        let _ = steal_map(&items, 4, |&x| {
+            assert!(x != 7, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let items: Vec<u64> = (0..500).collect();
+        let (_, c) = steal_map(&items, 4, |&x| x);
+        // Every steal moved at least one job; attempts ≥ steals.
+        assert!(c.steal_attempts >= c.steals);
+        assert!(c.stolen_jobs >= c.steals);
+        assert_eq!(c.total_executed(), 500);
+    }
+}

@@ -60,6 +60,10 @@ pub struct GridScratch {
     stamp: u32,
     /// Node-descent stack for the R-tree arm.
     pub(crate) stack: Vec<u32>,
+    /// Staging buffer for [`crate::OverlayIndex`]'s second query (the
+    /// overlay side cannot write into the caller's output buffer directly —
+    /// inner queries clear their target).
+    pub(crate) overlay_buf: Vec<u32>,
 }
 
 impl GridScratch {

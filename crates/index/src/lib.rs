@@ -44,10 +44,12 @@
 
 pub mod grid;
 pub mod msegtree;
+pub mod overlay;
 pub mod rtree;
 pub mod spatial;
 
 pub use grid::{GridScratch, SegmentGrid};
 pub use msegtree::MergeSortTree;
+pub use overlay::OverlayIndex;
 pub use rtree::RTree;
 pub use spatial::{IndexKind, SegIndex, SpatialIndex};

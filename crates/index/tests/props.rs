@@ -4,8 +4,11 @@
 //! placements bit-identical when the index kind is swapped).
 
 use meander_geom::{Point, Rect, Segment};
-use meander_index::{GridScratch, MergeSortTree, RTree, SegmentGrid};
+use meander_index::{
+    GridScratch, IndexKind, MergeSortTree, OverlayIndex, RTree, SegIndex, SegmentGrid, SpatialIndex,
+};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn pt() -> impl Strategy<Value = Point> {
     (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y))
@@ -96,6 +99,56 @@ proptest! {
         let mut ids = Vec::new();
         let mut batch = meander_geom::SegBatch::new();
         tree.query_batch(&r, &mut scratch, &mut ids, &mut batch);
+        prop_assert_eq!(&ids, &expect);
+        prop_assert_eq!(batch.len(), expect.len());
+        for (k, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(batch.get(k), segs[id as usize]);
+        }
+    }
+
+    // An Arc-shared base index with a per-consumer overlay must answer
+    // every query exactly like one monolithic index over the concatenated
+    // items — the library-sharing invariant `crates/fleet` builds on (same
+    // lattice ⇒ same candidate sets, split or not, whatever each side's
+    // structure). The split point is randomized so the equality cannot
+    // depend on where the library ends and the board-local items begin.
+    #[test]
+    fn overlay_union_equals_monolithic(
+        small in proptest::collection::vec((pt(), (-4.0..4.0f64, -4.0..4.0f64)), 1..50),
+        planes in proptest::collection::vec((-80.0..-10.0f64, -50.0..50.0f64, 20.0..280.0f64), 0..3),
+        split_frac in 0.0..1.0f64,
+        q0 in pt(),
+        w in 0.0..60.0f64,
+        h in 0.0..60.0f64,
+        cell in 0.5..10.0f64,
+        base_rtree in (0..2usize).prop_map(|v| v == 1),
+        over_rtree in (0..2usize).prop_map(|v| v == 1),
+    ) {
+        let mut segs: Vec<Segment> = small
+            .iter()
+            .map(|(a, (dx, dy))| Segment::new(*a, Point::new(a.x + dx, a.y + dy)))
+            .collect();
+        for &(x0, y, len) in &planes {
+            segs.push(Segment::new(Point::new(x0, y), Point::new(x0 + len, y + 0.5)));
+        }
+        let split = ((segs.len() as f64) * split_frac) as usize;
+        let kind = |rt: bool| if rt { IndexKind::RTree } else { IndexKind::Grid };
+        let base = Arc::new(SegIndex::from_segments(kind(base_rtree), cell, &segs[..split]));
+        let overlay = OverlayIndex::over(
+            base,
+            split as u32,
+            SegIndex::from_segments(kind(over_rtree), cell, &segs[split..]),
+        );
+        let mono = SegmentGrid::from_segments(cell, &segs);
+        let r = Rect::new(q0, Point::new(q0.x + w, q0.y + h));
+        let expect = mono.query(&r);
+        prop_assert_eq!(&overlay.query(&r), &expect);
+        let mut scratch = GridScratch::new();
+        let mut ids = Vec::new();
+        let mut batch = meander_geom::SegBatch::new();
+        overlay.query_scratch(&r, &mut scratch, &mut ids);
+        prop_assert_eq!(&ids, &expect);
+        overlay.query_batch(&r, &mut scratch, &mut ids, &mut batch);
         prop_assert_eq!(&ids, &expect);
         prop_assert_eq!(batch.len(), expect.len());
         for (k, &id) in ids.iter().enumerate() {

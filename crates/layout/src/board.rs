@@ -77,6 +77,17 @@ impl Board {
         self.obstacles.push(o);
     }
 
+    /// Inserts obstacles *before* the existing ones, preserving both
+    /// relative orders. [`crate::library::LibraryBoard::to_board`] uses
+    /// this to materialize a library-referencing board with the library's
+    /// obstacles in the leading positions — the order the shared routing
+    /// path's polygon id space assumes.
+    pub fn prepend_obstacles(&mut self, obstacles: impl IntoIterator<Item = Obstacle>) {
+        let mut all: Vec<Obstacle> = obstacles.into_iter().collect();
+        all.append(&mut self.obstacles);
+        self.obstacles = all;
+    }
+
     /// All obstacles.
     #[inline]
     pub fn obstacles(&self) -> &[Obstacle] {

@@ -1,0 +1,380 @@
+//! Fleet workload generator: many boards sharing one obstacle library.
+//!
+//! The serving regime the ROADMAP's "multi-board batching" item targets is
+//! a *fleet*: boards that reference a common obstacle library (a panel's
+//! via fields and plane keepouts) while differing in everything per-design
+//! — how many traces they route, how much board-local via clutter they
+//! add, and what lengths their groups must reach. This generator
+//! synthesizes exactly that: a fixed corridor template whose library
+//! obstacles are safe for *every* board by construction, plus per-board
+//! trace sets, local via densities, and targets drawn from a per-board
+//! seed.
+//!
+//! ## Why library obstacles are safe for every board
+//!
+//! Each corridor's traces are staircases that differ only in a jittered
+//! start offset — every realized centerline is a *subpath* of the
+//! corridor's full template staircase (the one starting at `x = 0`).
+//! Library vias are rejection-sampled against the template, so their
+//! clearance to any realized trace is at least their clearance to the
+//! template: every generated board starts DRC-clean, whatever its seed.
+
+use crate::area::RoutableArea;
+use crate::board::Board;
+use crate::group::MatchGroup;
+use crate::library::{LibraryBoard, ObstacleLibrary};
+use crate::obstacle::Obstacle;
+use crate::trace::Trace;
+use meander_drc::DesignRules;
+use meander_geom::{Point, Polygon, Polyline, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A generated fleet: one shared library, many boards referencing it.
+#[derive(Debug, Clone)]
+pub struct FleetCase {
+    /// The shared obstacle library (vias in every corridor, plane slabs
+    /// between corridors, flanking columns — the mixed-size regime).
+    pub library: Arc<ObstacleLibrary>,
+    /// The boards, each holding only its local obstacles.
+    pub boards: Vec<LibraryBoard>,
+}
+
+/// Geometry shared with the stress generators (`d_gap`, stair run, riser).
+const DGAP: f64 = 8.0;
+const RUN: f64 = 56.0;
+const RISE: f64 = 10.0;
+
+/// Dimensions of one generated fleet, bundled so the standard and the
+/// test-sized entry points share every derivation.
+struct FleetDims {
+    corridors: usize,
+    n_steps: usize,
+    lib_vias_per_corridor: usize,
+    max_local_vias: usize,
+}
+
+fn fleet_rules() -> DesignRules {
+    let width = DGAP / 2.0;
+    DesignRules {
+        gap: DGAP,
+        obstacle: DGAP,
+        protect: width,
+        miter: DGAP / 4.0,
+        width,
+    }
+}
+
+/// The corridor template staircase starting at `x = 0` — every realized
+/// trace of corridor `i` is a subpath of this polyline.
+fn template_staircase(y0: f64, n_steps: usize) -> Polyline {
+    let mut pts = vec![Point::new(0.0, y0)];
+    for k in 0..n_steps {
+        let x1 = RUN * (k + 1) as f64;
+        let yk = y0 + RISE * k as f64;
+        pts.push(Point::new(x1, yk));
+        if k + 1 < n_steps {
+            pts.push(Point::new(x1, yk + RISE));
+        }
+    }
+    Polyline::new(pts)
+}
+
+/// Rejection-samples `count` vias near `centerline` (offset from the stair
+/// runs like the stress generator), all at clearance `≥ clear + 0.25`.
+fn sample_vias(
+    rng: &mut StdRng,
+    centerline: &Polyline,
+    y0: f64,
+    n_steps: usize,
+    count: usize,
+    clear: f64,
+) -> Vec<Obstacle> {
+    let span = RUN * n_steps as f64;
+    let rvia = DGAP / 2.0;
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 40 {
+        attempts += 1;
+        let x = rng.gen_range(0.05..0.95) * span;
+        let k = ((x / RUN).floor() as usize).min(n_steps - 1);
+        let y_run = y0 + RISE * k as f64;
+        let side = if rng.gen_range(0.0..1.0) < 0.5 {
+            1.0
+        } else {
+            -1.0
+        };
+        let dy = clear + rvia + 0.5 + rng.gen_range(0.0..DGAP);
+        let via = Obstacle::via(Point::new(x, y_run + side * dy), rvia);
+        let ok = centerline
+            .segments()
+            .all(|s| via.polygon().distance_to_segment(&s) >= clear + 0.25);
+        if ok {
+            out.push(via);
+        }
+    }
+    out
+}
+
+/// Mixes a board index into the per-board seed stream (splitmix-style), so
+/// board `b` of a fleet is the same whatever `n_boards` is.
+fn board_seed(per_board_seed: u64, b: usize) -> u64 {
+    let mut z = per_board_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn build_fleet(
+    n_boards: usize,
+    library_seed: u64,
+    per_board_seed: u64,
+    dims: FleetDims,
+) -> FleetCase {
+    assert!(n_boards >= 1 && dims.corridors >= 1 && dims.n_steps >= 1);
+    let rules = fleet_rules();
+    let clear = rules.centerline_obstacle();
+    let span = RUN * dims.n_steps as f64;
+    let pitch = 7.0 * DGAP + RISE * dims.n_steps as f64;
+    let height = pitch * dims.corridors as f64;
+
+    // ---- Shared library: per-corridor template vias + plane geometry. ----
+    let mut lib_rng = StdRng::seed_from_u64(library_seed);
+    let mut lib = Vec::new();
+    for i in 0..dims.corridors {
+        let y0 = i as f64 * pitch;
+        let template = template_staircase(y0, dims.n_steps);
+        lib.extend(sample_vias(
+            &mut lib_rng,
+            &template,
+            y0,
+            dims.n_steps,
+            dims.lib_vias_per_corridor,
+            clear,
+        ));
+    }
+    // Full-width plane slabs between corridors and below the first one,
+    // plus flanking columns — outside every routable area, but smearing
+    // across the world index (the regime where sharing the prebuilt index
+    // pays the most).
+    for i in 0..dims.corridors {
+        let corridor_top = i as f64 * pitch + RISE * dims.n_steps as f64 + 2.0 * DGAP;
+        lib.push(Obstacle::keepout(
+            Point::new(-DGAP, corridor_top + DGAP),
+            Point::new(span + DGAP, corridor_top + 2.0 * DGAP),
+        ));
+    }
+    lib.push(Obstacle::keepout(
+        Point::new(-DGAP, -3.0 * DGAP),
+        Point::new(span + DGAP, -2.0 * DGAP),
+    ));
+    for x0 in [-2.5 * DGAP, span + 1.75 * DGAP] {
+        lib.push(Obstacle::keepout(
+            Point::new(x0, -pitch),
+            Point::new(x0 + 0.75 * DGAP, height),
+        ));
+    }
+    let library = Arc::new(ObstacleLibrary::new(lib));
+
+    // ---- Boards: per-board trace counts, local vias, targets. ----
+    let boards = (0..n_boards)
+        .map(|b| {
+            let mut rng = StdRng::seed_from_u64(board_seed(per_board_seed, b));
+            let n_traces = rng
+                .gen_range(2..dims.corridors.max(2) + 1)
+                .min(dims.corridors);
+            let mut board = Board::new(Rect::new(
+                Point::new(-20.0, -pitch),
+                Point::new(span + 20.0, height),
+            ));
+            let mut members = Vec::with_capacity(n_traces);
+            for i in 0..n_traces {
+                let y0 = i as f64 * pitch;
+                // Jittered start: a strict subpath of the template, so the
+                // library's template-sampled vias stay clear.
+                let start_x = rng.gen_range(0.0..RUN * 0.3);
+                let template = template_staircase(y0, dims.n_steps);
+                let mut pts = vec![Point::new(start_x, y0)];
+                pts.extend(template.points().iter().skip(1).copied());
+                let id = board.add_trace(Trace::with_rules(
+                    format!("F{b}T{i}"),
+                    Polyline::new(pts),
+                    rules,
+                ));
+                board.set_area(
+                    id,
+                    RoutableArea::from_polygon(Polygon::rectangle(
+                        Point::new(-DGAP, y0 - 2.0 * DGAP),
+                        Point::new(span + DGAP, y0 + RISE * dims.n_steps as f64 + 2.0 * DGAP),
+                    )),
+                );
+                members.push(id);
+            }
+
+            // Board-local via clutter: density varies per board (including
+            // none), sampled against this board's realized centerlines.
+            let local_density = rng.gen_range(0..dims.max_local_vias + 1);
+            for (i, &id) in members.iter().enumerate() {
+                let y0 = i as f64 * pitch;
+                let centerline = board.trace(id).expect("member").centerline().clone();
+                let vias = sample_vias(
+                    &mut rng,
+                    &centerline,
+                    y0,
+                    dims.n_steps,
+                    local_density,
+                    clear,
+                );
+                for v in vias {
+                    board.add_obstacle(v);
+                }
+            }
+
+            // Targets: every board demands a different extension. Boards
+            // with ≥ 4 traces sometimes split into two groups with their
+            // own targets — (board, group) is the fleet's job unit, so
+            // multi-group boards exercise the flattening.
+            let lengths: Vec<f64> = members
+                .iter()
+                .map(|&id| board.trace(id).expect("member").length())
+                .collect();
+            let lmax = lengths.iter().fold(0.0f64, |a, &b| a.max(b));
+            let split = members.len() >= 4 && rng.gen_range(0.0..1.0) < 0.5;
+            if split {
+                let half = members.len() / 2;
+                let t1 = lmax * rng.gen_range(1.15..1.45);
+                let t2 = lmax * rng.gen_range(1.15..1.45);
+                board.add_group(MatchGroup::with_target(
+                    format!("fleet{b}a"),
+                    members[..half].to_vec(),
+                    t1,
+                ));
+                board.add_group(MatchGroup::with_target(
+                    format!("fleet{b}b"),
+                    members[half..].to_vec(),
+                    t2,
+                ));
+            } else {
+                let t = lmax * rng.gen_range(1.15..1.5);
+                board.add_group(MatchGroup::with_target(
+                    format!("fleet{b}"),
+                    members.clone(),
+                    t,
+                ));
+            }
+            LibraryBoard::new(Arc::clone(&library), board)
+        })
+        .collect();
+
+    FleetCase { library, boards }
+}
+
+/// Generates a fleet of `n_boards` boards sharing one obstacle library:
+/// standard serving-size corridors (6 corridors × 5 stair steps, a dense
+/// 24-via library field per corridor) with per-board trace counts, local
+/// via density, and group targets drawn from `per_board_seed`. The library
+/// is a pure function of `library_seed`; board `b` is a pure function of
+/// `(per_board_seed, b)` — growing the fleet never changes earlier boards.
+pub fn fleet_boards(n_boards: usize, library_seed: u64, per_board_seed: u64) -> FleetCase {
+    build_fleet(
+        n_boards,
+        library_seed,
+        per_board_seed,
+        FleetDims {
+            corridors: 6,
+            n_steps: 5,
+            lib_vias_per_corridor: 24,
+            max_local_vias: 8,
+        },
+    )
+}
+
+/// [`fleet_boards`] at test size: 3 corridors × `n_steps` steps and a light
+/// via load, so property suites can route hundreds of fleet boards in
+/// debug builds.
+pub fn fleet_boards_small(n_boards: usize, library_seed: u64, per_board_seed: u64) -> FleetCase {
+    build_fleet(
+        n_boards,
+        library_seed,
+        per_board_seed,
+        FleetDims {
+            corridors: 3,
+            n_steps: 2,
+            lib_vias_per_corridor: 3,
+            max_local_vias: 2,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_prefix_stable() {
+        let a = fleet_boards_small(4, 7, 11);
+        let b = fleet_boards_small(4, 7, 11);
+        assert_eq!(a.library.len(), b.library.len());
+        assert_eq!(a.boards.len(), 4);
+        for (x, y) in a.boards.iter().zip(&b.boards) {
+            assert_eq!(x.board().trace_count(), y.board().trace_count());
+            for (id, t) in x.board().traces() {
+                assert_eq!(t.centerline(), y.board().trace(id).unwrap().centerline());
+            }
+        }
+        // Growing the fleet preserves earlier boards.
+        let bigger = fleet_boards_small(6, 7, 11);
+        for (x, y) in a.boards.iter().zip(&bigger.boards) {
+            assert_eq!(x.board().trace_count(), y.board().trace_count());
+            assert_eq!(x.board().obstacles().len(), y.board().obstacles().len());
+        }
+    }
+
+    #[test]
+    fn boards_share_one_library_and_vary() {
+        let fleet = fleet_boards_small(8, 3, 5);
+        // One Arc shared by the case + every board.
+        assert_eq!(Arc::strong_count(&fleet.library), 9);
+        assert!(!fleet.library.is_empty());
+        // Scenario diversity: trace counts and local obstacle counts vary
+        // across the fleet, and targets differ.
+        let counts: std::collections::HashSet<usize> = fleet
+            .boards
+            .iter()
+            .map(|b| b.board().trace_count())
+            .collect();
+        assert!(counts.len() > 1, "trace counts should vary: {counts:?}");
+        let locals: std::collections::HashSet<usize> = fleet
+            .boards
+            .iter()
+            .map(|b| b.board().obstacles().len())
+            .collect();
+        assert!(locals.len() > 1, "local via density should vary");
+    }
+
+    #[test]
+    fn every_board_starts_drc_clean() {
+        let fleet = fleet_boards_small(6, 1, 2);
+        for (b, lb) in fleet.boards.iter().enumerate() {
+            let mat = lb.to_board();
+            let violations = mat.check();
+            assert!(violations.is_empty(), "board {b}: {violations:?}");
+            assert!(!mat.groups().is_empty(), "board {b} has no groups");
+            // Every member needs real extension headroom.
+            for g in mat.groups() {
+                let lengths = mat.group_lengths(g);
+                let target = g.resolve_target(&lengths);
+                for l in lengths {
+                    assert!(target > l * 1.05, "board {b}: target {target} vs {l}");
+                }
+            }
+        }
+        // The standard size is clean too (spot-check two boards; the full
+        // serving-size fleet is exercised by the bench).
+        let big = fleet_boards(2, 1, 2);
+        for lb in &big.boards {
+            assert!(lb.to_board().check().is_empty());
+        }
+    }
+}

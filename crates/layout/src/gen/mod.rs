@@ -10,12 +10,14 @@
 
 pub mod anyangle;
 pub mod diffpair;
+pub mod fleet;
 pub mod stress;
 pub mod table1;
 pub mod table2;
 
 pub use anyangle::any_angle_bus;
 pub use diffpair::{decoupled_pair, DecoupledPairCase};
+pub use fleet::{fleet_boards, fleet_boards_small, FleetCase};
 pub use stress::{stress_board, stress_mixed_board, StressCase};
 pub use table1::{table1_case, Table1Case};
 pub use table2::{table2_case, Table2Case};

@@ -33,6 +33,7 @@ pub mod diffpair;
 pub mod gen;
 pub mod group;
 pub mod io;
+pub mod library;
 pub mod obstacle;
 pub mod svg;
 pub mod trace;
@@ -41,5 +42,6 @@ pub use area::RoutableArea;
 pub use board::Board;
 pub use diffpair::DiffPair;
 pub use group::{MatchGroup, TargetLength};
+pub use library::{LibraryBoard, ObstacleLibrary};
 pub use obstacle::{Obstacle, ObstacleKind};
 pub use trace::{Trace, TraceId};

@@ -1,0 +1,186 @@
+//! Shared obstacle libraries: the multi-board serving regime's unit of
+//! reuse.
+//!
+//! A fab panel, a memory-channel family, or a set of revisions of one
+//! design all share the bulk of their obstacle geometry — the via fields,
+//! plane cutouts, and keepouts of the common footprint. [`ObstacleLibrary`]
+//! captures that shared geometry once, immutably; [`LibraryBoard`] is a
+//! board that *references* a library instead of owning copies of its
+//! obstacles. The batch engine (`crates/fleet`) exploits the reference:
+//! the library's world geometry is inflated and spatially indexed **once**
+//! and overlaid by every trace of every board, instead of rebuilt per
+//! trace.
+//!
+//! The representation is equivalence-preserving by construction:
+//! [`LibraryBoard::to_board`] materializes a plain [`Board`] with the
+//! library obstacles listed *first* (then the board-local ones), which is
+//! exactly the polygon order the shared path's combined id space uses — so
+//! routing a `LibraryBoard` through the shared path and its materialized
+//! twin through the ordinary path produce bit-identical results
+//! (property-tested in `crates/fleet`).
+
+use crate::board::Board;
+use crate::obstacle::Obstacle;
+use meander_geom::Polygon;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, shareable set of obstacles. Cheap to reference from many
+/// boards via [`Arc`]; never mutated after construction.
+#[derive(Debug, Clone, Default)]
+pub struct ObstacleLibrary {
+    obstacles: Vec<Obstacle>,
+}
+
+impl ObstacleLibrary {
+    /// Wraps a finished obstacle set.
+    pub fn new(obstacles: Vec<Obstacle>) -> Self {
+        ObstacleLibrary { obstacles }
+    }
+
+    /// The library's obstacles, in their fixed order (the order the
+    /// materialized board lists them in — load-bearing for bit-identity).
+    #[inline]
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// The obstacle outlines, in library order.
+    pub fn polygons(&self) -> Vec<Polygon> {
+        self.obstacles.iter().map(|o| o.polygon().clone()).collect()
+    }
+
+    /// Number of obstacles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// `true` when the library holds no obstacles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.obstacles.is_empty()
+    }
+}
+
+impl fmt::Display for ObstacleLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library: {} obstacles", self.obstacles.len())
+    }
+}
+
+/// A board referencing a shared [`ObstacleLibrary`]: the inner [`Board`]
+/// holds only the *board-local* obstacles (plus traces, groups, areas);
+/// the library's geometry is shared by reference.
+#[derive(Debug, Clone)]
+pub struct LibraryBoard {
+    library: Arc<ObstacleLibrary>,
+    board: Board,
+}
+
+impl LibraryBoard {
+    /// Binds `board` (local obstacles only) to `library`.
+    pub fn new(library: Arc<ObstacleLibrary>, board: Board) -> Self {
+        LibraryBoard { library, board }
+    }
+
+    /// The shared library.
+    #[inline]
+    pub fn library(&self) -> &Arc<ObstacleLibrary> {
+        &self.library
+    }
+
+    /// The board-local part (traces, groups, areas, local obstacles).
+    #[inline]
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Mutable access to the board-local part.
+    #[inline]
+    pub fn board_mut(&mut self) -> &mut Board {
+        &mut self.board
+    }
+
+    /// Materializes a standalone [`Board`]: the library's obstacles first,
+    /// then the board-local ones — the reference order the shared routing
+    /// path is bit-identical to.
+    pub fn to_board(&self) -> Board {
+        let mut board = self.board.clone();
+        board.prepend_obstacles(self.library.obstacles().iter().cloned());
+        board
+    }
+}
+
+impl fmt::Display for LibraryBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + {} library obstacles",
+            self.board,
+            self.library.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obstacle::ObstacleKind;
+    use crate::trace::Trace;
+    use meander_geom::{Point, Polyline, Rect};
+
+    fn small_board() -> Board {
+        let mut b = Board::new(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0)));
+        b.add_trace(Trace::new(
+            "T",
+            Polyline::new(vec![Point::new(0.0, 25.0), Point::new(100.0, 25.0)]),
+            4.0,
+        ));
+        b.add_obstacle(Obstacle::keepout(
+            Point::new(40.0, 40.0),
+            Point::new(50.0, 45.0),
+        ));
+        b
+    }
+
+    #[test]
+    fn to_board_lists_library_first() {
+        let lib = Arc::new(ObstacleLibrary::new(vec![
+            Obstacle::via(Point::new(10.0, 10.0), 2.0),
+            Obstacle::via(Point::new(20.0, 10.0), 2.0),
+        ]));
+        let lb = LibraryBoard::new(Arc::clone(&lib), small_board());
+        assert_eq!(lb.board().obstacles().len(), 1);
+        let mat = lb.to_board();
+        assert_eq!(mat.obstacles().len(), 3);
+        // Library obstacles first, in library order; locals after.
+        assert_eq!(mat.obstacles()[0].kind(), ObstacleKind::Via);
+        assert_eq!(mat.obstacles()[1].kind(), ObstacleKind::Via);
+        assert_eq!(mat.obstacles()[2].kind(), ObstacleKind::Keepout);
+        assert!(mat.obstacles()[0]
+            .polygon()
+            .contains(Point::new(10.0, 10.0)));
+        // Materialization does not disturb the original.
+        assert_eq!(lb.board().obstacles().len(), 1);
+        assert_eq!(lb.library().len(), 2);
+    }
+
+    #[test]
+    fn library_is_cheap_to_share() {
+        let lib = Arc::new(ObstacleLibrary::new(vec![Obstacle::via(
+            Point::new(5.0, 5.0),
+            1.0,
+        )]));
+        let boards: Vec<LibraryBoard> = (0..8)
+            .map(|_| LibraryBoard::new(Arc::clone(&lib), small_board()))
+            .collect();
+        assert_eq!(Arc::strong_count(&lib), 9);
+        for b in &boards {
+            assert_eq!(b.library().len(), 1);
+        }
+        let polys = lib.polygons();
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].len(), 8);
+    }
+}
