@@ -1,14 +1,20 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! the DRC scan, and the **multi-board fleet engine** on the paper's cases
 //! plus the stress boards, for each engine configuration, and emits
-//! `BENCH_PR5.json` (schema v5) — the fifth point of the repo's
-//! performance trajectory. Schema v5 adds the `fleet` section: a 16-board
-//! serving-size fleet routed per-board sequentially, batched without
-//! library sharing, and batched **with** the shared obstacle-library world
-//! (`meander_fleet::route_fleet` — bit-identical outputs, asserted here),
-//! with boards/sec, amortized index-build time, and the work-stealing
-//! scheduler's steal/busy counters; plus a printed delta against the
-//! recorded `BENCH_PR4.json`.
+//! `BENCH_PR6.json` (schema v6) — the sixth point of the repo's
+//! performance trajectory. The `fleet` section times a serving-size fleet
+//! routed per-board sequentially, batched without library sharing, and
+//! batched **with** the shared obstacle-library world
+//! (`meander_fleet::route_fleet` — bit-identical outputs, asserted here).
+//! Schema v6 adds the **hardening** costs: every fleet row now routes
+//! through the validation gate and per-job `catch_unwind` isolation (the
+//! `validate_off_s` column isolates the validation share), and a
+//! `hardening` section records the cancellation drain latency — token
+//! fired mid-run from another thread to the pool going quiet — plus,
+//! when built with `--features fault`, an injected-panic smoke proving a
+//! crashing board costs one board. Printed deltas compare against the
+//! recorded `BENCH_PR5.json`, whose fleet rows predate isolation — the
+//! shared_s ratio IS the isolation+validation overhead (target ≤ 2%).
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -38,8 +44,9 @@
 //! hardware for scheduler scaling.
 //!
 //! `--smoke` runs the table1:5 matching + DRC slice plus a 4-board mini
-//! fleet (seconds, debug or release) so CI keeps both binaries' paths from
-//! rotting between perf PRs.
+//! fleet and the cancellation-drain case (seconds, debug or release) so CI
+//! keeps both binaries' paths from rotting between perf PRs; with
+//! `--features fault` it also exercises the injected-panic fleet.
 
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
@@ -50,7 +57,9 @@ use meander_drc::{
     check_layout_batched_stats_with, check_layout_brute, check_layout_indexed, CheckInput,
     TraceGeometry,
 };
-use meander_fleet::{route_fleet, BoardSet, FleetConfig};
+#[cfg(feature = "fault")]
+use meander_fleet::FaultPlan;
+use meander_fleet::{route_fleet, BoardSet, CancelToken, FleetConfig};
 use meander_geom::batch::BatchStats;
 use meander_layout::gen::{
     fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case, table2_case,
@@ -516,6 +525,11 @@ struct FleetRow {
     unshared_s: f64,
     /// Fleet engine, shared library world.
     shared_s: f64,
+    /// Shared run with `validate: false` — `shared_s` minus the
+    /// validation gate, isolating its cost from `catch_unwind`'s.
+    validate_off_s: f64,
+    /// The validation gate's wall clock inside the shared run.
+    validation_s: f64,
     /// One-time shared-world build inside the shared run (already included
     /// in `shared_s` — reported separately to show the amortization).
     base_build_s: f64,
@@ -567,7 +581,7 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
         (t0.elapsed().as_secs_f64(), fingerprint(&reports))
     });
 
-    let fleet_run = |share: bool| {
+    let fleet_run = |share: bool, validate: bool| {
         let fleet = make();
         let mut set = BoardSet::new(fleet.boards);
         let t0 = Instant::now();
@@ -577,21 +591,31 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
                 extend: extend.clone(),
                 workers: None,
                 share_library: share,
+                validate,
+                ..Default::default()
             },
         );
         let secs = t0.elapsed().as_secs_f64();
+        assert!(report.all_routed(), "{name}: bench fleets are valid");
         let got = fingerprint(&report.reports);
         (secs, (report, got))
     };
-    let (unshared_s, (_, got_unshared)) = median_secs(reps, || fleet_run(false));
+    let (unshared_s, (_, got_unshared)) = median_secs(reps, || fleet_run(false, true));
     assert_eq!(
         want, got_unshared,
         "{name}: unshared fleet must be bit-identical to sequential"
     );
-    let (shared_s, (shared_report, got_shared)) = median_secs(reps, || fleet_run(true));
+    let (shared_s, (shared_report, got_shared)) = median_secs(reps, || fleet_run(true, true));
     assert_eq!(
         want, got_shared,
         "{name}: shared fleet must be bit-identical to sequential"
+    );
+    // Validation off: same routing, no gate — isolates the scan's cost
+    // (still bit-identical; these fleets are valid by construction).
+    let (validate_off_s, (_, got_novalidate)) = median_secs(reps, || fleet_run(true, false));
+    assert_eq!(
+        want, got_novalidate,
+        "{name}: validation must not change routed output"
     );
 
     let s = shared_report.stats;
@@ -603,6 +627,8 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
         sequential_s,
         unshared_s,
         shared_s,
+        validate_off_s,
+        validation_s: s.validation_wall.as_secs_f64(),
         base_build_s: s.base_build.as_secs_f64(),
         library_polygons: s.library_polygons,
         workers: s.scheduler.workers,
@@ -626,6 +652,118 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
         row.steals,
     );
     row
+}
+
+struct CancelRow {
+    fleet: String,
+    boards: usize,
+    /// Median latency from the token firing (on another thread, mid-run)
+    /// to `route_fleet` returning — the pool-drain bound the cooperative
+    /// checks promise (one unit's work per worker).
+    drain_s: f64,
+    /// Boards that reported `Cancelled` in the median rep (0 means the
+    /// fleet finished before the token fired — an honest miss, not an
+    /// error).
+    cancelled_boards: usize,
+    /// Units that ran in the median rep before the stop took hold.
+    units_run: usize,
+}
+
+/// Fires a [`CancelToken`] from another thread `fire_after` into a fleet
+/// route and measures how long the engine takes to drain afterwards.
+fn run_cancel_case(
+    name: &str,
+    make: impl Fn() -> FleetCase,
+    fire_after: std::time::Duration,
+    reps: usize,
+) -> CancelRow {
+    let extend = batched_config();
+    let mut samples: Vec<(f64, usize, usize)> = Vec::new();
+    for _ in 0..reps.max(1) {
+        let fleet = make();
+        let boards = fleet.boards.len();
+        let mut set = BoardSet::new(fleet.boards);
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let firing = std::thread::spawn(move || {
+            std::thread::sleep(fire_after);
+            let fired_at = Instant::now();
+            remote.cancel();
+            fired_at
+        });
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: extend.clone(),
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        let returned_at = Instant::now();
+        let fired_at = firing.join().expect("cancel thread");
+        let drain = returned_at.saturating_duration_since(fired_at);
+        assert_eq!(report.outcomes.len(), boards);
+        samples.push((
+            drain.as_secs_f64(),
+            report.stats.cancelled,
+            report.stats.units_run,
+        ));
+    }
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (drain_s, cancelled_boards, units_run) = samples[samples.len() / 2];
+    let row = CancelRow {
+        fleet: name.to_string(),
+        boards: make().boards.len(),
+        drain_s,
+        cancelled_boards,
+        units_run,
+    };
+    println!(
+        "{:<18} cancel fired at {:?}: drained in {:>8.5}s  ({} of {} boards cancelled, {} units had run)",
+        row.fleet, fire_after, row.drain_s, row.cancelled_boards, row.boards, row.units_run,
+    );
+    row
+}
+
+/// Injected-panic smoke (feature `fault`): one scripted panicking board
+/// in a fleet must cost exactly that board, with the process alive and
+/// the rest routed. Returns (wall seconds, failed boards, routed boards).
+#[cfg(feature = "fault")]
+fn run_fault_smoke() -> (f64, usize, usize) {
+    // The injected panic would otherwise print a backtrace mid-bench.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("injected fault") {
+            prev(info);
+        }
+    }));
+    let fleet = fleet_boards_small(4, 21, 42);
+    let boards = fleet.boards.len();
+    let mut set = BoardSet::new(fleet.boards);
+    let t0 = Instant::now();
+    let report = route_fleet(
+        &mut set,
+        &FleetConfig {
+            extend: batched_config(),
+            fault: FaultPlan::new().panic_at_unit(0),
+            ..Default::default()
+        },
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    let _ = std::panic::take_hook();
+    assert_eq!(report.stats.failed, 1, "exactly the injected board fails");
+    assert_eq!(report.stats.routed, boards - 1, "everyone else routes");
+    println!(
+        "fault smoke: 1 injected panic -> {} failed, {} routed, pool alive ({:.4}s)",
+        report.stats.failed, report.stats.routed, secs
+    );
+    (secs, report.stats.failed, report.stats.routed)
 }
 
 /// Pulls a per-case seconds field out of one array section of a prior
@@ -705,7 +843,7 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR5.json".to_string()
+            "BENCH_PR6.json".to_string()
         }
     });
 
@@ -738,15 +876,15 @@ fn main() {
         }
         // Side-by-side vs the recorded PR 4 baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr4 = parse_recorded("BENCH_PR4.json", "single_trace_extension", "batched_s");
-        if !pr4.is_empty() {
-            println!("\n-- delta vs BENCH_PR4.json (recorded batched_s) --");
+        let pr5 = parse_recorded("BENCH_PR5.json", "single_trace_extension", "batched_s");
+        if !pr5.is_empty() {
+            println!("\n-- delta vs BENCH_PR5.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr4.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr5.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr4 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr5 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -755,7 +893,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR4: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR5: x{g:.2}", "");
             }
         }
     }
@@ -784,13 +922,13 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr4 = parse_recorded("BENCH_PR4.json", "drc_scan", "rtree_s");
-        if !pr4.is_empty() {
-            println!("\n-- delta vs BENCH_PR4.json (recorded rtree_s) --");
+        let pr5 = parse_recorded("BENCH_PR5.json", "drc_scan", "rtree_s");
+        if !pr5.is_empty() {
+            println!("\n-- delta vs BENCH_PR5.json (recorded rtree_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr4.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr5.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr4 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr5 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -799,13 +937,13 @@ fn main() {
                 }
             }
         }
-        let pr4m = parse_recorded("BENCH_PR4.json", "group_matching", "rtree_s");
-        if !pr4m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR4.json (recorded rtree_s) --");
+        let pr5m = parse_recorded("BENCH_PR5.json", "group_matching", "rtree_s");
+        if !pr5m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR5.json (recorded rtree_s) --");
             for r in &rows {
-                if let Some((_, old)) = pr4m.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr5m.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr4 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr5 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -833,6 +971,50 @@ fn main() {
         fleet_rows.push(run_fleet_case("fleet:16", || fleet_boards(16, 21, 42), 3));
         fleet_rows.push(run_fleet_case("fleet:32", || fleet_boards(32, 5, 9), 3));
     }
+
+    // Isolation + validation overhead against the recorded PR 5 fleet
+    // rows (which predate catch_unwind and the validation gate). The
+    // acceptance target for the hardening PR is <= 2% on shared_s.
+    if !smoke {
+        let pr5f = parse_recorded("BENCH_PR5.json", "fleet", "shared_s");
+        if !pr5f.is_empty() {
+            println!("\n-- isolation overhead vs BENCH_PR5.json (recorded shared_s) --");
+            for r in &fleet_rows {
+                if let Some((_, old)) = pr5f.iter().find(|(n, _)| *n == r.name) {
+                    let overhead = r.shared_s / old.max(1e-12) - 1.0;
+                    println!(
+                        "{:<18} pr5 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% overhead, validation {:>8.5}s of it)",
+                        r.name,
+                        old,
+                        r.shared_s,
+                        overhead * 100.0,
+                        r.validation_s,
+                    );
+                }
+            }
+        }
+    }
+
+    println!("\n== hardening: cancellation drain + fault smoke ==");
+    let cancel_row = if smoke {
+        run_cancel_case(
+            "fleet:small:4",
+            || fleet_boards_small(4, 21, 42),
+            std::time::Duration::from_millis(1),
+            3,
+        )
+    } else {
+        run_cancel_case(
+            "fleet:32",
+            || fleet_boards(32, 5, 9),
+            std::time::Duration::from_millis(5),
+            5,
+        )
+    };
+    #[cfg(feature = "fault")]
+    let fault_smoke = Some(run_fault_smoke());
+    #[cfg(not(feature = "fault"))]
+    let fault_smoke: Option<(f64, usize, usize)> = None;
 
     // Headline: geometric-mean speedups.
     let match_speedups: Vec<f64> = rows
@@ -900,8 +1082,8 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/5\",");
-    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/6\",");
+    let _ = writeln!(j, "  \"pr\": 6,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -1029,7 +1211,7 @@ fn main() {
     for (i, r) in fleet_rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"case\": \"{}\", \"boards\": {}, \"jobs\": {}, \"units\": {}, \"sequential_s\": {:.6}, \"unshared_s\": {:.6}, \"shared_s\": {:.6}, \"base_build_s\": {:.6}, \"library_polygons\": {}, \"boards_per_sec_shared\": {:.3}, \"boards_per_sec_unshared\": {:.3}, \"speedup_sharing\": {:.3}, \"speedup_vs_sequential\": {:.3}, \"workers\": {}, \"steals\": {}, \"steal_attempts\": {}, \"stolen_jobs\": {}, \"busy_s\": {:.6}}}{}",
+            "    {{\"case\": \"{}\", \"boards\": {}, \"jobs\": {}, \"units\": {}, \"sequential_s\": {:.6}, \"unshared_s\": {:.6}, \"shared_s\": {:.6}, \"validate_off_s\": {:.6}, \"validation_s\": {:.6}, \"base_build_s\": {:.6}, \"library_polygons\": {}, \"boards_per_sec_shared\": {:.3}, \"boards_per_sec_unshared\": {:.3}, \"speedup_sharing\": {:.3}, \"speedup_vs_sequential\": {:.3}, \"workers\": {}, \"steals\": {}, \"steal_attempts\": {}, \"stolen_jobs\": {}, \"busy_s\": {:.6}}}{}",
             r.name,
             r.boards,
             r.jobs,
@@ -1037,6 +1219,8 @@ fn main() {
             r.sequential_s,
             r.unshared_s,
             r.shared_s,
+            r.validate_off_s,
+            r.validation_s,
             r.base_build_s,
             r.library_polygons,
             r.boards_per_sec(r.shared_s),
@@ -1073,7 +1257,29 @@ fn main() {
             if i + 1 < drc_rows.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"hardening\": {{");
+    let _ = writeln!(
+        j,
+        "    \"cancel\": {{\"fleet\": \"{}\", \"boards\": {}, \"drain_s\": {:.6}, \"cancelled_boards\": {}, \"units_run\": {}}},",
+        cancel_row.fleet,
+        cancel_row.boards,
+        cancel_row.drain_s,
+        cancel_row.cancelled_boards,
+        cancel_row.units_run,
+    );
+    match fault_smoke {
+        Some((secs, failed, routed)) => {
+            let _ = writeln!(
+                j,
+                "    \"fault_smoke\": {{\"wall_s\": {secs:.6}, \"failed_boards\": {failed}, \"routed_boards\": {routed}}}"
+            );
+        }
+        None => {
+            let _ = writeln!(j, "    \"fault_smoke\": null");
+        }
+    }
+    let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
     std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));

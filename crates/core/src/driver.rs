@@ -123,6 +123,12 @@ impl UnitOutput {
 }
 
 /// Plans the units of `group` in member-declaration order.
+///
+/// Members that reference a trace absent from the board plan no unit
+/// (they are skipped, not panicked on): dangling references are a
+/// validation error — `meander_layout::validate_board` reports them with
+/// provenance — and the planner must stay total even when a caller skips
+/// that gate.
 pub fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInput> {
     let mut units = Vec::new();
     let mut done: HashSet<TraceId> = HashSet::new();
@@ -133,16 +139,26 @@ pub fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInp
         let pair = board.pair_of(id).cloned();
         match pair {
             Some(pair)
-                if group
-                    .members()
-                    .contains(&pair.partner(id).expect("involved")) =>
+                if pair
+                    .partner(id)
+                    .is_some_and(|partner| group.members().contains(&partner))
+                    && board.trace(pair.p()).is_some()
+                    && board.trace(pair.n()).is_some() =>
             {
                 let (p_id, n_id) = (pair.p(), pair.n());
                 done.insert(p_id);
                 done.insert(n_id);
-                let p0 = board.trace(p_id).expect("pair trace").centerline().clone();
-                let n0 = board.trace(n_id).expect("pair trace").centerline().clone();
-                let rules = *board.trace(p_id).expect("pair trace").rules();
+                let p0 = board
+                    .trace(p_id)
+                    .expect("checked above")
+                    .centerline()
+                    .clone();
+                let n0 = board
+                    .trace(n_id)
+                    .expect("checked above")
+                    .centerline()
+                    .clone();
+                let rules = *board.trace(p_id).expect("checked above").rules();
                 let area = board
                     .area(p_id)
                     .map(|a| a.polygons().to_vec())
@@ -169,12 +185,15 @@ pub fn plan_units(board: &Board, group: &MatchGroup, target: f64) -> Vec<UnitInp
             }
             _ => {
                 done.insert(id);
+                let Some(trace) = board.trace(id) else {
+                    continue; // dangling member: validation's job to report
+                };
                 units.push(UnitInput {
                     target,
                     kind: UnitKind::Single {
                         id,
-                        trace: board.trace(id).expect("group member").centerline().clone(),
-                        rules: *board.trace(id).expect("group member").rules(),
+                        trace: trace.centerline().clone(),
+                        rules: *trace.rules(),
                         area: board
                             .area(id)
                             .map(|a| a.polygons().to_vec())

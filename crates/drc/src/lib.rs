@@ -49,6 +49,6 @@ pub use checker::{
 pub use dra::DesignRuleArea;
 pub use meander_index::IndexKind;
 pub use resolve::RuleResolver;
-pub use rules::DesignRules;
+pub use rules::{DesignRules, RulesError};
 pub use violation::Violation;
 pub use virtual_drc::{restore_rules, virtualize_rules};

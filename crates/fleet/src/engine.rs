@@ -1,5 +1,6 @@
-//! The batch engine: flatten a [`BoardSet`] into `(board, group)` jobs,
-//! route them on the work-stealing pool, write back in order.
+//! The batch engine: validate, flatten a [`BoardSet`] into `(board,
+//! group)` jobs, route them on the work-stealing pool under panic
+//! isolation and deadlines, write back per board atomically.
 //!
 //! ## Job model
 //!
@@ -9,6 +10,30 @@
 //! steal-half deques absorb the skew). Inside a job, the group's units
 //! (traces / differential pairs) run serially through the same
 //! [`meander_core::run_unit_shared`] the single-board driver uses.
+//!
+//! ## Failure domains
+//!
+//! A fleet is a *serving* workload: one malformed or crashing board must
+//! cost exactly one board. Four mechanisms enforce that, in request
+//! order:
+//!
+//! 1. **Typed validation up front.** With [`FleetConfig::validate`] (on
+//!    by default) every distinct library is validated once and every
+//!    board once ([`meander_layout::validate_board`]); failures become
+//!    [`BoardOutcome::Rejected`] with provenance, and the board is never
+//!    planned — malformed input cannot reach the router.
+//! 2. **Panic isolation.** Each job runs under `catch_unwind`
+//!    ([`crate::steal::steal_try_map`]); a panicking job yields
+//!    [`BoardOutcome::Failed`] for its board, the worker survives, and
+//!    every other job's result is untouched.
+//! 3. **Deadlines and cancellation.** A shared [`CancelToken`], a fleet
+//!    [`FleetConfig::deadline`], and a per-board busy
+//!    [`FleetConfig::board_budget`] are polled at pop boundaries and
+//!    between units; affected boards report [`BoardOutcome::Cancelled`] /
+//!    [`BoardOutcome::DeadlineExceeded`].
+//! 4. **Atomic per-board write-back.** A board is either fully
+//!    [`BoardOutcome::Routed`] (all its jobs completed) or its geometry
+//!    is exactly as submitted — never a half-routed hybrid.
 //!
 //! ## Library sharing
 //!
@@ -37,16 +62,28 @@
 //!   union-equals-monolithic contract), so the routed floats themselves
 //!   are the same stream.
 //!
+//! The identity extends **per board under faults**: a panicking,
+//! rejected, or halted board affects only itself, so every `Routed`
+//! board's geometry still matches its sequential twin bit for bit
+//! (property-tested in `tests/chaos.rs` under `--features fault`).
+//! Injected faults key on *input-order* indices, never execution order,
+//! so which unit fails is itself invariant across worker counts.
+//!
 //! Wall-clock fields ([`GroupReport::runtime`], [`FleetStats`] timings)
 //! are measurements, not outputs — they are excluded from the identity.
 
-use crate::steal::{steal_map, StealCounters};
+use crate::cancel::CancelToken;
+#[cfg(feature = "fault")]
+use crate::fault::FaultPlan;
+use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
+use crate::steal::{steal_try_map, JobStatus, StealCounters};
 use meander_core::{
     apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, ExtendConfig, GroupReport,
     UnitInput, UnitOutput, WorldBase,
 };
 use meander_geom::Polygon;
-use meander_layout::LibraryBoard;
+use meander_layout::{validate_board, validate_library, LibraryBoard, ValidationError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,6 +144,30 @@ pub struct FleetConfig {
     /// boards (`false` — the amortization-off baseline). Output is
     /// bit-identical either way.
     pub share_library: bool,
+    /// Validate every library and board before routing (`true`, the
+    /// default). Invalid boards come back [`BoardOutcome::Rejected`] with
+    /// a typed, provenance-carrying error and are never planned. Turning
+    /// this off skips the pre-flight scan for inputs already known valid
+    /// (e.g. generated by this process); malformed input may then panic
+    /// inside the router — which isolation converts to
+    /// [`BoardOutcome::Failed`], so the process still survives.
+    pub validate: bool,
+    /// Whole-fleet wall-clock budget, measured from [`route_fleet`]
+    /// entry. Once exceeded, workers stop claiming jobs; boards that lost
+    /// work report [`BoardOutcome::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Per-board *busy* budget: the sum of a board's unit runtimes. A
+    /// board over budget stops at the next unit boundary and reports
+    /// [`BoardOutcome::DeadlineExceeded`]; other boards are unaffected.
+    pub board_budget: Option<Duration>,
+    /// Cooperative cancellation. Fire the token (from any thread) and
+    /// the fleet stops within one unit's work per worker; boards that
+    /// lost work report [`BoardOutcome::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Scripted faults for chaos testing (`fault` feature only —
+    /// production builds don't carry the field).
+    #[cfg(feature = "fault")]
+    pub fault: FaultPlan,
 }
 
 impl Default for FleetConfig {
@@ -115,23 +176,45 @@ impl Default for FleetConfig {
             extend: ExtendConfig::default(),
             workers: None,
             share_library: true,
+            validate: true,
+            deadline: None,
+            board_budget: None,
+            cancel: None,
+            #[cfg(feature = "fault")]
+            fault: FaultPlan::default(),
         }
     }
 }
 
-/// Scheduler and sharing observability for one fleet run.
+/// Scheduler, sharing, and failure observability for one fleet run.
 #[derive(Debug, Clone, Default)]
 pub struct FleetStats {
-    /// Boards routed.
+    /// Boards submitted.
     pub boards: usize,
-    /// `(board, group)` jobs scheduled.
+    /// `(board, group)` jobs scheduled (rejected boards plan no jobs).
     pub jobs: usize,
-    /// Matching units (traces / pairs) across all jobs.
+    /// Matching units (traces / pairs) across all scheduled jobs.
     pub units: usize,
+    /// Units that actually ran to completion (< `units` when jobs
+    /// panicked, halted, or were never claimed).
+    pub units_run: usize,
     /// Distinct obstacle libraries encountered.
     pub libraries: usize,
     /// Total polygons across those libraries.
     pub library_polygons: usize,
+    /// Boards fully routed and written back.
+    pub routed: usize,
+    /// Boards rejected by validation.
+    pub rejected: usize,
+    /// Boards with at least one panicked job.
+    pub failed: usize,
+    /// Boards that lost work to the cancel token.
+    pub cancelled: usize,
+    /// Boards that lost work to the fleet deadline or their busy budget.
+    pub deadline_exceeded: usize,
+    /// Time spent in the up-front validation scan (zero when
+    /// [`FleetConfig::validate`] is off).
+    pub validation_wall: Duration,
     /// Time spent building the shared [`WorldBase`]s (zero when
     /// `share_library` is off) — the cost that is paid once instead of
     /// per trace.
@@ -139,44 +222,121 @@ pub struct FleetStats {
     /// Wall clock of the scheduled phase (planning + routing + write-back
     /// excluded: this is the pool's span).
     pub route_wall: Duration,
-    /// Scheduler counters (workers, steals, per-worker busy).
+    /// Per-job wall-time histogram (completed jobs, including halted
+    /// ones).
+    pub latency: LatencyHistogram,
+    /// Scheduler counters (workers, steals, per-worker busy/panics).
     pub scheduler: StealCounters,
 }
 
-/// One fleet run's results: per-board group reports (board order, group
-/// order — exactly what per-board [`meander_core::match_all_groups`]
-/// returns) plus the run's stats.
+/// One fleet run's results: per-board outcomes and group reports (board
+/// order, group order — exactly what per-board
+/// [`meander_core::match_all_groups`] returns for routed boards) plus the
+/// run's stats.
 #[derive(Debug)]
 pub struct FleetReport {
-    /// `reports[b]` are board `b`'s group reports.
+    /// `reports[b]` are board `b`'s group reports; empty unless
+    /// `outcomes[b]` is [`BoardOutcome::Routed`].
     pub reports: Vec<Vec<GroupReport>>,
-    /// Scheduler / sharing observability.
+    /// `outcomes[b]` says what happened to board `b`.
+    pub outcomes: Vec<BoardOutcome>,
+    /// Scheduler / sharing / failure observability.
     pub stats: FleetStats,
+}
+
+impl FleetReport {
+    /// `true` when every board routed.
+    pub fn all_routed(&self) -> bool {
+        self.outcomes.iter().all(BoardOutcome::is_routed)
+    }
 }
 
 /// One scheduled job: a group of a board, snapshotted.
 struct Job {
     board: usize,
+    /// Board-local group index (outcome provenance).
+    group: usize,
     target: f64,
     units: Vec<UnitInput>,
     /// The obstacle polygons `run_unit_shared` sees: board-local only in
     /// shared mode, `library ++ local` when materialized.
     obstacles: Arc<Vec<Polygon>>,
     base: Option<Arc<WorldBase>>,
+    /// Global input-order index of this job (fault delay-at-pop keys on
+    /// it).
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    job_index: u64,
+    /// Global input-order index of this job's first unit (fault
+    /// panic-at-unit keys on `unit_base + k`, making injections invariant
+    /// across scheduling).
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    unit_base: u64,
 }
 
-struct JobOutput {
+/// Why a job (or the run) stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Halt {
+    Cancelled,
+    Deadline,
+}
+
+/// Shared run-control state polled at pop and unit boundaries.
+struct RunControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    board_budget: Option<Duration>,
+    /// Busy nanoseconds charged per board (indexed by submission order).
+    board_spent: Vec<AtomicU64>,
+}
+
+impl RunControl {
+    /// Cancel/deadline check — the pop-boundary predicate.
+    fn global_halt(&self) -> Option<Halt> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(Halt::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(Halt::Deadline);
+        }
+        None
+    }
+
+    /// Full check including the board's busy budget — the unit-boundary
+    /// predicate.
+    fn board_halt(&self, board: usize) -> Option<Halt> {
+        self.global_halt().or_else(|| match self.board_budget {
+            Some(budget)
+                if Duration::from_nanos(self.board_spent[board].load(Ordering::Relaxed))
+                    >= budget =>
+            {
+                Some(Halt::Deadline)
+            }
+            _ => None,
+        })
+    }
+
+    fn charge(&self, board: usize, busy: Duration) {
+        let nanos = busy.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.board_spent[board].fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+struct JobOut {
     outputs: Vec<UnitOutput>,
+    halted: Option<Halt>,
+    elapsed: Duration,
 }
 
-/// Routes every group of every board of `set`, in place.
+/// Routes every group of every valid board of `set`, in place.
 ///
-/// Results (trace geometry, group reports) are bit-identical to routing
-/// each board's materialized twin through `match_all_groups` sequentially,
-/// for every worker count and both `share_library` states (see the
+/// Every board comes back with a [`BoardOutcome`]; routed boards' results
+/// (trace geometry, group reports) are bit-identical to routing each
+/// board's materialized twin through `match_all_groups` sequentially, for
+/// every worker count and both `share_library` states (see the
 /// [module docs](self) for the argument; property-tested in
-/// `tests/determinism.rs`).
+/// `tests/determinism.rs` and, under faults, `tests/chaos.rs`).
 pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
+    let started = Instant::now();
     let n_boards = set.boards.len();
     let workers = config
         .workers
@@ -187,15 +347,7 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         })
         .max(1);
 
-    // ---- Shared worlds: one WorldBase per distinct library. -------------
-    // One dedup pass finds the distinct libraries (by Arc identity); both
-    // sharing modes report the same `libraries`/`library_polygons` stats
-    // from it. In shared mode, each distinct library with at least one
-    // routed trace gets a prebuilt base — rules come from the first trace
-    // of the first board using it; units whose rules derive different
-    // inflation/lattice floats fall back to materialization inside the
-    // engine (bit-identical, just unamortized), so a mixed-rules fleet is
-    // correct — merely slower.
+    // ---- Distinct libraries (by Arc identity). --------------------------
     type LibKey = *const meander_layout::ObstacleLibrary;
     let mut distinct: Vec<(LibKey, usize)> = Vec::new(); // (library, first board)
     for (b, lb) in set.boards.iter().enumerate() {
@@ -209,15 +361,60 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         .iter()
         .map(|&(_, b)| set.boards[b].library().len())
         .sum();
+
+    // ---- Validation gate: reject malformed input before it is planned. --
+    // Each distinct library is scanned once (boards sharing it inherit
+    // the verdict); each board is scanned once. Rejected boards are never
+    // planned, never donate rules to a shared base, and keep their input
+    // geometry byte for byte.
+    let mut rejected: Vec<Option<ValidationError>> = vec![None; n_boards];
+    let mut validation_wall = Duration::ZERO;
+    if config.validate {
+        let t0 = Instant::now();
+        let lib_verdicts: Vec<(LibKey, Option<ValidationError>)> = distinct
+            .iter()
+            .map(|&(key, b)| (key, validate_library(set.boards[b].library()).err()))
+            .collect();
+        for (b, lb) in set.boards.iter().enumerate() {
+            let key = Arc::as_ptr(lb.library());
+            let lib_err = lib_verdicts
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, e)| e.clone());
+            rejected[b] = lib_err.or_else(|| validate_board(lb.board()).err());
+        }
+        #[cfg(feature = "fault")]
+        for &b in &config.fault.trip_boards {
+            if b < n_boards && rejected[b].is_none() {
+                rejected[b] = Some(ValidationError::Injected {
+                    reason: format!("fault plan tripped validation of board {b}"),
+                });
+            }
+        }
+        validation_wall = t0.elapsed();
+    }
+
+    // ---- Shared worlds: one WorldBase per distinct library. -------------
+    // In shared mode, each distinct library with at least one routed
+    // trace gets a prebuilt base — rules come from the first trace of the
+    // first *valid* board using it (a rejected board's rules may be the
+    // very thing validation caught); units whose rules derive different
+    // inflation/lattice floats fall back to materialization inside the
+    // engine (bit-identical, just unamortized), so a mixed-rules fleet is
+    // correct — merely slower.
     let mut bases: Vec<(LibKey, Arc<WorldBase>)> = Vec::new();
     let mut base_build = Duration::ZERO;
     if config.share_library {
-        for &(key, first_board) in &distinct {
-            let lb = &set.boards[first_board];
-            let Some((_, first_trace)) = lb.board().traces().next() else {
-                continue; // no trace anywhere on the first board: no rules to derive
+        for &(key, _) in &distinct {
+            let donor = set.boards.iter().enumerate().find_map(|(b, lb)| {
+                if rejected[b].is_some() || Arc::as_ptr(lb.library()) != key {
+                    return None;
+                }
+                lb.board().traces().next().map(|(_, t)| (lb, *t.rules()))
+            });
+            let Some((lb, rules)) = donor else {
+                continue; // no valid routed trace uses it: no rules to derive
             };
-            let rules = *first_trace.rules();
             let t0 = Instant::now();
             let base = WorldBase::build(&lb.library().polygons(), &rules, config.extend.index);
             base_build += t0.elapsed();
@@ -230,6 +427,10 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
     let mut units_total = 0usize;
     let mut groups_per_board: Vec<usize> = Vec::with_capacity(n_boards);
     for (b, lb) in set.boards.iter().enumerate() {
+        if rejected[b].is_some() {
+            groups_per_board.push(0);
+            continue;
+        }
         let obstacles: Arc<Vec<Polygon>> = if config.share_library {
             Arc::new(gather_obstacles(lb.board()))
         } else {
@@ -248,14 +449,18 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         };
         let planned = plan_board_units(lb.board());
         groups_per_board.push(planned.len());
-        for (target, units) in planned {
+        for (group, (target, units)) in planned.into_iter().enumerate() {
+            let unit_base = units_total as u64;
             units_total += units.len();
             jobs.push(Job {
                 board: b,
+                group,
                 target,
                 units,
                 obstacles: Arc::clone(&obstacles),
                 base: base.clone(),
+                job_index: jobs.len() as u64,
+                unit_base,
             });
         }
     }
@@ -263,22 +468,121 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
 
     // ---- Route on the work-stealing pool. -------------------------------
     let extend = &config.extend;
+    let control = RunControl {
+        cancel: config.cancel.clone(),
+        deadline: config.deadline.map(|d| started + d),
+        board_budget: config.board_budget,
+        board_spent: (0..n_boards).map(|_| AtomicU64::new(0)).collect(),
+    };
+    let stop = || control.global_halt().is_some();
     let t0 = Instant::now();
-    let (outputs, scheduler) = steal_map(&jobs, workers, |job: &Job| JobOutput {
-        outputs: job
-            .units
-            .iter()
-            .map(|u| run_unit_shared(u, &job.obstacles, job.base.as_ref(), extend))
-            .collect(),
+    let (statuses, scheduler) = steal_try_map(&jobs, workers, Some(&stop), |job: &Job| {
+        let t_job = Instant::now();
+        #[cfg(feature = "fault")]
+        if let Some(delay) = config.fault.delay_jobs.get(&job.job_index) {
+            std::thread::sleep(*delay);
+        }
+        let mut outputs = Vec::with_capacity(job.units.len());
+        let mut halted = None;
+        for k in 0..job.units.len() {
+            // Unit boundary: the finer-grained budget check. A fired
+            // token or blown budget stops this job here; completed units
+            // of other jobs are unaffected.
+            if let Some(h) = control.board_halt(job.board) {
+                halted = Some(h);
+                break;
+            }
+            #[cfg(feature = "fault")]
+            if config
+                .fault
+                .panic_units
+                .contains(&(job.unit_base + k as u64))
+            {
+                panic!(
+                    "injected fault: panic at unit {} (board {}, group {})",
+                    job.unit_base + k as u64,
+                    job.board,
+                    job.group
+                );
+            }
+            let out = run_unit_shared(&job.units[k], &job.obstacles, job.base.as_ref(), extend);
+            control.charge(job.board, out.busy());
+            outputs.push(out);
+        }
+        JobOut {
+            outputs,
+            halted,
+            elapsed: t_job.elapsed(),
+        }
     });
     let route_wall = t0.elapsed();
 
-    // ---- Deterministic write-back: (board, group, unit) order. ----------
+    // ---- Resolve per-board outcomes (Panicked > Halted > Routed). -------
+    // A skipped job was never claimed: whether that's "cancelled" or
+    // "deadline" is a property of the run, read off the token.
+    let skip_halt = if control
+        .cancel
+        .as_ref()
+        .is_some_and(CancelToken::is_cancelled)
+    {
+        Halt::Cancelled
+    } else {
+        Halt::Deadline
+    };
+    let mut panic_of: Vec<Option<JobError>> = vec![None; n_boards];
+    let mut halt_of: Vec<Option<Halt>> = vec![None; n_boards];
+    let mut units_run = 0usize;
+    let mut latency = LatencyHistogram::default();
+    for (job, status) in jobs.iter().zip(&statuses) {
+        match status {
+            JobStatus::Done(out) => {
+                units_run += out.outputs.len();
+                latency.record(out.elapsed);
+                if let Some(h) = out.halted {
+                    halt_of[job.board].get_or_insert(h);
+                }
+            }
+            JobStatus::Panicked(p) => {
+                panic_of[job.board].get_or_insert(JobError::Panicked {
+                    group: job.group,
+                    message: p.message(),
+                });
+            }
+            JobStatus::Skipped => {
+                halt_of[job.board].get_or_insert(skip_halt);
+            }
+        }
+    }
+    let outcomes: Vec<BoardOutcome> = (0..n_boards)
+        .map(|b| {
+            if let Some(err) = rejected[b].clone() {
+                BoardOutcome::Rejected(err)
+            } else if let Some(err) = panic_of[b].take() {
+                BoardOutcome::Failed(err)
+            } else if let Some(h) = halt_of[b] {
+                match h {
+                    Halt::Cancelled => BoardOutcome::Cancelled,
+                    Halt::Deadline => BoardOutcome::DeadlineExceeded,
+                }
+            } else {
+                BoardOutcome::Routed
+            }
+        })
+        .collect();
+
+    // ---- Atomic write-back: only fully-routed boards, in (board, group,
+    // unit) order. A board that lost any job keeps its input geometry.
     let mut reports: Vec<Vec<GroupReport>> = groups_per_board
         .iter()
         .map(|&g| Vec::with_capacity(g))
         .collect();
-    for (job, out) in jobs.iter().zip(outputs) {
+    for (job, status) in jobs.iter().zip(statuses) {
+        if !outcomes[job.board].is_routed() {
+            continue;
+        }
+        let JobStatus::Done(out) = status else {
+            unreachable!("a routed board has only completed jobs");
+        };
         let board = set.boards[job.board].board_mut();
         let (traces, busy) = apply_outputs(board, out.outputs);
         reports[job.board].push(GroupReport {
@@ -288,18 +592,28 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         });
     }
 
+    let count = |pred: fn(&BoardOutcome) -> bool| outcomes.iter().filter(|o| pred(o)).count();
     FleetReport {
         reports,
         stats: FleetStats {
             boards: n_boards,
             jobs: n_jobs,
             units: units_total,
+            units_run,
             libraries,
             library_polygons,
+            routed: count(BoardOutcome::is_routed),
+            rejected: count(|o| matches!(o, BoardOutcome::Rejected(_))),
+            failed: count(|o| matches!(o, BoardOutcome::Failed(_))),
+            cancelled: count(|o| matches!(o, BoardOutcome::Cancelled)),
+            deadline_exceeded: count(|o| matches!(o, BoardOutcome::DeadlineExceeded)),
+            validation_wall,
             base_build,
             route_wall,
+            latency,
             scheduler,
         },
+        outcomes,
     }
 }
 
@@ -307,6 +621,7 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
 mod tests {
     use super::*;
     use meander_core::match_all_groups;
+    use meander_geom::Point;
     use meander_layout::gen::fleet_boards_small;
 
     fn serial_extend() -> ExtendConfig {
@@ -329,9 +644,14 @@ mod tests {
                     extend: serial_extend(),
                     workers: Some(3),
                     share_library: share,
+                    ..Default::default()
                 },
             );
             assert_eq!(report.stats.boards, 5);
+            assert!(report.all_routed(), "{:?}", report.outcomes);
+            assert_eq!(report.stats.routed, 5);
+            assert_eq!(report.stats.units_run, report.stats.units);
+            assert_eq!(report.stats.latency.count as usize, report.stats.jobs);
             assert_eq!(
                 report.stats.scheduler.total_executed() as usize,
                 report.stats.jobs
@@ -375,6 +695,7 @@ mod tests {
         assert_eq!(report.stats.libraries, 1);
         assert!(report.stats.library_polygons > 0);
         assert!(report.stats.base_build > Duration::ZERO);
+        assert!(report.stats.validation_wall > Duration::ZERO);
         assert_eq!(report.reports.len(), 4);
         // Unshared mode reports the library but builds no base.
         let fleet = fleet_boards_small(4, 9, 13);
@@ -397,5 +718,119 @@ mod tests {
         assert_eq!(report.stats.boards, 0);
         assert_eq!(report.stats.jobs, 0);
         assert!(report.reports.is_empty());
+        assert!(report.outcomes.is_empty());
+    }
+
+    /// A malformed board is rejected with provenance; its neighbours
+    /// route bit-identically to a fleet that never contained it.
+    #[test]
+    fn invalid_board_is_rejected_not_routed() {
+        let fleet = fleet_boards_small(3, 21, 42);
+        let mut boards = fleet.boards.clone();
+        // Poison board 1: NaN coordinate on its first trace.
+        {
+            let board = boards[1].board_mut();
+            let id = board.traces().next().map(|(id, _)| id).unwrap();
+            let trace = board.trace_mut(id).unwrap();
+            let mut pts = trace.centerline().points().to_vec();
+            pts[0] = Point::new(f64::NAN, pts[0].y);
+            trace.set_centerline(meander_geom::Polyline::new(pts));
+        }
+        let poisoned_snapshot = boards[1].board().clone();
+        let mut set = BoardSet::new(boards);
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: serial_extend(),
+                workers: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            report.outcomes[1],
+            BoardOutcome::Rejected(ValidationError::NonFiniteCoordinate { .. })
+        ));
+        assert!(report.outcomes[0].is_routed());
+        assert!(report.outcomes[2].is_routed());
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.stats.routed, 2);
+        assert!(report.reports[1].is_empty());
+        // The rejected board's geometry is untouched.
+        for (id, t) in poisoned_snapshot.traces() {
+            let now = set.boards()[1].board().trace(id).unwrap();
+            assert_eq!(
+                t.centerline().points().len(),
+                now.centerline().points().len()
+            );
+        }
+        // The healthy boards match their sequential references exactly.
+        for b in [0usize, 2] {
+            let mut reference = fleet.boards[b].to_board();
+            let _ = match_all_groups(&mut reference, &serial_extend());
+            for (id, t) in reference.traces() {
+                assert_eq!(
+                    t.centerline(),
+                    set.boards()[b].board().trace(id).unwrap().centerline(),
+                    "board {b} trace {id:?}"
+                );
+            }
+        }
+    }
+
+    /// A pre-fired token cancels every board before any routing happens.
+    #[test]
+    fn pre_cancelled_fleet_routes_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let fleet = fleet_boards_small(3, 7, 11);
+        let mut set = BoardSet::new(fleet.boards);
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: serial_extend(),
+                workers: Some(2),
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, BoardOutcome::Cancelled)));
+        assert_eq!(report.stats.cancelled, 3);
+        assert_eq!(report.stats.units_run, 0);
+    }
+
+    /// A zero deadline expires every board; a generous one routes all.
+    #[test]
+    fn deadlines_bound_the_run() {
+        let fleet = fleet_boards_small(3, 7, 11);
+        let mut set = BoardSet::new(fleet.boards.clone());
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: serial_extend(),
+                workers: Some(2),
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, BoardOutcome::DeadlineExceeded)));
+        assert_eq!(report.stats.deadline_exceeded, 3);
+
+        let mut set = BoardSet::new(fleet.boards);
+        let report = route_fleet(
+            &mut set,
+            &FleetConfig {
+                extend: serial_extend(),
+                workers: Some(2),
+                deadline: Some(Duration::from_secs(600)),
+                ..Default::default()
+            },
+        );
+        assert!(report.all_routed(), "{:?}", report.outcomes);
     }
 }

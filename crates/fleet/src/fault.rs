@@ -1,0 +1,148 @@
+//! Deterministic fault injection for chaos testing (feature `fault`).
+//!
+//! A [`FaultPlan`] scripts failures into a fleet run at three seams:
+//!
+//! * **panic-at-unit** — the router panics just before running the unit
+//!   with a given *global input-order* index (board 0's units first, in
+//!   `(group, unit)` order, then board 1's, …). Keying on input order —
+//!   not an execution-order counter — is what makes the injection
+//!   deterministic: the same unit panics for every worker count, steal
+//!   pattern, and sharing mode, so the chaos suite can assert the
+//!   *unaffected* boards stay bit-identical to the sequential reference.
+//! * **delay-at-pop** — a job (global input-order job index) sleeps
+//!   before doing any work, widening race windows for cancellation and
+//!   deadline tests without touching the routed floats.
+//! * **trip-validation** — a board index is reported as
+//!   [`meander_layout::ValidationError::Injected`] even though its geometry is fine,
+//!   exercising the rejection path on demand.
+//!
+//! Everything is compiled out unless the `fault` cargo feature is on;
+//! production builds carry zero of this machinery.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// A scripted set of faults for one fleet run. Empty by default; builders
+/// compose.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Global input-order unit indices that panic when reached.
+    pub panic_units: BTreeSet<u64>,
+    /// Global input-order job indices that sleep before running.
+    pub delay_jobs: BTreeMap<u64, Duration>,
+    /// Board indices whose validation is forced to fail.
+    pub trip_boards: BTreeSet<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_units.is_empty() && self.delay_jobs.is_empty() && self.trip_boards.is_empty()
+    }
+
+    /// Panic when the unit with global input-order index `unit` is about
+    /// to run.
+    pub fn panic_at_unit(mut self, unit: u64) -> Self {
+        self.panic_units.insert(unit);
+        self
+    }
+
+    /// Sleep `delay` when the job with global input-order index `job` is
+    /// popped, before it does any work.
+    pub fn delay_at_pop(mut self, job: u64, delay: Duration) -> Self {
+        self.delay_jobs.insert(job, delay);
+        self
+    }
+
+    /// Force board `board`'s validation to fail with
+    /// [`meander_layout::ValidationError::Injected`].
+    pub fn trip_validation(mut self, board: usize) -> Self {
+        self.trip_boards.insert(board);
+        self
+    }
+
+    /// A reproducible pseudo-random plan: given the run's shape
+    /// (`units`, `jobs`, `boards`) and a `seed`, scripts one panic, one
+    /// pop delay, and one validation trip at seed-derived positions. Two
+    /// runs with the same seed and shape inject the identical faults —
+    /// the chaos property suite sweeps seeds instead of relying on
+    /// ambient randomness.
+    pub fn seeded(seed: u64, units: u64, jobs: u64, boards: usize) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: small, seedable, and dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new();
+        if units > 0 {
+            plan = plan.panic_at_unit(next() % units);
+        }
+        if jobs > 0 {
+            plan = plan.delay_at_pop(next() % jobs, Duration::from_micros(next() % 500));
+        }
+        if boards > 0 {
+            plan = plan.trip_validation((next() % boards as u64) as usize);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::new()
+            .panic_at_unit(3)
+            .panic_at_unit(9)
+            .delay_at_pop(1, Duration::from_millis(5))
+            .trip_validation(2);
+        assert!(plan.panic_units.contains(&3));
+        assert!(plan.panic_units.contains(&9));
+        assert_eq!(plan.delay_jobs.get(&1), Some(&Duration::from_millis(5)));
+        assert!(plan.trip_boards.contains(&2));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed, 40, 12, 6);
+            let b = FaultPlan::seeded(seed, 40, 12, 6);
+            assert_eq!(a.panic_units, b.panic_units, "seed {seed}");
+            assert_eq!(a.delay_jobs, b.delay_jobs, "seed {seed}");
+            assert_eq!(a.trip_boards, b.trip_boards, "seed {seed}");
+            assert!(a.panic_units.iter().all(|&u| u < 40));
+            assert!(a.delay_jobs.keys().all(|&j| j < 12));
+            assert!(a.trip_boards.iter().all(|&b| b < 6));
+        }
+        // Different seeds actually vary the plan.
+        let plans: BTreeSet<u64> = (0..16)
+            .map(|s| {
+                *FaultPlan::seeded(s, 1000, 1, 1)
+                    .panic_units
+                    .iter()
+                    .next()
+                    .expect("one panic unit")
+            })
+            .collect();
+        assert!(plans.len() > 4, "seeds should spread: {plans:?}");
+    }
+
+    #[test]
+    fn seeded_handles_empty_shapes() {
+        let plan = FaultPlan::seeded(7, 0, 0, 0);
+        assert!(plan.is_empty());
+    }
+}

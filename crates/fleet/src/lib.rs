@@ -23,6 +23,24 @@
 //!   sequentially — any worker count, both sharing modes (property-tested
 //!   in `tests/determinism.rs`).
 //!
+//! Serving many boards also changes the *failure* economics: one bad
+//! board must cost one board, never the batch. The engine isolates four
+//! failure domains (see [`engine`]'s module docs):
+//!
+//! * **Validation** — malformed boards are rejected up front with a typed
+//!   [`meander_layout::ValidationError`] ([`BoardOutcome::Rejected`]);
+//! * **Panics** — each job runs under `catch_unwind`; a crash becomes
+//!   [`BoardOutcome::Failed`] and the pool survives;
+//! * **Deadlines / cancellation** — a [`CancelToken`], a fleet deadline,
+//!   and per-board budgets are polled at pop and unit boundaries;
+//! * **Write-back** — atomic per board: fully [`BoardOutcome::Routed`]
+//!   (bit-identical to sequential) or geometry untouched.
+//!
+//! The `fault` cargo feature adds a deterministic chaos harness
+//! (`FaultPlan`): seeded panic/delay/rejection
+//! injection keyed on input-order indices, so the chaos suite can assert
+//! unaffected boards stay bit-identical under every scheduling.
+//!
 //! ```
 //! use meander_fleet::{route_fleet, BoardSet, FleetConfig};
 //! use meander_layout::gen::fleet_boards_small;
@@ -39,8 +57,20 @@
 //! }
 //! ```
 
+// Serving code must never panic on untrusted input: unwraps are linted
+// against (tests keep their unwraps — a failing test panics by design).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod cancel;
 pub mod engine;
+#[cfg(feature = "fault")]
+pub mod fault;
+pub mod outcome;
 pub mod steal;
 
+pub use cancel::CancelToken;
 pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};
-pub use steal::{steal_map, StealCounters};
+#[cfg(feature = "fault")]
+pub use fault::FaultPlan;
+pub use outcome::{BoardOutcome, JobError, LatencyHistogram};
+pub use steal::{steal_map, steal_try_map, JobPanic, JobStatus, StealCounters};

@@ -1,4 +1,5 @@
-//! Work-stealing scheduler: per-worker deques with steal-half.
+//! Work-stealing scheduler: per-worker deques with steal-half, panic
+//! isolation, and cooperative stop.
 //!
 //! The single-board driver's [`meander_core::par::par_map`] hands out work
 //! through one shared atomic cursor — fine for a dozen units, but a fleet
@@ -11,6 +12,27 @@
 //! off the victims' locks: a worker that inherits a long tail serves
 //! itself locally from then on.
 //!
+//! ## Failure domains
+//!
+//! A job is a failure domain. [`steal_try_map`] runs every job under
+//! [`std::panic::catch_unwind`]: a panicking job yields
+//! [`JobStatus::Panicked`] in its own slot, the worker thread *survives*
+//! and keeps draining its deque, and every other job's result is
+//! untouched. Panics are counted per worker in [`StealCounters::panics`].
+//! (Jobs snapshot their inputs and write only to their own slot, so
+//! unwinding mid-job cannot corrupt shared state — the engine's jobs are
+//! unwind-safe by construction.)
+//!
+//! The optional `stop` predicate is checked at every **pop boundary** —
+//! before a worker claims its next job — so a cancelled or over-deadline
+//! run stops burning CPU within one job's granularity. Jobs never claimed
+//! report [`JobStatus::Skipped`].
+//!
+//! [`steal_map`] is the infallible wrapper: no stop predicate, and a
+//! caught panic is re-raised with its original payload *after* all workers
+//! drain and join — the historical contract, minus the lost results and
+//! the poisoned pool.
+//!
 //! ## Determinism
 //!
 //! Scheduling decides only *who computes what when*. Every job's result
@@ -21,7 +43,10 @@
 //! order-indexed write-back contract `par_map` established; the fleet's
 //! end-to-end bit-identity tests ride on it.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -37,10 +62,16 @@ pub struct StealCounters {
     pub stolen_jobs: u64,
     /// Victim probes, including empty-handed ones.
     pub steal_attempts: u64,
-    /// Jobs executed per worker (index = worker id).
+    /// Jobs executed per worker (index = worker id); panicking jobs count
+    /// as executed.
     pub executed: Vec<u64>,
     /// Busy time (inside job closures) per worker.
     pub busy: Vec<Duration>,
+    /// Panics caught per worker (index = worker id). The worker survives
+    /// each one; the sum equals the number of `JobStatus::Panicked` slots.
+    pub panics: Vec<u64>,
+    /// Jobs never claimed because the stop predicate tripped.
+    pub skipped: u64,
 }
 
 impl StealCounters {
@@ -49,20 +80,102 @@ impl StealCounters {
         self.busy.iter().sum()
     }
 
-    /// Total executed jobs (must equal the scheduled job count).
+    /// Total executed jobs (equals scheduled jobs minus skipped ones).
     pub fn total_executed(&self) -> u64 {
         self.executed.iter().sum()
     }
+
+    /// Total panics caught across workers.
+    pub fn total_panics(&self) -> u64 {
+        self.panics.iter().sum()
+    }
 }
 
-/// Maps `f` over `items` on `workers` work-stealing workers, returning
-/// results in input order plus the scheduler counters.
+/// The payload of a job that panicked, preserved for re-raising or
+/// reporting.
+pub struct JobPanic {
+    payload: Box<dyn Any + Send>,
+}
+
+impl JobPanic {
+    /// Best-effort human-readable panic message (`&str` / `String`
+    /// payloads; the usual `panic!` shapes).
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The original payload, for [`resume_unwind`].
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+}
+
+impl fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JobPanic({:?})", self.message())
+    }
+}
+
+/// Per-job outcome of a [`steal_try_map`] run.
+#[derive(Debug)]
+pub enum JobStatus<R> {
+    /// The job ran to completion.
+    Done(R),
+    /// The job panicked; the worker caught it and moved on.
+    Panicked(JobPanic),
+    /// The job was never claimed — the stop predicate tripped first.
+    Skipped,
+}
+
+impl<R> JobStatus<R> {
+    /// `true` for [`JobStatus::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobStatus::Done(_))
+    }
+
+    /// The result, if the job completed.
+    pub fn done(self) -> Option<R> {
+        match self {
+            JobStatus::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A cooperative stop predicate checked at pop boundaries: return `true`
+/// to stop claiming new jobs (in-flight jobs finish; unclaimed jobs come
+/// back [`JobStatus::Skipped`]).
+pub type StopFn<'a> = &'a (dyn Fn() -> bool + Sync);
+
+/// Maps `f` over `items` on `workers` work-stealing workers with panic
+/// isolation, returning one [`JobStatus`] per item in input order plus the
+/// scheduler counters.
 ///
 /// Items are seeded round-robin (item `i` starts on worker `i % workers`),
 /// so a fleet's boards spread across the pool even before any stealing.
-/// Falls back to a serial map for 0/1 items or 1 worker. Panics in `f`
-/// propagate after all workers join.
-pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, StealCounters)
+/// Falls back to a serial loop (same isolation, same stop semantics) for
+/// 0/1 items or 1 worker.
+///
+/// A panic inside `f` is caught at the job boundary: the slot records
+/// [`JobStatus::Panicked`], [`StealCounters::panics`] ticks for the
+/// catching worker, and the worker keeps draining its deque — one bad job
+/// can never poison the pool or discard its neighbours' results.
+///
+/// `stop` (when given) is polled before every claim; once it returns
+/// `true`, workers stop claiming and the remaining jobs report
+/// [`JobStatus::Skipped`].
+pub fn steal_try_map<T, R, F>(
+    items: &[T],
+    workers: usize,
+    stop: Option<StopFn<'_>>,
+    f: F,
+) -> (Vec<JobStatus<R>>, StealCounters)
 where
     T: Sync,
     R: Send,
@@ -70,13 +183,36 @@ where
 {
     let n = items.len();
     let workers = workers.max(1).min(n.max(1));
+    let should_stop = || stop.map(|s| s()).unwrap_or(false);
     if workers <= 1 || n <= 1 {
         let t0 = Instant::now();
-        let out: Vec<R> = items.iter().map(&f).collect();
+        let mut out: Vec<JobStatus<R>> = Vec::with_capacity(n);
+        let mut panics = 0u64;
+        let mut executed = 0u64;
+        for item in items {
+            if should_stop() {
+                out.push(JobStatus::Skipped);
+                continue;
+            }
+            executed += 1;
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => out.push(JobStatus::Done(r)),
+                Err(payload) => {
+                    panics += 1;
+                    out.push(JobStatus::Panicked(JobPanic { payload }));
+                }
+            }
+        }
+        let skipped = out
+            .iter()
+            .filter(|s| matches!(s, JobStatus::Skipped))
+            .count() as u64;
         let counters = StealCounters {
             workers: 1,
-            executed: vec![n as u64],
+            executed: vec![executed],
             busy: vec![t0.elapsed()],
+            panics: vec![panics],
+            skipped,
             ..Default::default()
         };
         return (out, counters);
@@ -86,13 +222,13 @@ where
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..n).step_by(workers).collect()))
         .collect();
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobStatus<R>>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let remaining = AtomicUsize::new(n);
     let steals = AtomicU64::new(0);
     let stolen_jobs = AtomicU64::new(0);
     let steal_attempts = AtomicU64::new(0);
 
-    let per_worker: Vec<(u64, Duration)> = std::thread::scope(|scope| {
+    let per_worker: Vec<(u64, Duration, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let deques = &deques;
@@ -102,12 +238,12 @@ where
                 let stolen_jobs = &stolen_jobs;
                 let steal_attempts = &steal_attempts;
                 let f = &f;
+                let should_stop = &should_stop;
                 scope.spawn(move || {
-                    // Accounts a claimed job as finished even if `f`
-                    // unwinds — without this, a panicking worker would
-                    // leave `remaining > 0` and every other worker would
-                    // spin forever instead of joining (and letting the
-                    // scope propagate the panic).
+                    // Accounts a claimed job as finished even if slot
+                    // assignment unwinds — without this, a panicking
+                    // worker would leave `remaining > 0` and every other
+                    // worker would spin forever instead of joining.
                     struct DoneGuard<'a>(&'a AtomicUsize);
                     impl Drop for DoneGuard<'_> {
                         fn drop(&mut self) {
@@ -116,17 +252,33 @@ where
                     }
                     let mut executed = 0u64;
                     let mut busy = Duration::ZERO;
+                    let mut panics = 0u64;
                     let mut dry_rounds = 0u32;
                     loop {
+                        // Pop boundary: the cooperative stop check. Jobs
+                        // already claimed elsewhere run to completion;
+                        // nothing new is claimed.
+                        if should_stop() {
+                            break;
+                        }
                         // Local pop from the front (submission order).
                         let job = deques[w].lock().expect("deque").pop_front();
                         if let Some(i) = job {
                             dry_rounds = 0;
                             let _done = DoneGuard(remaining);
                             let t0 = Instant::now();
-                            let r = f(&items[i]);
+                            // The job is the failure domain: catch the
+                            // unwind here so the worker survives and the
+                            // panic lands in the job's own slot.
+                            let status = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                                Ok(r) => JobStatus::Done(r),
+                                Err(payload) => {
+                                    panics += 1;
+                                    JobStatus::Panicked(JobPanic { payload })
+                                }
+                            };
                             busy += t0.elapsed();
-                            *slots[i].lock().expect("slot") = Some(r);
+                            *slots[i].lock().expect("slot") = Some(status);
                             executed += 1;
                             continue;
                         }
@@ -173,7 +325,7 @@ where
                             }
                         }
                     }
-                    (executed, busy)
+                    (executed, busy, panics)
                 })
             })
             .collect();
@@ -183,12 +335,15 @@ where
             .collect()
     });
 
-    let out: Vec<R> = slots
+    let mut skipped = 0u64;
+    let out: Vec<JobStatus<R>> = slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot lock")
-                .expect("worker filled every claimed slot")
+        .map(|s| match s.into_inner().expect("slot lock") {
+            Some(status) => status,
+            None => {
+                skipped += 1;
+                JobStatus::Skipped
+            }
         })
         .collect();
     let counters = StealCounters {
@@ -196,15 +351,50 @@ where
         steals: steals.into_inner(),
         stolen_jobs: stolen_jobs.into_inner(),
         steal_attempts: steal_attempts.into_inner(),
-        executed: per_worker.iter().map(|(e, _)| *e).collect(),
-        busy: per_worker.into_iter().map(|(_, b)| b).collect(),
+        executed: per_worker.iter().map(|(e, _, _)| *e).collect(),
+        busy: per_worker.iter().map(|(_, b, _)| *b).collect(),
+        panics: per_worker.into_iter().map(|(_, _, p)| p).collect(),
+        skipped,
     };
+    (out, counters)
+}
+
+/// Maps `f` over `items` on `workers` work-stealing workers, returning
+/// results in input order plus the scheduler counters.
+///
+/// Built on [`steal_try_map`] with no stop predicate. If any job panics,
+/// every *other* job still runs to completion (workers survive), and the
+/// first panic (in input order) is then re-raised with its original
+/// payload — callers that need the surviving results instead should use
+/// [`steal_try_map`] directly, as the fleet engine does.
+pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, StealCounters)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (statuses, counters) = steal_try_map(items, workers, None, f);
+    let mut out = Vec::with_capacity(statuses.len());
+    let mut first_panic: Option<JobPanic> = None;
+    for s in statuses {
+        match s {
+            JobStatus::Done(r) => out.push(r),
+            JobStatus::Panicked(p) => {
+                first_panic.get_or_insert(p);
+            }
+            JobStatus::Skipped => unreachable!("no stop predicate was installed"),
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p.into_payload());
+    }
     (out, counters)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     #[test]
     fn results_land_in_input_order() {
@@ -213,6 +403,8 @@ mod tests {
             let (out, counters) = steal_map(&items, workers, |&x| x * x);
             assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
             assert_eq!(counters.total_executed(), items.len() as u64);
+            assert_eq!(counters.total_panics(), 0);
+            assert_eq!(counters.skipped, 0);
         }
     }
 
@@ -245,6 +437,7 @@ mod tests {
         assert_eq!(counters.total_executed(), 64);
         assert_eq!(counters.executed.len(), counters.workers);
         assert_eq!(counters.busy.len(), counters.workers);
+        assert_eq!(counters.panics.len(), counters.workers);
     }
 
     #[test]
@@ -256,17 +449,69 @@ mod tests {
         assert_eq!(counters.total_executed(), 3);
     }
 
+    /// Regression (PR 6): a panicking job used to propagate through the
+    /// worker join and discard every completed result. Now the job is its
+    /// own failure domain: all 15 healthy jobs complete with correct
+    /// values, the panic is surfaced in its own slot with its message, and
+    /// the per-worker panic counters account for exactly one catch.
     #[test]
-    #[should_panic(expected = "steal worker")]
-    fn panicking_job_propagates_instead_of_hanging() {
-        // A job that unwinds must still count as finished (DoneGuard), so
-        // the other workers drain and join, and the scope re-raises the
-        // panic — rather than spinning forever on `remaining > 0`.
+    fn panicking_job_is_isolated_and_counted() {
+        let items: Vec<u32> = (0..16).collect();
+        for workers in [1, 2, 4] {
+            let (statuses, counters) = steal_try_map(&items, workers, None, |&x| {
+                assert!(x != 7, "boom at 7");
+                x * 10
+            });
+            assert_eq!(statuses.len(), 16);
+            for (i, s) in statuses.iter().enumerate() {
+                match s {
+                    JobStatus::Done(v) => {
+                        assert_ne!(i, 7);
+                        assert_eq!(*v, i as u32 * 10);
+                    }
+                    JobStatus::Panicked(p) => {
+                        assert_eq!(i, 7, "only job 7 panics");
+                        assert!(p.message().contains("boom at 7"), "{}", p.message());
+                    }
+                    JobStatus::Skipped => panic!("nothing may be skipped"),
+                }
+            }
+            assert_eq!(counters.total_panics(), 1, "workers={workers}");
+            assert_eq!(counters.total_executed(), 16, "panicked job still executed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn steal_map_reraises_after_draining() {
+        // The infallible wrapper still panics — but only after every
+        // worker drained and joined, with the original payload.
         let items: Vec<u32> = (0..16).collect();
         let _ = steal_map(&items, 4, |&x| {
             assert!(x != 7, "boom");
             x
         });
+    }
+
+    #[test]
+    fn stop_predicate_skips_unclaimed_jobs() {
+        // Stop immediately: nothing is claimed, everything is Skipped.
+        let items: Vec<u32> = (0..32).collect();
+        for workers in [1, 3] {
+            let stop = || true;
+            let (statuses, counters) = steal_try_map(&items, workers, Some(&stop), |&x| x);
+            assert!(statuses.iter().all(|s| matches!(s, JobStatus::Skipped)));
+            assert_eq!(counters.skipped, 32, "workers={workers}");
+            assert_eq!(counters.total_executed(), 0);
+        }
+        // Stop after the first few claims: the prefix completes, the rest
+        // skip, and nothing is lost in between.
+        let fired = AtomicBool::new(false);
+        let stop = || fired.swap(true, Ordering::Relaxed);
+        let (statuses, counters) = steal_try_map(&items, 1, Some(&stop), |&x| x);
+        let done = statuses.iter().filter(|s| s.is_done()).count();
+        assert_eq!(done, 1, "exactly one claim before the trip");
+        assert_eq!(counters.skipped, 31);
     }
 
     #[test]
@@ -277,5 +522,6 @@ mod tests {
         assert!(c.steal_attempts >= c.steals);
         assert!(c.stolen_jobs >= c.steals);
         assert_eq!(c.total_executed(), 500);
+        assert_eq!(c.panics.len(), c.workers);
     }
 }

@@ -101,6 +101,7 @@ fn randomized_fleets_match_sequential_bitwise() {
                 extend: serial_extend(),
                 workers: Some(workers),
                 share_library: share,
+                ..Default::default()
             },
         );
         assert_identical(&label, &set, &report.reports, &want_reports, &want_boards);
@@ -127,6 +128,7 @@ fn sixteen_board_fleet_bit_identical() {
                 extend: serial_extend(),
                 workers: Some(workers),
                 share_library: share,
+                ..Default::default()
             },
         );
         let label = format!("16-board fleet, workers {workers}, share {share}");
@@ -183,6 +185,7 @@ fn engine_knobs_and_worker_counts_commute() {
                     extend: extend.clone(),
                     workers: Some(workers),
                     share_library: true,
+                    ..Default::default()
                 },
             );
             assert_identical(

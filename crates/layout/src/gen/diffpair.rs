@@ -124,8 +124,8 @@ pub fn decoupled_pair(multi_dra: bool) -> DecoupledPairCase {
     board.set_area(p, area.clone());
     board.set_area(n, area);
 
-    let plen = board.trace(p).unwrap().length();
-    let nlen = board.trace(n).unwrap().length();
+    let plen = board.trace(p).expect("trace added above").length();
+    let nlen = board.trace(n).expect("trace added above").length();
     board.add_group(MatchGroup::with_target(
         "pair",
         vec![p, n],

@@ -108,7 +108,11 @@ pub fn table2_case(case_no: usize) -> Table2Case {
     // (hence clearance inflation) grows — the paper's regime where fixed
     // tracks thread the channels at loose DRC but pinch off at tight DRC.
     let bbox = region.bbox();
-    let trace_probe = board.trace(trace).unwrap().centerline().clone();
+    let trace_probe = board
+        .trace(trace)
+        .expect("trace added above")
+        .centerline()
+        .clone();
     let mut gy = bbox.min.y + pitch / 2.0;
     while gy < bbox.max.y {
         let mut gx = bbox.min.x + pitch / 2.0;

@@ -20,17 +20,28 @@ use crate::diffpair::DiffPair;
 use crate::group::{MatchGroup, TargetLength};
 use crate::obstacle::{Obstacle, ObstacleKind};
 use crate::trace::{Trace, TraceId};
+use crate::validate::{validate_board, ValidationError};
 use meander_drc::DesignRules;
 use meander_geom::{Point, Polygon, Polyline, Rect};
 use std::fmt::Write as _;
 
+/// Hard cap on entity counts (points, vertices, members) declared by a
+/// single record. The format stores counts inline, so a hostile line like
+/// `trace T … 99999999999 …` would otherwise drive a huge preallocation
+/// before the truncated point list is even noticed.
+const MAX_COUNT: usize = 1 << 20;
+
 /// Error loading or saving a board.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum IoError {
     /// A line could not be parsed; carries line number (1-based) and reason.
     Parse(usize, String),
     /// A name contained whitespace on save.
     InvalidName(String),
+    /// The file parsed, but the assembled board failed
+    /// [`validate_board`] — e.g. a NaN coordinate
+    /// or a group referencing a trace the file never declared.
+    Invalid(ValidationError),
 }
 
 impl std::fmt::Display for IoError {
@@ -38,6 +49,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Parse(line, why) => write!(f, "line {line}: {why}"),
             IoError::InvalidName(n) => write!(f, "name `{n}` contains whitespace"),
+            IoError::Invalid(e) => write!(f, "invalid board: {e}"),
         }
     }
 }
@@ -141,10 +153,17 @@ fn check_name(n: &str) -> Result<(), IoError> {
 
 /// Parses a board from the text format.
 ///
+/// Untrusted input is the norm here, so the loader is strict twice over:
+/// every record is parsed with typed errors (counts are integers with a
+/// `MAX_COUNT` cap, never trusted for preallocation), and the assembled
+/// board must pass [`validate_board`] before it is
+/// returned — a file that parses but encodes NaN geometry or dangling
+/// group members is rejected with [`IoError::Invalid`], not routed.
+///
 /// # Errors
 ///
 /// Returns [`IoError::Parse`] with the offending line number on malformed
-/// input.
+/// input, or [`IoError::Invalid`] when the parsed board fails validation.
 pub fn load_board(text: &str) -> Result<Board, IoError> {
     let mut board = Board::default();
     for (lineno, raw) in text.lines().enumerate() {
@@ -154,11 +173,33 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
             continue;
         }
         let mut tok = line.split_whitespace();
-        let kind = tok.next().expect("non-empty line");
+        let Some(kind) = tok.next() else {
+            continue; // unreachable for non-empty trimmed lines; never panic on ingest
+        };
         let next_f64 = |tok: &mut std::str::SplitWhitespace<'_>, what: &str| {
             tok.next()
                 .ok_or_else(|| IoError::Parse(lineno, format!("missing {what}")))?
                 .parse::<f64>()
+                .map_err(|_| IoError::Parse(lineno, format!("bad {what}")))
+        };
+        let next_count = |tok: &mut std::str::SplitWhitespace<'_>, what: &str| {
+            let n = tok
+                .next()
+                .ok_or_else(|| IoError::Parse(lineno, format!("missing {what}")))?
+                .parse::<usize>()
+                .map_err(|_| IoError::Parse(lineno, format!("bad {what}")))?;
+            if n > MAX_COUNT {
+                return Err(IoError::Parse(
+                    lineno,
+                    format!("{what} {n} exceeds limit {MAX_COUNT}"),
+                ));
+            }
+            Ok(n)
+        };
+        let next_id = |tok: &mut std::str::SplitWhitespace<'_>, what: &str| {
+            tok.next()
+                .ok_or_else(|| IoError::Parse(lineno, format!("missing {what}")))?
+                .parse::<u32>()
                 .map_err(|_| IoError::Parse(lineno, format!("bad {what}")))
         };
         match kind {
@@ -180,7 +221,7 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
                 let protect = next_f64(&mut tok, "protect")?;
                 let miter = next_f64(&mut tok, "miter")?;
                 let width = next_f64(&mut tok, "width")?;
-                let n = next_f64(&mut tok, "point count")? as usize;
+                let n = next_count(&mut tok, "point count")?;
                 let mut pts = Vec::with_capacity(n);
                 for _ in 0..n {
                     let x = next_f64(&mut tok, "x")?;
@@ -211,7 +252,7 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
                         ))
                     }
                 };
-                let n = next_f64(&mut tok, "vertex count")? as usize;
+                let n = next_count(&mut tok, "vertex count")?;
                 let mut pts = Vec::with_capacity(n);
                 for _ in 0..n {
                     let x = next_f64(&mut tok, "x")?;
@@ -224,8 +265,8 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
                 board.add_obstacle(Obstacle::new(Polygon::new(pts), okind));
             }
             "area" => {
-                let id = next_f64(&mut tok, "trace index")? as u32;
-                let n = next_f64(&mut tok, "vertex count")? as usize;
+                let id = next_id(&mut tok, "trace index")?;
+                let n = next_count(&mut tok, "vertex count")?;
                 let mut pts = Vec::with_capacity(n);
                 for _ in 0..n {
                     let x = next_f64(&mut tok, "x")?;
@@ -249,10 +290,10 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
                     .next()
                     .ok_or_else(|| IoError::Parse(lineno, "missing target".into()))?;
                 let tol = next_f64(&mut tok, "tolerance")?;
-                let k = next_f64(&mut tok, "member count")? as usize;
+                let k = next_count(&mut tok, "member count")?;
                 let mut members = Vec::with_capacity(k);
                 for _ in 0..k {
-                    members.push(TraceId(next_f64(&mut tok, "member id")? as u32));
+                    members.push(TraceId(next_id(&mut tok, "member id")?));
                 }
                 let mut g = if target_tok == "auto" {
                     MatchGroup::new(name, members)
@@ -271,9 +312,9 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
                     .ok_or_else(|| IoError::Parse(lineno, "missing name".into()))?
                     .to_string();
                 let sep = next_f64(&mut tok, "sep")?;
-                let breakout = next_f64(&mut tok, "breakout")? as usize;
-                let pid = TraceId(next_f64(&mut tok, "p id")? as u32);
-                let nid = TraceId(next_f64(&mut tok, "n id")? as u32);
+                let breakout = next_count(&mut tok, "breakout")?;
+                let pid = TraceId(next_id(&mut tok, "p id")?);
+                let nid = TraceId(next_id(&mut tok, "n id")?);
                 let mut pair = DiffPair::new(name, pid, nid, sep);
                 pair.set_breakout_nodes(breakout);
                 board.add_pair(pair);
@@ -283,6 +324,7 @@ pub fn load_board(text: &str) -> Result<Board, IoError> {
             }
         }
     }
+    validate_board(&board).map_err(IoError::Invalid)?;
     Ok(board)
 }
 
@@ -382,5 +424,43 @@ mod tests {
     fn error_display() {
         let e = IoError::Parse(3, "bad x".into());
         assert!(format!("{e}").contains("line 3"));
+    }
+
+    #[test]
+    fn hostile_counts_rejected_before_allocation() {
+        // A count beyond MAX_COUNT must fail fast with a Parse error.
+        assert!(matches!(
+            load_board("trace A 8 8 8 2 4 99999999999 0 0"),
+            Err(IoError::Parse(1, _))
+        ));
+        // Fractional and negative counts are no longer silently truncated.
+        assert!(matches!(
+            load_board("obstacle via 3.5 0 0 1 1 2 2"),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            load_board("group g auto 0.001 -1"),
+            Err(IoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn parsed_but_invalid_board_rejected() {
+        // NaN coordinate parses as f64 but fails validation.
+        let text = "trace A 8 8 8 2 4 2 0 0 NaN 1\ngroup g auto 0.001 1 0\n";
+        match load_board(text) {
+            Err(IoError::Invalid(crate::validate::ValidationError::NonFiniteCoordinate {
+                ..
+            })) => {}
+            other => panic!("expected Invalid(NonFiniteCoordinate), got {other:?}"),
+        }
+        // Group referencing a trace the file never declared.
+        let text = "trace A 8 8 8 2 4 2 0 0 50 0\ngroup g auto 0.001 1 7\n";
+        assert!(matches!(
+            load_board(text),
+            Err(IoError::Invalid(
+                crate::validate::ValidationError::UnknownGroupMember { member: 7, .. }
+            ))
+        ));
     }
 }

@@ -26,6 +26,17 @@
 //! ));
 //! assert_eq!(board.trace(id).unwrap().name(), "DQ0");
 //! ```
+//!
+//! Boards arriving from outside the process (files, fleet submissions)
+//! should pass through [`validate::validate_board`] first: it rejects
+//! NaN/infinite coordinates, degenerate polygons, empty or dangling
+//! groups, and malformed rule floats with a typed
+//! [`validate::ValidationError`] instead of a panic inside the router.
+
+// Library-facing ingest must never panic on untrusted input: unwraps are
+// linted against (tests keep their unwraps — a failing test panics by
+// design).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod area;
 pub mod board;
@@ -37,6 +48,7 @@ pub mod library;
 pub mod obstacle;
 pub mod svg;
 pub mod trace;
+pub mod validate;
 
 pub use area::RoutableArea;
 pub use board::Board;
@@ -45,3 +57,6 @@ pub use group::{MatchGroup, TargetLength};
 pub use library::{LibraryBoard, ObstacleLibrary};
 pub use obstacle::{Obstacle, ObstacleKind};
 pub use trace::{Trace, TraceId};
+pub use validate::{
+    validate_board, validate_library, validate_library_board, Entity, ValidationError,
+};
