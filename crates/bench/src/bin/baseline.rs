@@ -1,20 +1,21 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! the DRC scan, and the **multi-board fleet engine** on the paper's cases
 //! plus the stress boards, for each engine configuration, and emits
-//! `BENCH_PR6.json` (schema v6) — the sixth point of the repo's
+//! `BENCH_PR7.json` (schema v7) — the seventh point of the repo's
 //! performance trajectory. The `fleet` section times a serving-size fleet
 //! routed per-board sequentially, batched without library sharing, and
 //! batched **with** the shared obstacle-library world
 //! (`meander_fleet::route_fleet` — bit-identical outputs, asserted here).
-//! Schema v6 adds the **hardening** costs: every fleet row now routes
-//! through the validation gate and per-job `catch_unwind` isolation (the
-//! `validate_off_s` column isolates the validation share), and a
-//! `hardening` section records the cancellation drain latency — token
-//! fired mid-run from another thread to the pool going quiet — plus,
-//! when built with `--features fault`, an injected-panic smoke proving a
-//! crashing board costs one board. Printed deltas compare against the
-//! recorded `BENCH_PR5.json`, whose fleet rows predate isolation — the
-//! shared_s ratio IS the isolation+validation overhead (target ≤ 2%).
+//! The `hardening` section records the cancellation drain latency plus,
+//! with `--features fault`, an injected-panic smoke proving a crashing
+//! board costs one board. Schema v7 adds the **resilience** section: the
+//! happy-path overhead of `route_fleet_resilient` over the bare engine
+//! (the retry ladder's cost when nothing fails — target ≤ 2%), and, when
+//! built with `--features fault`, an injected-fault fleet where 25% of
+//! the boards hit a transient first-attempt panic — recording the
+//! retry/degrade/shed counters and the recovered-board rate (target:
+//! every board comes back Routed or Degraded, zero shed, zero process
+//! deaths). Printed deltas compare against the recorded `BENCH_PR6.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -52,6 +53,8 @@ use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
 use meander_core::match_all_groups;
 use meander_core::pattern::placements_window;
+#[cfg(feature = "fault")]
+use meander_core::plan_board_units;
 use meander_core::{match_board_group, DpStats, ExtendConfig, IndexKind};
 use meander_drc::{
     check_layout_batched_stats_with, check_layout_brute, check_layout_indexed, CheckInput,
@@ -59,7 +62,9 @@ use meander_drc::{
 };
 #[cfg(feature = "fault")]
 use meander_fleet::FaultPlan;
-use meander_fleet::{route_fleet, BoardSet, CancelToken, FleetConfig};
+use meander_fleet::{
+    route_fleet, route_fleet_resilient, BoardSet, CancelToken, FleetConfig, RetryPolicy,
+};
 use meander_geom::batch::BatchStats;
 use meander_layout::gen::{
     fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case, table2_case,
@@ -766,6 +771,154 @@ fn run_fault_smoke() -> (f64, usize, usize) {
     (secs, report.stats.failed, report.stats.routed)
 }
 
+/// The injected-fault slice of a resilience row (feature `fault` only).
+struct FaultedResilience {
+    /// Wall seconds for the resilient route of the faulted fleet
+    /// (first attempt + every retry the ladder ran).
+    resilient_s: f64,
+    /// Boards scripted with a transient first-attempt panic.
+    faulted_boards: usize,
+    routed: usize,
+    degraded: usize,
+    shed: usize,
+    retries: u64,
+    /// `(routed + degraded) / boards` — 1.0 means full recovery.
+    recovered_rate: f64,
+}
+
+struct ResilienceRow {
+    fleet: String,
+    boards: usize,
+    /// Bare `route_fleet` on the clean fleet.
+    baseline_s: f64,
+    /// `route_fleet_resilient` on the same clean fleet — the happy-path
+    /// overhead of the policy layer (admission bookkeeping + planning
+    /// scan; no retries run).
+    resilient_clean_s: f64,
+    faulted: Option<FaultedResilience>,
+}
+
+/// Times the resilience layer two ways: happy path (clean fleet, the
+/// policy overhead must be noise) and — with `--features fault` — an
+/// injected-fault fleet where every fourth board panics transiently on
+/// its first attempt and must come back `Degraded` via the retry rung.
+fn run_resilience_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> ResilienceRow {
+    let base_config = || FleetConfig {
+        extend: batched_config(),
+        ..Default::default()
+    };
+    let policy = RetryPolicy::default();
+
+    let (baseline_s, boards) = median_secs(reps, || {
+        let fleet = make();
+        let mut set = BoardSet::new(fleet.boards);
+        let t0 = Instant::now();
+        let report = route_fleet(&mut set, &base_config());
+        assert!(report.all_routed(), "{name}: bench fleets are valid");
+        (t0.elapsed().as_secs_f64(), report.stats.boards)
+    });
+    let (resilient_clean_s, _) = median_secs(reps, || {
+        let fleet = make();
+        let mut set = BoardSet::new(fleet.boards);
+        let t0 = Instant::now();
+        let r = route_fleet_resilient(&mut set, &base_config(), &policy);
+        assert_eq!(r.report.stats.retries, 0, "{name}: clean fleet retries");
+        assert!(r.quarantine.is_empty());
+        (t0.elapsed().as_secs_f64(), ())
+    });
+
+    #[cfg(feature = "fault")]
+    let faulted = {
+        // Transient panic at the first unit of every fourth board (25%),
+        // attempt 0 only — the retry rung must recover all of them.
+        let probe = make().boards;
+        let mut plan = FaultPlan::new();
+        let mut faulted_boards = 0usize;
+        let mut unit_base = 0u64;
+        for (b, lb) in probe.iter().enumerate() {
+            if b % 4 == 0 {
+                plan = plan.panic_at_unit_on_attempt(unit_base, 0);
+                faulted_boards += 1;
+            }
+            unit_base += plan_board_units(lb.board())
+                .iter()
+                .map(|(_, units)| units.len() as u64)
+                .sum::<u64>();
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected fault") {
+                prev(info);
+            }
+        }));
+        let (resilient_s, stats) = median_secs(reps, || {
+            let fleet = make();
+            let mut set = BoardSet::new(fleet.boards);
+            let config = FleetConfig {
+                fault: plan.clone(),
+                ..base_config()
+            };
+            let t0 = Instant::now();
+            let r = route_fleet_resilient(&mut set, &config, &policy);
+            (t0.elapsed().as_secs_f64(), r.report.stats)
+        });
+        let _ = std::panic::take_hook();
+        let recovered_rate = (stats.routed + stats.degraded) as f64 / stats.boards.max(1) as f64;
+        assert_eq!(
+            stats.degraded, faulted_boards,
+            "{name}: every faulted board recovers on the retry rung"
+        );
+        assert_eq!(stats.shed, 0, "{name}: nothing shed");
+        Some(FaultedResilience {
+            resilient_s,
+            faulted_boards,
+            routed: stats.routed,
+            degraded: stats.degraded,
+            shed: stats.shed,
+            retries: stats.retries,
+            recovered_rate,
+        })
+    };
+    #[cfg(not(feature = "fault"))]
+    let faulted: Option<FaultedResilience> = None;
+
+    let row = ResilienceRow {
+        fleet: name.to_string(),
+        boards,
+        baseline_s,
+        resilient_clean_s,
+        faulted,
+    };
+    println!(
+        "{:<18} baseline {:>8.4}s  resilient(clean) {:>8.4}s  ({:+.2}% happy-path overhead)",
+        row.fleet,
+        row.baseline_s,
+        row.resilient_clean_s,
+        (row.resilient_clean_s / row.baseline_s.max(1e-12) - 1.0) * 100.0,
+    );
+    if let Some(f) = &row.faulted {
+        println!(
+            "{:<18} faulted({} of {} boards) {:>8.4}s  routed {} degraded {} shed {} retries {}  recovered {:.0}%",
+            row.fleet,
+            f.faulted_boards,
+            row.boards,
+            f.resilient_s,
+            f.routed,
+            f.degraded,
+            f.shed,
+            f.retries,
+            f.recovered_rate * 100.0,
+        );
+    }
+    row
+}
+
 /// Pulls a per-case seconds field out of one array section of a prior
 /// `BENCH_PR*.json` (hand-rolled scan; no serde offline). Returns
 /// `(case_name, seconds)` for every row of `section` carrying `key`.
@@ -843,7 +996,7 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR6.json".to_string()
+            "BENCH_PR7.json".to_string()
         }
     });
 
@@ -874,17 +1027,17 @@ fn main() {
         for case_no in 1..=6usize {
             extend_rows.push(run_extend_case(&format!("table2:{case_no}"), case_no));
         }
-        // Side-by-side vs the recorded PR 4 baseline, when present (the
+        // Side-by-side vs the recorded prior baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr5 = parse_recorded("BENCH_PR5.json", "single_trace_extension", "batched_s");
-        if !pr5.is_empty() {
-            println!("\n-- delta vs BENCH_PR5.json (recorded batched_s) --");
+        let pr6 = parse_recorded("BENCH_PR6.json", "single_trace_extension", "batched_s");
+        if !pr6.is_empty() {
+            println!("\n-- delta vs BENCH_PR6.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr5.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr5 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr6 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -893,7 +1046,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR5: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR6: x{g:.2}", "");
             }
         }
     }
@@ -922,13 +1075,13 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr5 = parse_recorded("BENCH_PR5.json", "drc_scan", "rtree_s");
-        if !pr5.is_empty() {
-            println!("\n-- delta vs BENCH_PR5.json (recorded rtree_s) --");
+        let pr6 = parse_recorded("BENCH_PR6.json", "drc_scan", "rtree_s");
+        if !pr6.is_empty() {
+            println!("\n-- delta vs BENCH_PR6.json (recorded rtree_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr5.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr5 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr6 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -937,13 +1090,13 @@ fn main() {
                 }
             }
         }
-        let pr5m = parse_recorded("BENCH_PR5.json", "group_matching", "rtree_s");
-        if !pr5m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR5.json (recorded rtree_s) --");
+        let pr6m = parse_recorded("BENCH_PR6.json", "group_matching", "rtree_s");
+        if !pr6m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR6.json (recorded rtree_s) --");
             for r in &rows {
-                if let Some((_, old)) = pr5m.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr6m.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr5 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr6 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -972,18 +1125,17 @@ fn main() {
         fleet_rows.push(run_fleet_case("fleet:32", || fleet_boards(32, 5, 9), 3));
     }
 
-    // Isolation + validation overhead against the recorded PR 5 fleet
-    // rows (which predate catch_unwind and the validation gate). The
-    // acceptance target for the hardening PR is <= 2% on shared_s.
+    // Fleet drift against the recorded PR 6 rows (same engine shape both
+    // sides — this PR adds recovery on top, so shared_s should hold).
     if !smoke {
-        let pr5f = parse_recorded("BENCH_PR5.json", "fleet", "shared_s");
-        if !pr5f.is_empty() {
-            println!("\n-- isolation overhead vs BENCH_PR5.json (recorded shared_s) --");
+        let pr6f = parse_recorded("BENCH_PR6.json", "fleet", "shared_s");
+        if !pr6f.is_empty() {
+            println!("\n-- fleet drift vs BENCH_PR6.json (recorded shared_s) --");
             for r in &fleet_rows {
-                if let Some((_, old)) = pr5f.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr6f.iter().find(|(n, _)| *n == r.name) {
                     let overhead = r.shared_s / old.max(1e-12) - 1.0;
                     println!(
-                        "{:<18} pr5 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% overhead, validation {:>8.5}s of it)",
+                        "{:<18} pr6 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% drift, validation {:>8.5}s of it)",
                         r.name,
                         old,
                         r.shared_s,
@@ -994,6 +1146,13 @@ fn main() {
             }
         }
     }
+
+    println!("\n== resilience: retry ladder happy path + injected-fault recovery ==");
+    let resilience_row = if smoke {
+        run_resilience_case("fleet:small:8", || fleet_boards_small(8, 21, 42), 1)
+    } else {
+        run_resilience_case("fleet:16", || fleet_boards(16, 21, 42), 1)
+    };
 
     println!("\n== hardening: cancellation drain + fault smoke ==");
     let cancel_row = if smoke {
@@ -1082,8 +1241,8 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/6\",");
-    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/7\",");
+    let _ = writeln!(j, "  \"pr\": 7,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -1258,6 +1417,35 @@ fn main() {
         );
     }
     let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"resilience\": {{");
+    let _ = writeln!(
+        j,
+        "    \"fleet\": \"{}\", \"boards\": {}, \"baseline_s\": {:.6}, \"resilient_clean_s\": {:.6}, \"happy_path_overhead_pct\": {:.3},",
+        resilience_row.fleet,
+        resilience_row.boards,
+        resilience_row.baseline_s,
+        resilience_row.resilient_clean_s,
+        (resilience_row.resilient_clean_s / resilience_row.baseline_s.max(1e-12) - 1.0) * 100.0,
+    );
+    match &resilience_row.faulted {
+        Some(f) => {
+            let _ = writeln!(
+                j,
+                "    \"faulted\": {{\"resilient_s\": {:.6}, \"faulted_boards\": {}, \"routed\": {}, \"degraded\": {}, \"shed\": {}, \"retries\": {}, \"recovered_rate\": {:.4}}}",
+                f.resilient_s,
+                f.faulted_boards,
+                f.routed,
+                f.degraded,
+                f.shed,
+                f.retries,
+                f.recovered_rate,
+            );
+        }
+        None => {
+            let _ = writeln!(j, "    \"faulted\": null");
+        }
+    }
+    let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"hardening\": {{");
     let _ = writeln!(
         j,

@@ -78,7 +78,7 @@ pub mod pattern;
 pub mod shrink;
 pub mod tracebuf;
 
-pub use config::ExtendConfig;
+pub use config::{EngineFallback, ExtendConfig};
 pub use context::WorldBase;
 pub use dp::{DpSession, DpStats, HeightBounds, UbProfile};
 pub use driver::{

@@ -212,6 +212,20 @@ pub struct FleetStats {
     pub cancelled: usize,
     /// Boards that lost work to the fleet deadline or their busy budget.
     pub deadline_exceeded: usize,
+    /// Boards recovered by a retry rung ([`BoardOutcome::Degraded`]).
+    /// Always zero for a bare [`route_fleet`]; the resilience layer fills
+    /// it in.
+    pub degraded: usize,
+    /// Boards refused by overload control ([`BoardOutcome::Shed`]).
+    /// Always zero for a bare [`route_fleet`].
+    pub shed: usize,
+    /// Retry runs performed beyond each board's first attempt. Always
+    /// zero for a bare [`route_fleet`].
+    pub retries: u64,
+    /// Busy time charged to each board (unit runtimes, indexed by
+    /// submission order) — the per-board slice of the scheduler's busy
+    /// total, and the quantity [`FleetConfig::board_budget`] meters.
+    pub board_busy: Vec<Duration>,
     /// Time spent in the up-front validation scan (zero when
     /// [`FleetConfig::validate`] is off).
     pub validation_wall: Duration,
@@ -233,10 +247,12 @@ pub struct FleetStats {
 /// order, group order — exactly what per-board
 /// [`meander_core::match_all_groups`] returns for routed boards) plus the
 /// run's stats.
+#[must_use = "a fleet report carries every board's outcome — dropping it loses failures silently"]
 #[derive(Debug)]
 pub struct FleetReport {
     /// `reports[b]` are board `b`'s group reports; empty unless
-    /// `outcomes[b]` is [`BoardOutcome::Routed`].
+    /// `outcomes[b]` is [`BoardOutcome::Routed`] (or
+    /// [`BoardOutcome::Degraded`] under the resilience layer).
     pub reports: Vec<Vec<GroupReport>>,
     /// `outcomes[b]` says what happened to board `b`.
     pub outcomes: Vec<BoardOutcome>,
@@ -248,6 +264,31 @@ impl FleetReport {
     /// `true` when every board routed.
     pub fn all_routed(&self) -> bool {
         self.outcomes.iter().all(BoardOutcome::is_routed)
+    }
+
+    /// One-line run summary for log ingestion: every outcome counter, the
+    /// unit completion ratio, and the latency tail, in a stable
+    /// `key=value` format.
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "fleet boards={} routed={} degraded={} rejected={} failed={} \
+             cancelled={} deadline={} shed={} retries={} units={}/{} \
+             wall={:.3?} p99={:.3?}",
+            s.boards,
+            s.routed,
+            s.degraded,
+            s.rejected,
+            s.failed,
+            s.cancelled,
+            s.deadline_exceeded,
+            s.shed,
+            s.retries,
+            s.units_run,
+            s.units,
+            s.route_wall,
+            s.latency.quantile_upper(0.99),
+        )
     }
 }
 
@@ -262,9 +303,8 @@ struct Job {
     /// shared mode, `library ++ local` when materialized.
     obstacles: Arc<Vec<Polygon>>,
     base: Option<Arc<WorldBase>>,
-    /// Global input-order index of this job (fault delay-at-pop keys on
-    /// it).
-    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    /// Global input-order index of this job (fault delay-at-pop and the
+    /// unit-progress diagnostics key on it).
     job_index: u64,
     /// Global input-order index of this job's first unit (fault
     /// panic-at-unit keys on `unit_base + k`, making injections invariant
@@ -475,6 +515,10 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         board_spent: (0..n_boards).map(|_| AtomicU64::new(0)).collect(),
     };
     let stop = || control.global_halt().is_some();
+    // Last unit each job *started*, written before the unit runs so a
+    // panic's unwind leaves the crashing unit's index behind for the
+    // failure diagnostics (u64::MAX = the job never reached a unit).
+    let progress: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(u64::MAX)).collect();
     let t0 = Instant::now();
     let (statuses, scheduler) = steal_try_map(&jobs, workers, Some(&stop), |job: &Job| {
         let t_job = Instant::now();
@@ -492,17 +536,15 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
                 halted = Some(h);
                 break;
             }
+            progress[job.job_index as usize].store(k as u64, Ordering::Relaxed);
             #[cfg(feature = "fault")]
-            if config
-                .fault
-                .panic_units
-                .contains(&(job.unit_base + k as u64))
-            {
+            if config.fault.panics_unit(job.unit_base + k as u64) {
                 panic!(
-                    "injected fault: panic at unit {} (board {}, group {})",
+                    "injected fault: panic at unit {} (board {}, group {}, attempt {})",
                     job.unit_base + k as u64,
                     job.board,
-                    job.group
+                    job.group,
+                    config.fault.attempt
                 );
             }
             let out = run_unit_shared(&job.units[k], &job.obstacles, job.base.as_ref(), extend);
@@ -543,8 +585,10 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
                 }
             }
             JobStatus::Panicked(p) => {
+                let last_started = progress[job.job_index as usize].load(Ordering::Relaxed);
                 panic_of[job.board].get_or_insert(JobError::Panicked {
                     group: job.group,
+                    unit: (last_started != u64::MAX).then_some(last_started),
                     message: p.message(),
                 });
             }
@@ -592,6 +636,11 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         });
     }
 
+    let board_busy: Vec<Duration> = control
+        .board_spent
+        .iter()
+        .map(|a| Duration::from_nanos(a.load(Ordering::Relaxed)))
+        .collect();
     let count = |pred: fn(&BoardOutcome) -> bool| outcomes.iter().filter(|o| pred(o)).count();
     FleetReport {
         reports,
@@ -607,6 +656,10 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             failed: count(|o| matches!(o, BoardOutcome::Failed(_))),
             cancelled: count(|o| matches!(o, BoardOutcome::Cancelled)),
             deadline_exceeded: count(|o| matches!(o, BoardOutcome::DeadlineExceeded)),
+            degraded: 0,
+            shed: 0,
+            retries: 0,
+            board_busy,
             validation_wall,
             base_build,
             route_wall,

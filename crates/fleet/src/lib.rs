@@ -36,10 +36,20 @@
 //! * **Write-back** — atomic per board: fully [`BoardOutcome::Routed`]
 //!   (bit-identical to sequential) or geometry untouched.
 //!
+//! On top of the engine sits a **recovery layer**
+//! ([`route_fleet_resilient`]): failed boards walk a deterministic
+//! retry/degrade ladder ([`RetryPolicy`]) onto cheaper known-safe engine
+//! shapes, overload is shed loudly under an admission unit budget and a
+//! fleet-wide retry token bucket ([`AdmissionPolicy`]), every attempt is
+//! journaled, and boards that panic on every rung are quarantined with a
+//! delta-debugged minimal repro ([`repro::minimize`]).
+//!
 //! The `fault` cargo feature adds a deterministic chaos harness
 //! (`FaultPlan`): seeded panic/delay/rejection
-//! injection keyed on input-order indices, so the chaos suite can assert
-//! unaffected boards stay bit-identical under every scheduling.
+//! injection keyed on input-order indices — plus transient
+//! (attempt-scoped) faults and bounded delay jitter for the resilience
+//! suite — so the chaos suite can assert unaffected boards stay
+//! bit-identical under every scheduling.
 //!
 //! ```
 //! use meander_fleet::{route_fleet, BoardSet, FleetConfig};
@@ -66,11 +76,18 @@ pub mod engine;
 #[cfg(feature = "fault")]
 pub mod fault;
 pub mod outcome;
+pub mod repro;
+pub mod resilience;
 pub mod steal;
 
 pub use cancel::CancelToken;
 pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};
 #[cfg(feature = "fault")]
 pub use fault::FaultPlan;
-pub use outcome::{BoardOutcome, JobError, LatencyHistogram};
+pub use outcome::{BoardOutcome, DegradeStep, JobError, LatencyHistogram, ShedReason};
+pub use repro::MinimizedRepro;
+pub use resilience::{
+    route_fleet_resilient, AdmissionPolicy, AttemptJournal, AttemptRecord, Quarantine,
+    QuarantineEntry, ResilientReport, RetryPolicy,
+};
 pub use steal::{steal_map, steal_try_map, JobPanic, JobStatus, StealCounters};

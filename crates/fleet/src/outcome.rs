@@ -20,7 +20,12 @@ pub enum JobError {
     Panicked {
         /// Group index (board-local) of the panicking job.
         group: usize,
-        /// Best-effort panic message.
+        /// Group-local index of the unit that was running when the panic
+        /// unwound (`None` when the job died before reaching its first
+        /// unit, e.g. in an injected pop delay).
+        unit: Option<u64>,
+        /// Panic payload, downcast from the usual `&str` / `String`
+        /// shapes (never discarded — poison-board triage starts here).
         message: String,
     },
 }
@@ -28,16 +33,82 @@ pub enum JobError {
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JobError::Panicked { group, message } => {
-                write!(f, "group {group} panicked: {message}")
-            }
+            JobError::Panicked {
+                group,
+                unit,
+                message,
+            } => match unit {
+                Some(u) => write!(f, "group {group} panicked at unit {u}: {message}"),
+                None => write!(f, "group {group} panicked: {message}"),
+            },
         }
     }
 }
 
 impl std::error::Error for JobError {}
 
+/// One rung of the recovery ladder (`fleet::resilience`): which engine
+/// shape a failed board is re-run with. Ordered from "same knobs, just
+/// again" down to the reference pipeline — every rung is a knob
+/// combination an equivalence suite already proves safe (see
+/// [`meander_core::EngineFallback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeStep {
+    /// Re-run with identical knobs. Recovers transient faults; output is
+    /// bit-identical to the first attempt's would-be output.
+    Retry,
+    /// Scalar kernels + grid index ([`meander_core::EngineFallback::Scalar`]);
+    /// still bit-identical.
+    Scalar,
+    /// Uniform height cap, no DP profile, no intra-unit parallelism
+    /// ([`meander_core::EngineFallback::Simple`]); still bit-identical.
+    Simple,
+    /// The non-incremental reference matcher
+    /// ([`meander_core::EngineFallback::Reference`]); equivalent within
+    /// tolerance, not bit-identical — the last rung before quarantine.
+    Reference,
+}
+
+impl DegradeStep {
+    /// Short stable name for logs and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeStep::Retry => "retry",
+            DegradeStep::Scalar => "scalar",
+            DegradeStep::Simple => "simple",
+            DegradeStep::Reference => "reference",
+        }
+    }
+}
+
+impl fmt::Display for DegradeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a board was shed instead of routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission gate's global in-flight unit budget was already
+    /// spoken for; the board never ran.
+    Admission,
+    /// The fleet-wide retry token bucket ran dry before this board's
+    /// retry could be scheduled (its failed attempts are in the journal).
+    RetryTokens,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Admission => write!(f, "admission budget"),
+            ShedReason::RetryTokens => write!(f, "retry tokens exhausted"),
+        }
+    }
+}
+
 /// What happened to one board of a fleet.
+#[must_use = "every board outcome must be inspected or counted — dropping one silently loses a served board's fate"]
 #[derive(Debug, Clone, PartialEq)]
 pub enum BoardOutcome {
     /// All jobs completed; results written back, bit-identical to the
@@ -54,6 +125,20 @@ pub enum BoardOutcome {
     /// The fleet deadline or this board's budget expired before every job
     /// of this board completed; geometry untouched.
     DeadlineExceeded,
+    /// The board failed its first attempt but recovered on retry rung
+    /// `step` (`fleet::resilience`); results are written back. `attempts`
+    /// counts every run including the first, so `2` means one retry.
+    /// Geometry is bit-identical to sequential for every rung except
+    /// [`DegradeStep::Reference`] (equivalent within tolerance there).
+    Degraded {
+        /// The ladder rung that recovered the board.
+        step: DegradeStep,
+        /// Total attempts run, including the first.
+        attempts: u32,
+    },
+    /// Overload control refused the board ([`ShedReason`] says which
+    /// budget); geometry untouched, never silently dropped.
+    Shed(ShedReason),
 }
 
 impl BoardOutcome {
@@ -61,6 +146,13 @@ impl BoardOutcome {
     #[inline]
     pub fn is_routed(&self) -> bool {
         matches!(self, BoardOutcome::Routed)
+    }
+
+    /// `true` when the board's results were written back —
+    /// [`BoardOutcome::Routed`] or [`BoardOutcome::Degraded`].
+    #[inline]
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, BoardOutcome::Routed | BoardOutcome::Degraded { .. })
     }
 }
 
@@ -72,6 +164,10 @@ impl fmt::Display for BoardOutcome {
             BoardOutcome::Failed(e) => write!(f, "failed: {e}"),
             BoardOutcome::Cancelled => write!(f, "cancelled"),
             BoardOutcome::DeadlineExceeded => write!(f, "deadline exceeded"),
+            BoardOutcome::Degraded { step, attempts } => {
+                write!(f, "degraded: recovered at `{step}` on attempt {attempts}")
+            }
+            BoardOutcome::Shed(r) => write!(f, "shed: {r}"),
         }
     }
 }
@@ -194,10 +290,54 @@ mod tests {
         );
         let failed = BoardOutcome::Failed(JobError::Panicked {
             group: 2,
+            unit: None,
             message: "boom".into(),
         });
         assert_eq!(failed.to_string(), "failed: group 2 panicked: boom");
+        let failed_at = BoardOutcome::Failed(JobError::Panicked {
+            group: 2,
+            unit: Some(3),
+            message: "boom".into(),
+        });
+        assert_eq!(
+            failed_at.to_string(),
+            "failed: group 2 panicked at unit 3: boom"
+        );
         assert!(BoardOutcome::Routed.is_routed());
         assert!(!failed.is_routed());
+        let degraded = BoardOutcome::Degraded {
+            step: DegradeStep::Scalar,
+            attempts: 3,
+        };
+        assert_eq!(
+            degraded.to_string(),
+            "degraded: recovered at `scalar` on attempt 3"
+        );
+        assert!(degraded.is_recovered() && !degraded.is_routed());
+        assert_eq!(
+            BoardOutcome::Shed(ShedReason::Admission).to_string(),
+            "shed: admission budget"
+        );
+        assert_eq!(
+            BoardOutcome::Shed(ShedReason::RetryTokens).to_string(),
+            "shed: retry tokens exhausted"
+        );
+    }
+
+    #[test]
+    fn degrade_steps_are_ordered_and_named() {
+        assert!(DegradeStep::Retry < DegradeStep::Scalar);
+        assert!(DegradeStep::Scalar < DegradeStep::Simple);
+        assert!(DegradeStep::Simple < DegradeStep::Reference);
+        let names: Vec<&str> = [
+            DegradeStep::Retry,
+            DegradeStep::Scalar,
+            DegradeStep::Simple,
+            DegradeStep::Reference,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(names, ["retry", "scalar", "simple", "reference"]);
     }
 }

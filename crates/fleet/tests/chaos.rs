@@ -142,8 +142,14 @@ fn panicking_and_malformed_boards_fail_alone() {
         // Process alive, one outcome per board.
         assert_eq!(report.outcomes.len(), 4, "workers={workers}");
         match &report.outcomes[1] {
-            BoardOutcome::Failed(JobError::Panicked { group, message }) => {
+            BoardOutcome::Failed(JobError::Panicked {
+                group,
+                unit,
+                message,
+            }) => {
                 assert_eq!(*group, 0, "first group panicked");
+                // The diagnostics pin the crash to the unit that was running.
+                assert_eq!(*unit, Some(0), "workers={workers}");
                 assert!(message.contains("injected fault"), "{message}");
             }
             other => panic!("workers={workers}: board 1 should fail, got {other:?}"),
