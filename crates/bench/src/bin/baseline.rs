@@ -1,21 +1,22 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! the DRC scan, and the **multi-board fleet engine** on the paper's cases
 //! plus the stress boards, for each engine configuration, and emits
-//! `BENCH_PR7.json` (schema v7) — the seventh point of the repo's
+//! `BENCH_PR8.json` (schema v8) — the eighth point of the repo's
 //! performance trajectory. The `fleet` section times a serving-size fleet
 //! routed per-board sequentially, batched without library sharing, and
 //! batched **with** the shared obstacle-library world
 //! (`meander_fleet::route_fleet` — bit-identical outputs, asserted here).
 //! The `hardening` section records the cancellation drain latency plus,
 //! with `--features fault`, an injected-panic smoke proving a crashing
-//! board costs one board. Schema v7 adds the **resilience** section: the
-//! happy-path overhead of `route_fleet_resilient` over the bare engine
-//! (the retry ladder's cost when nothing fails — target ≤ 2%), and, when
-//! built with `--features fault`, an injected-fault fleet where 25% of
-//! the boards hit a transient first-attempt panic — recording the
-//! retry/degrade/shed counters and the recovered-board rate (target:
-//! every board comes back Routed or Degraded, zero shed, zero process
-//! deaths). Printed deltas compare against the recorded `BENCH_PR6.json`.
+//! board costs one board; the `resilience` section measures the retry
+//! ladder's happy-path overhead and injected-fault recovery. Schema v8
+//! adds the **session** section: incremental re-routing through
+//! `FleetSession` on a 1000-board fleet at 1% churn — edits/sec against
+//! the from-scratch server (target ≥ 20×), the unit skip rate, and the
+//! touched-cell tracking overhead of the recording route over the plain
+//! one (target ≤ 3%; the plain path's own drift shows in the fleet rows'
+//! comparison). Printed deltas compare against the recorded
+//! `BENCH_PR7.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -63,12 +64,14 @@ use meander_drc::{
 #[cfg(feature = "fault")]
 use meander_fleet::FaultPlan;
 use meander_fleet::{
-    route_fleet, route_fleet_resilient, BoardSet, CancelToken, FleetConfig, RetryPolicy,
+    route_fleet, route_fleet_resilient, BoardSet, CancelToken, Edit, EditScope, FleetConfig,
+    FleetSession, RetryPolicy,
 };
 use meander_geom::batch::BatchStats;
+use meander_geom::Vector;
 use meander_layout::gen::{
-    fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case, table2_case,
-    FleetCase,
+    edit_stream, fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case,
+    table2_case, FleetCase,
 };
 use meander_layout::Board;
 use std::fmt::Write as _;
@@ -659,6 +662,151 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
     row
 }
 
+struct SessionRow {
+    name: String,
+    boards: usize,
+    units: usize,
+    /// Plain `route_fleet` of the same fleet — the from-scratch server
+    /// and the denominator of the tracking-overhead ratio.
+    plain_s: f64,
+    /// `FleetSession::new` — the same route with touched-cell recording.
+    init_s: f64,
+    cycles: usize,
+    edits_total: usize,
+    /// Mean wall clock of one `reroute_dirty` (one cycle's edits).
+    reroute_mean_s: f64,
+    edits_per_sec: f64,
+    /// What a from-scratch server manages: one full route per edit cycle.
+    edits_per_sec_scratch: f64,
+    units_dirty_total: usize,
+    units_skipped_total: usize,
+    cells_dirty_total: u64,
+}
+
+impl SessionRow {
+    fn tracking_overhead_pct(&self) -> f64 {
+        (self.init_s / self.plain_s.max(1e-12) - 1.0) * 100.0
+    }
+
+    fn speedup_vs_scratch(&self) -> f64 {
+        self.edits_per_sec / self.edits_per_sec_scratch.max(1e-12)
+    }
+
+    fn skip_rate_pct(&self) -> f64 {
+        let considered = self.units_dirty_total + self.units_skipped_total;
+        if considered == 0 {
+            return 0.0;
+        }
+        100.0 * self.units_skipped_total as f64 / considered as f64
+    }
+}
+
+/// Serves `cycles` batches of edits through a [`FleetSession`], timing
+/// each incremental re-route against the from-scratch full route, and
+/// asserts the final served state is bit-identical to from-scratch
+/// routing of the edited fleet.
+fn run_session_case(
+    name: &str,
+    make: impl Fn() -> FleetCase,
+    cycles: usize,
+    edits_for: impl Fn(&FleetCase, usize) -> Vec<Edit>,
+) -> SessionRow {
+    let config = FleetConfig {
+        extend: batched_config(),
+        workers: None,
+        share_library: true,
+        ..Default::default()
+    };
+    let fingerprint = |reports: &[Vec<meander_core::GroupReport>]| -> Vec<u64> {
+        reports
+            .iter()
+            .flatten()
+            .flat_map(|g| {
+                g.traces
+                    .iter()
+                    .map(|t| t.achieved.to_bits() ^ (t.patterns as u64) << 1)
+            })
+            .collect()
+    };
+
+    // From-scratch baseline: plain route, no touched-cell recording.
+    let case = make();
+    let t0 = Instant::now();
+    let mut plain_set = BoardSet::new(case.boards.clone());
+    let plain_report = route_fleet(&mut plain_set, &config);
+    let plain_s = t0.elapsed().as_secs_f64();
+    assert!(plain_report.all_routed(), "{name}: bench fleets are valid");
+
+    // Session init: the same route, recording each unit's touched cells.
+    let t0 = Instant::now();
+    let mut session = FleetSession::new(BoardSet::new(case.boards.clone()), &config);
+    let init_s = t0.elapsed().as_secs_f64();
+    let init_report = session.report();
+    assert!(init_report.all_routed(), "{name}: session init routes all");
+    let units = init_report.stats.units;
+
+    let mut reroute_total = 0.0f64;
+    let mut edits_total = 0usize;
+    let (mut dirty, mut skipped, mut cells) = (0usize, 0usize, 0u64);
+    for cycle in 0..cycles {
+        let edits = edits_for(&case, cycle);
+        edits_total += edits.len();
+        for e in edits {
+            let _ = session.apply_edit(e);
+        }
+        let t0 = Instant::now();
+        let report = session.reroute_dirty(&config);
+        reroute_total += t0.elapsed().as_secs_f64();
+        assert!(report.all_routed(), "{name}: serving fleet stays routed");
+        dirty += report.stats.units_dirty;
+        skipped += report.stats.units_skipped;
+        cells = cells.saturating_add(report.stats.cells_dirty);
+    }
+
+    // The whole point: the served state equals from-scratch, bit for bit.
+    let mut reference = BoardSet::new(session.pristine_boards());
+    let want = route_fleet(&mut reference, &config);
+    assert_eq!(
+        fingerprint(&want.reports),
+        fingerprint(&session.report().reports),
+        "{name}: incremental re-route must equal from-scratch routing"
+    );
+
+    let reroute_mean_s = reroute_total / cycles.max(1) as f64;
+    let edits_per_cycle = edits_total as f64 / cycles.max(1) as f64;
+    let row = SessionRow {
+        name: name.to_string(),
+        boards: case.boards.len(),
+        units,
+        plain_s,
+        init_s,
+        cycles,
+        edits_total,
+        reroute_mean_s,
+        edits_per_sec: edits_total as f64 / reroute_total.max(1e-12),
+        edits_per_sec_scratch: edits_per_cycle / plain_s.max(1e-12),
+        units_dirty_total: dirty,
+        units_skipped_total: skipped,
+        cells_dirty_total: cells,
+    };
+    println!(
+        "{:<18} full route {:>8.4}s  recorded init {:>8.4}s ({:+.2}% tracking)  reroute {:>8.5}s/cycle  \
+         {:>9.1} edits/s vs {:>7.2} from-scratch (x{:.1})  skip {:.1}% ({} dirty / {} skipped units)",
+        row.name,
+        row.plain_s,
+        row.init_s,
+        row.tracking_overhead_pct(),
+        row.reroute_mean_s,
+        row.edits_per_sec,
+        row.edits_per_sec_scratch,
+        row.speedup_vs_scratch(),
+        row.skip_rate_pct(),
+        row.units_dirty_total,
+        row.units_skipped_total,
+    );
+    row
+}
+
 struct CancelRow {
     fleet: String,
     boards: usize,
@@ -996,7 +1144,7 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR7.json".to_string()
+            "BENCH_PR8.json".to_string()
         }
     });
 
@@ -1029,9 +1177,9 @@ fn main() {
         }
         // Side-by-side vs the recorded prior baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr6 = parse_recorded("BENCH_PR6.json", "single_trace_extension", "batched_s");
+        let pr6 = parse_recorded("BENCH_PR7.json", "single_trace_extension", "batched_s");
         if !pr6.is_empty() {
-            println!("\n-- delta vs BENCH_PR6.json (recorded batched_s) --");
+            println!("\n-- delta vs BENCH_PR7.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
                 if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
@@ -1075,9 +1223,9 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr6 = parse_recorded("BENCH_PR6.json", "drc_scan", "rtree_s");
+        let pr6 = parse_recorded("BENCH_PR7.json", "drc_scan", "rtree_s");
         if !pr6.is_empty() {
-            println!("\n-- delta vs BENCH_PR6.json (recorded rtree_s) --");
+            println!("\n-- delta vs BENCH_PR7.json (recorded rtree_s) --");
             for r in &drc_rows {
                 if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
                     println!(
@@ -1090,9 +1238,9 @@ fn main() {
                 }
             }
         }
-        let pr6m = parse_recorded("BENCH_PR6.json", "group_matching", "rtree_s");
+        let pr6m = parse_recorded("BENCH_PR7.json", "group_matching", "rtree_s");
         if !pr6m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR6.json (recorded rtree_s) --");
+            println!("\n-- matching delta vs BENCH_PR7.json (recorded rtree_s) --");
             for r in &rows {
                 if let Some((_, old)) = pr6m.iter().find(|(n, _)| *n == r.name) {
                     println!(
@@ -1128,9 +1276,9 @@ fn main() {
     // Fleet drift against the recorded PR 6 rows (same engine shape both
     // sides — this PR adds recovery on top, so shared_s should hold).
     if !smoke {
-        let pr6f = parse_recorded("BENCH_PR6.json", "fleet", "shared_s");
+        let pr6f = parse_recorded("BENCH_PR7.json", "fleet", "shared_s");
         if !pr6f.is_empty() {
-            println!("\n-- fleet drift vs BENCH_PR6.json (recorded shared_s) --");
+            println!("\n-- fleet drift vs BENCH_PR7.json (recorded shared_s) --");
             for r in &fleet_rows {
                 if let Some((_, old)) = pr6f.iter().find(|(n, _)| *n == r.name) {
                     let overhead = r.shared_s / old.max(1e-12) - 1.0;
@@ -1146,6 +1294,43 @@ fn main() {
             }
         }
     }
+
+    println!("\n== session: incremental re-routing with damage tracking ==");
+    let session_row = if smoke {
+        // Small fleet, a real generated edit stream (structural edits and
+        // library-scope damage included) — keeps the serving path honest
+        // in CI without the 1000-board wall clock.
+        run_session_case(
+            "session:small:4",
+            || fleet_boards_small(4, 21, 42),
+            2,
+            |case, cycle| edit_stream(case, 42 + cycle as u64, 2),
+        )
+    } else {
+        // The headline: 1000 boards, 10 board-local obstacle moves per
+        // cycle = 1% churn, measured against the from-scratch server.
+        run_session_case(
+            "session:1000@1%",
+            || fleet_boards(1000, 21, 42),
+            4,
+            |case, cycle| {
+                let n = case.boards.len();
+                (0..10)
+                    .map(|e| {
+                        let k = cycle * 10 + e;
+                        Edit::MoveObstacle {
+                            scope: EditScope::Board((k * 97 + 13) % n),
+                            index: k * 31 + 7,
+                            by: Vector::new(
+                                1.5 + 0.25 * (k % 5) as f64,
+                                -1.0 + 0.5 * (k % 3) as f64,
+                            ),
+                        }
+                    })
+                    .collect()
+            },
+        )
+    };
 
     println!("\n== resilience: retry ladder happy path + injected-fault recovery ==");
     let resilience_row = if smoke {
@@ -1241,8 +1426,8 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/7\",");
-    let _ = writeln!(j, "  \"pr\": 7,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/8\",");
+    let _ = writeln!(j, "  \"pr\": 8,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -1395,6 +1580,36 @@ fn main() {
         );
     }
     let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"session\": {{");
+    let _ = writeln!(
+        j,
+        "    \"fleet\": \"{}\", \"boards\": {}, \"units\": {}, \"full_route_s\": {:.6}, \"recorded_init_s\": {:.6}, \"tracking_overhead_pct\": {:.3},",
+        session_row.name,
+        session_row.boards,
+        session_row.units,
+        session_row.plain_s,
+        session_row.init_s,
+        session_row.tracking_overhead_pct(),
+    );
+    let _ = writeln!(
+        j,
+        "    \"cycles\": {}, \"edits_total\": {}, \"reroute_mean_s\": {:.6}, \"edits_per_sec\": {:.3}, \"edits_per_sec_scratch\": {:.3}, \"speedup_vs_scratch\": {:.3},",
+        session_row.cycles,
+        session_row.edits_total,
+        session_row.reroute_mean_s,
+        session_row.edits_per_sec,
+        session_row.edits_per_sec_scratch,
+        session_row.speedup_vs_scratch(),
+    );
+    let _ = writeln!(
+        j,
+        "    \"units_dirty\": {}, \"units_skipped\": {}, \"skip_rate_pct\": {:.3}, \"cells_dirty\": {}",
+        session_row.units_dirty_total,
+        session_row.units_skipped_total,
+        session_row.skip_rate_pct(),
+        session_row.cells_dirty_total,
+    );
+    let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"drc_scan\": [");
     for (i, r) in drc_rows.iter().enumerate() {
         let _ = writeln!(

@@ -13,10 +13,13 @@
 
 use crate::config::ExtendConfig;
 use crate::context::WorldBase;
-use crate::extend::{extend_trace_shared, ExtendInput, ExtendOutcome};
+use crate::extend::{
+    extend_trace_shared, extend_trace_shared_recorded, ExtendInput, ExtendOutcome,
+};
 use crate::par::par_map;
 use meander_drc::virtualize_rules;
 use meander_geom::{Polygon, Polyline};
+use meander_index::CellTouches;
 use meander_layout::{Board, MatchGroup, TraceId};
 use meander_msdtw::{merge_pair, restore_pair, PairGeometry};
 use std::collections::HashSet;
@@ -84,6 +87,24 @@ pub struct UnitInput {
     kind: UnitKind,
 }
 
+impl UnitInput {
+    /// The group target length this unit extends toward.
+    #[inline]
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The design rules the unit's traces carry (a pair's *raw* rules —
+    /// the merged extension virtualizes them internally). This is the key
+    /// the fleet's per-`(library, rules)` `WorldBase` cache selects by.
+    #[inline]
+    pub fn rules(&self) -> &meander_drc::DesignRules {
+        match &self.kind {
+            UnitKind::Single { rules, .. } | UnitKind::Pair { rules, .. } => rules,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum UnitKind {
     Single {
@@ -105,8 +126,9 @@ enum UnitKind {
 }
 
 /// A unit's computed result, to be applied to the board in order by
-/// [`apply_outputs`].
-#[derive(Debug)]
+/// [`apply_outputs`]. `Clone` lets the serving loop retain outputs for
+/// units it later skips.
+#[derive(Debug, Clone)]
 pub struct UnitOutput {
     /// Busy time spent computing this unit.
     busy: Duration,
@@ -216,18 +238,19 @@ fn extend_pure(
     base: Option<&Arc<WorldBase>>,
     target: f64,
     config: &ExtendConfig,
+    touches: Option<&mut CellTouches>,
 ) -> (TraceReport, ExtendOutcome) {
-    let out = extend_trace_shared(
-        &ExtendInput {
-            trace,
-            target,
-            rules,
-            area,
-            obstacles,
-        },
-        config,
-        base,
-    );
+    let input = ExtendInput {
+        trace,
+        target,
+        rules,
+        area,
+        obstacles,
+    };
+    let out = match touches {
+        Some(rec) => extend_trace_shared_recorded(&input, config, base, rec),
+        None => extend_trace_shared(&input, config, base),
+    };
     (
         TraceReport {
             id,
@@ -255,6 +278,31 @@ pub fn run_unit_shared(
     base: Option<&Arc<WorldBase>>,
     config: &ExtendConfig,
 ) -> UnitOutput {
+    run_unit_shared_impl(unit, obstacles, base, config, None)
+}
+
+/// [`run_unit_shared`], recording the unit's touched lattice cells into
+/// `touches` (see [`extend_trace_shared_recorded`]). A pair unit records its
+/// merged extension and both fallback sub-extensions into the same set —
+/// the virtualized rules land on their own stratum. Output is bit-identical
+/// to [`run_unit_shared`].
+pub fn run_unit_shared_recorded(
+    unit: &UnitInput,
+    obstacles: &[Polygon],
+    base: Option<&Arc<WorldBase>>,
+    config: &ExtendConfig,
+    touches: &mut CellTouches,
+) -> UnitOutput {
+    run_unit_shared_impl(unit, obstacles, base, config, Some(touches))
+}
+
+fn run_unit_shared_impl(
+    unit: &UnitInput,
+    obstacles: &[Polygon],
+    base: Option<&Arc<WorldBase>>,
+    config: &ExtendConfig,
+    mut touches: Option<&mut CellTouches>,
+) -> UnitOutput {
     let start = Instant::now();
     let mut updates = Vec::new();
     let mut reports = Vec::new();
@@ -274,6 +322,7 @@ pub fn run_unit_shared(
                 base,
                 unit.target,
                 config,
+                touches.as_deref_mut(),
             );
             updates.push((*id, out.trace));
             reports.push(report);
@@ -292,17 +341,17 @@ pub fn run_unit_shared(
             let mut merged_ok = false;
             if let Ok(merged) = merge_pair(&geom) {
                 let vrules = virtualize_rules(rules, *sep);
-                let out = extend_trace_shared(
-                    &ExtendInput {
-                        trace: &merged.median,
-                        target: unit.target,
-                        rules: &vrules,
-                        area,
-                        obstacles,
-                    },
-                    config,
-                    base,
-                );
+                let input = ExtendInput {
+                    trace: &merged.median,
+                    target: unit.target,
+                    rules: &vrules,
+                    area,
+                    obstacles,
+                };
+                let out = match touches.as_deref_mut() {
+                    Some(rec) => extend_trace_shared_recorded(&input, config, base, rec),
+                    None => extend_trace_shared(&input, config, base),
+                };
                 if let Some((new_p, new_n)) = restore_pair(&out.trace, *sep) {
                     let (lp, ln) = (new_p.length(), new_n.length());
                     updates.push((*p, new_p));
@@ -337,6 +386,7 @@ pub fn run_unit_shared(
                         base,
                         unit.target,
                         config,
+                        touches.as_deref_mut(),
                     );
                     updates.push((sub, out.trace));
                     reports.push(report);

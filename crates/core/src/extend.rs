@@ -29,7 +29,7 @@ use crate::shrink::{
 use crate::tracebuf::TraceBuf;
 use meander_drc::DesignRules;
 use meander_geom::{Frame, Point, Polygon, Polyline, Rect};
-use meander_index::GridScratch;
+use meander_index::{CellTouches, GridScratch};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -79,6 +79,8 @@ struct EngineParams {
     h_min: f64,
     /// Effective centerline clearance (`d_gap` of the URA construction).
     g_eff: f64,
+    /// Obstacle inflation distance (the touched-set stratum component).
+    inflate: f64,
     /// Obstacles inflated to centerline terms.
     obstacles: Vec<Polygon>,
 }
@@ -103,6 +105,7 @@ impl EngineParams {
             tol,
             h_min,
             g_eff,
+            inflate,
             obstacles,
         }
     }
@@ -293,7 +296,7 @@ pub fn extend_trace_shared(
     match base {
         None => extend_trace(input, config),
         Some(b) if config.incremental && b.compatible(input.rules) => {
-            extend_trace_incremental_impl(input, config, Some(b))
+            extend_trace_incremental_impl(input, config, Some(b), None)
         }
         Some(b) => {
             // Deterministic fallback: the library becomes ordinary leading
@@ -311,15 +314,63 @@ pub fn extend_trace_shared(
     }
 }
 
+/// [`extend_trace_shared`], recording into `touches` the lattice cells every
+/// obstacle-candidate query spans — the remembered set the incremental
+/// serving loop (`meander-fleet`'s `FleetSession`) tests edits against.
+///
+/// Output is bit-identical to [`extend_trace_shared`]: recording observes
+/// the query windows, never alters them. Windows are recorded **unclamped**
+/// (the grid's occupied-bounds clamp is answer-preserving but its bounds
+/// shift under edits) on the `(world_cell, obstacle_inflation)` stratum of
+/// this trace's rules. Engine shapes whose obstacle influence is not
+/// funneled through [`WorldIndex::candidates`] — the rebuild engine — are
+/// conservatively recorded as [`CellTouches::mark_all`].
+pub fn extend_trace_shared_recorded(
+    input: &ExtendInput<'_>,
+    config: &ExtendConfig,
+    base: Option<&Arc<WorldBase>>,
+    touches: &mut CellTouches,
+) -> ExtendOutcome {
+    if !config.incremental {
+        // The rebuild engine clones the whole world per pop; no single query
+        // funnel to record. Mark everything: the unit re-routes on any edit.
+        touches.mark_all();
+        return extend_trace_shared(input, config, base);
+    }
+    match base {
+        Some(b) if b.compatible(input.rules) => {
+            extend_trace_incremental_impl(input, config, Some(b), Some(touches))
+        }
+        Some(b) => {
+            // Incompatible base: materialize the library (same fallback as
+            // the unrecorded path) and record through the monolithic index —
+            // candidate windows are identical either way.
+            let mut obstacles: Vec<Polygon> = b.raw().to_vec();
+            obstacles.extend(input.obstacles.iter().cloned());
+            extend_trace_incremental_impl(
+                &ExtendInput {
+                    obstacles: &obstacles,
+                    ..*input
+                },
+                config,
+                None,
+                Some(touches),
+            )
+        }
+        None => extend_trace_incremental_impl(input, config, None, Some(touches)),
+    }
+}
+
 /// The incremental engine (see the module docs).
 pub fn extend_trace_incremental(input: &ExtendInput<'_>, config: &ExtendConfig) -> ExtendOutcome {
-    extend_trace_incremental_impl(input, config, None)
+    extend_trace_incremental_impl(input, config, None, None)
 }
 
 fn extend_trace_incremental_impl(
     input: &ExtendInput<'_>,
     config: &ExtendConfig,
     base: Option<&Arc<WorldBase>>,
+    mut touches: Option<&mut CellTouches>,
 ) -> ExtendOutcome {
     let rules = input.rules;
     let params = EngineParams::derive(input, config);
@@ -382,6 +433,9 @@ fn extend_trace_incremental_impl(
         let hob_init = remaining / 2.0 + g2;
         let window = local_window_to_world(&frame, -g2, len + g2, hob_init);
 
+        if let Some(rec) = touches.as_deref_mut() {
+            rec.record(world_cell, params.inflate, &window);
+        }
         world.candidates(&window, &mut static_scratch, &mut edge_buf, &mut static_ids);
         // URA rectangles extend g_eff/2 from their segments.
         let ura_window = window.expanded(g2);

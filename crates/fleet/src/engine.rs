@@ -77,12 +77,15 @@ use crate::cancel::CancelToken;
 use crate::fault::FaultPlan;
 use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
 use crate::steal::{steal_try_map, JobStatus, StealCounters};
+use meander_core::context::{obstacle_inflation, world_cell};
 use meander_core::{
-    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, ExtendConfig, GroupReport,
-    UnitInput, UnitOutput, WorldBase,
+    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, DesignRules, ExtendConfig,
+    GroupReport, IndexKind, UnitInput, UnitOutput, WorldBase,
 };
 use meander_geom::Polygon;
-use meander_layout::{validate_board, validate_library, LibraryBoard, ValidationError};
+use meander_layout::{
+    validate_board, validate_library, LibraryBoard, ObstacleLibrary, ValidationError,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -222,6 +225,18 @@ pub struct FleetStats {
     /// Retry runs performed beyond each board's first attempt. Always
     /// zero for a bare [`route_fleet`].
     pub retries: u64,
+    /// Units whose touched-cell set intersected the damage of the edits a
+    /// serving re-route consumed (plus units of structurally edited
+    /// boards) — the units that actually re-ran. Always zero for a bare
+    /// [`route_fleet`]; `FleetSession::reroute_dirty` fills it in.
+    pub units_dirty: usize,
+    /// Units proven untouched by the damage and skipped (retained outputs
+    /// reused). Always zero for a bare [`route_fleet`].
+    pub units_skipped: usize,
+    /// Lattice cells covered by the consumed dirty sets, summed over
+    /// libraries, boards, and strata. Always zero for a bare
+    /// [`route_fleet`].
+    pub cells_dirty: u64,
     /// Busy time charged to each board (unit runtimes, indexed by
     /// submission order) — the per-board slice of the scheduler's busy
     /// total, and the quantity [`FleetConfig::board_budget`] meters.
@@ -271,9 +286,16 @@ impl FleetReport {
     /// `key=value` format.
     pub fn summary(&self) -> String {
         let s = &self.stats;
+        let considered = s.units_dirty + s.units_skipped;
+        let skip_rate = if considered > 0 {
+            100.0 * s.units_skipped as f64 / considered as f64
+        } else {
+            0.0
+        };
         format!(
             "fleet boards={} routed={} degraded={} rejected={} failed={} \
              cancelled={} deadline={} shed={} retries={} units={}/{} \
+             dirty={} skipped={} cells_dirty={} skip_rate={:.1}% \
              wall={:.3?} p99={:.3?}",
             s.boards,
             s.routed,
@@ -286,9 +308,81 @@ impl FleetReport {
             s.retries,
             s.units_run,
             s.units,
+            s.units_dirty,
+            s.units_skipped,
+            s.cells_dirty,
+            skip_rate,
             s.route_wall,
             s.latency.quantile_upper(0.99),
         )
+    }
+}
+
+/// Per-`(library, rules-derived lattice)` [`WorldBase`] cache.
+///
+/// Keyed on a caller-chosen library identity `K` (the engine uses the
+/// `Arc` pointer, the serving session its stable library slot) plus the
+/// bit patterns of the two floats [`WorldBase::compatible`] checks — the
+/// lattice cell and obstacle inflation derived from a rule set. Rule sets
+/// that derive the same floats share one base; a rules edit lands on a new
+/// key and builds (once) on demand.
+pub(crate) struct BaseCache<K> {
+    entries: Vec<((K, u64, u64), Arc<WorldBase>)>,
+    build_time: Duration,
+}
+
+impl<K: PartialEq + Copy> BaseCache<K> {
+    pub(crate) fn new() -> Self {
+        BaseCache {
+            entries: Vec::new(),
+            build_time: Duration::ZERO,
+        }
+    }
+
+    fn key(lib: K, rules: &DesignRules) -> (K, u64, u64) {
+        (
+            lib,
+            world_cell(rules).to_bits(),
+            obstacle_inflation(rules).to_bits(),
+        )
+    }
+
+    /// The cached base compatible with `rules`, if one was built.
+    pub(crate) fn lookup(&self, lib: K, rules: &DesignRules) -> Option<Arc<WorldBase>> {
+        let key = Self::key(lib, rules);
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, b)| Arc::clone(b))
+    }
+
+    /// Cached or freshly built base for `(lib, rules)`.
+    pub(crate) fn get_or_build(
+        &mut self,
+        lib: K,
+        rules: &DesignRules,
+        library: &ObstacleLibrary,
+        kind: IndexKind,
+    ) -> Arc<WorldBase> {
+        let key = Self::key(lib, rules);
+        if let Some((_, b)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(b);
+        }
+        let t0 = Instant::now();
+        let base = Arc::new(WorldBase::build(&library.polygons(), rules, kind));
+        self.build_time += t0.elapsed();
+        self.entries.push((key, Arc::clone(&base)));
+        base
+    }
+
+    /// Drops every entry of library `lib` — its polygon content changed.
+    pub(crate) fn invalidate(&mut self, lib: K) {
+        self.entries.retain(|((k, _, _), _)| *k != lib);
+    }
+
+    /// Total time spent building bases.
+    pub(crate) fn build_time(&self) -> Duration {
+        self.build_time
     }
 }
 
@@ -299,10 +393,12 @@ struct Job {
     group: usize,
     target: f64,
     units: Vec<UnitInput>,
+    /// Per-unit shared base (selected from the `(library, rules)` cache by
+    /// each unit's own rules; all `None` when sharing is off).
+    unit_bases: Vec<Option<Arc<WorldBase>>>,
     /// The obstacle polygons `run_unit_shared` sees: board-local only in
     /// shared mode, `library ++ local` when materialized.
     obstacles: Arc<Vec<Polygon>>,
-    base: Option<Arc<WorldBase>>,
     /// Global input-order index of this job (fault delay-at-pop and the
     /// unit-progress diagnostics key on it).
     job_index: u64,
@@ -434,33 +530,27 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         validation_wall = t0.elapsed();
     }
 
-    // ---- Shared worlds: one WorldBase per distinct library. -------------
-    // In shared mode, each distinct library with at least one routed
-    // trace gets a prebuilt base — rules come from the first trace of the
-    // first *valid* board using it (a rejected board's rules may be the
-    // very thing validation caught); units whose rules derive different
-    // inflation/lattice floats fall back to materialization inside the
-    // engine (bit-identical, just unamortized), so a mixed-rules fleet is
-    // correct — merely slower.
-    let mut bases: Vec<(LibKey, Arc<WorldBase>)> = Vec::new();
-    let mut base_build = Duration::ZERO;
+    // ---- Shared worlds: one WorldBase per (library, rules lattice). -----
+    // The cache keys on the floats `WorldBase::compatible` checks — the
+    // obstacle inflation and lattice cell each trace's rules derive — so a
+    // mixed-rules fleet (or a fleet that just took a `SetRules` edit)
+    // still shares: every rule set present on a valid board gets exactly
+    // one base per library, and each unit below selects the base its own
+    // rules are compatible with. Before this keying, off-rules units fell
+    // back to unamortized materialization (ROADMAP scenario item (a)).
+    let mut bases: BaseCache<LibKey> = BaseCache::new();
     if config.share_library {
-        for &(key, _) in &distinct {
-            let donor = set.boards.iter().enumerate().find_map(|(b, lb)| {
-                if rejected[b].is_some() || Arc::as_ptr(lb.library()) != key {
-                    return None;
-                }
-                lb.board().traces().next().map(|(_, t)| (lb, *t.rules()))
-            });
-            let Some((lb, rules)) = donor else {
-                continue; // no valid routed trace uses it: no rules to derive
-            };
-            let t0 = Instant::now();
-            let base = WorldBase::build(&lb.library().polygons(), &rules, config.extend.index);
-            base_build += t0.elapsed();
-            bases.push((key, Arc::new(base)));
+        for (b, lb) in set.boards.iter().enumerate() {
+            if rejected[b].is_some() {
+                continue;
+            }
+            let key = Arc::as_ptr(lb.library());
+            for (_, t) in lb.board().traces() {
+                bases.get_or_build(key, t.rules(), lb.library(), config.extend.index);
+            }
         }
     }
+    let base_build = bases.build_time();
 
     // ---- Flatten boards × groups into jobs (snapshot everything). -------
     let mut jobs: Vec<Job> = Vec::new();
@@ -478,27 +568,36 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             all.extend(gather_obstacles(lb.board()));
             Arc::new(all)
         };
-        let base = if config.share_library {
-            let key = Arc::as_ptr(lb.library());
-            bases
-                .iter()
-                .find(|(k, _)| *k == key)
-                .map(|(_, b)| Arc::clone(b))
-        } else {
-            None
-        };
+        let lib_key = Arc::as_ptr(lb.library());
         let planned = plan_board_units(lb.board());
         groups_per_board.push(planned.len());
         for (group, (target, units)) in planned.into_iter().enumerate() {
             let unit_base = units_total as u64;
             units_total += units.len();
+            // Per-unit base selection: the cache covers every rule set a
+            // valid board's traces carry, so in shared mode the lookup
+            // always hits (pairs route their merged median under
+            // *virtualized* rules and fall back to materialization inside
+            // the engine — same as before, bit-identical).
+            let unit_bases: Vec<Option<Arc<WorldBase>>> = if config.share_library {
+                units
+                    .iter()
+                    .map(|u| {
+                        let base = bases.lookup(lib_key, u.rules());
+                        debug_assert!(base.is_some(), "base cache covers all valid rules");
+                        base
+                    })
+                    .collect()
+            } else {
+                vec![None; units.len()]
+            };
             jobs.push(Job {
                 board: b,
                 group,
                 target,
                 units,
+                unit_bases,
                 obstacles: Arc::clone(&obstacles),
-                base: base.clone(),
                 job_index: jobs.len() as u64,
                 unit_base,
             });
@@ -547,7 +646,12 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
                     config.fault.attempt
                 );
             }
-            let out = run_unit_shared(&job.units[k], &job.obstacles, job.base.as_ref(), extend);
+            let out = run_unit_shared(
+                &job.units[k],
+                &job.obstacles,
+                job.unit_bases[k].as_ref(),
+                extend,
+            );
             control.charge(job.board, out.busy());
             outputs.push(out);
         }
@@ -659,6 +763,9 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             degraded: 0,
             shed: 0,
             retries: 0,
+            units_dirty: 0,
+            units_skipped: 0,
+            cells_dirty: 0,
             board_busy,
             validation_wall,
             base_build,

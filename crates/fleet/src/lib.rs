@@ -72,22 +72,27 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cancel;
+pub mod edit;
 pub mod engine;
 #[cfg(feature = "fault")]
 pub mod fault;
 pub mod outcome;
 pub mod repro;
 pub mod resilience;
+pub mod session;
 pub mod steal;
 
 pub use cancel::CancelToken;
+pub use edit::DamageReport;
 pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};
 #[cfg(feature = "fault")]
 pub use fault::FaultPlan;
+pub use meander_layout::{Edit, EditScope};
 pub use outcome::{BoardOutcome, DegradeStep, JobError, LatencyHistogram, ShedReason};
 pub use repro::MinimizedRepro;
 pub use resilience::{
     route_fleet_resilient, AdmissionPolicy, AttemptJournal, AttemptRecord, Quarantine,
     QuarantineEntry, ResilientReport, RetryPolicy,
 };
+pub use session::FleetSession;
 pub use steal::{steal_map, steal_try_map, JobPanic, JobStatus, StealCounters};

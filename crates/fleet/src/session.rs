@@ -1,0 +1,713 @@
+//! The serving loop: a long-lived [`FleetSession`] over a routed
+//! [`BoardSet`] that re-routes only what an edit touched.
+//!
+//! ## Why incremental re-routing is sound
+//!
+//! Candidacy in every spatial structure here is **lattice cell
+//! intersection** (PR 4's cross-index contract): an indexed edge is a
+//! candidate for a query window exactly when the cell range of its bbox
+//! intersects the cell range of the window. During routing every unit
+//! records the quantized span of each candidate-query window it issued
+//! ([`meander_index::CellTouches`], per `(cell, inflate)` stratum since
+//! diff pairs route under virtualized rules). An edit's damage is the
+//! quantized bbox of the old *and* new inflated obstacle geometry —
+//! inflated with the same `offset_convex` the index insertion uses, so
+//! the damage cells are a superset of every indexed-edge cell the edit
+//! changed.
+//!
+//! If a unit's touched set does not intersect the damage, then no
+//! candidate query the unit made would have answered differently against
+//! the edited world: the changed edges were never candidates for any of
+//! its windows (old position or new). Obstacles influence the recordable
+//! engine's output **only** through those candidate queries (a unit's
+//! other inputs — its own traces, rules, target — are snapshotted per
+//! unit), and the engine is deterministic, so replaying the unit would
+//! reproduce its output bit for bit. The session therefore reuses the
+//! retained output, and [`FleetSession::reroute_dirty`] is **bit-identical
+//! to from-scratch routing** of the edited set — property-tested in
+//! `tests/session.rs` across worker counts and both sharing modes.
+//!
+//! Engine shapes without the single query funnel (the rebuild engine,
+//! `incremental: false`) record a conservative `mark_all` and re-route on
+//! any damage. Structural edits ([`Edit::SetRules`],
+//! [`Edit::ReplaceBoard`]) bypass cell accounting: the board replans and
+//! re-routes wholesale. Validation verdicts are cached per library and
+//! per board and recomputed only for edited scopes — identical verdicts
+//! to the full pre-flight scan, without rescanning untouched boards.
+//!
+//! ## Lifecycle
+//!
+//! ```
+//! use meander_fleet::{FleetConfig, FleetSession, BoardSet};
+//! use meander_layout::gen::{fleet_boards_small, edit_stream};
+//!
+//! let case = fleet_boards_small(3, 7, 11);
+//! let config = FleetConfig { workers: Some(2), ..Default::default() };
+//! // Route the whole fleet once, recording touched cells per unit.
+//! let mut session = FleetSession::new(BoardSet::new(case.boards.clone()), &config);
+//! assert!(session.report().all_routed());
+//!
+//! // Serve edits: damage is accumulated per edit, consumed per re-route.
+//! for edit in edit_stream(&case, 42, 4) {
+//!     let damage = session.apply_edit(edit);
+//!     let _ = damage.boards_affected;
+//! }
+//! let report = session.reroute_dirty(&config);
+//! assert!(report.all_routed());
+//! // Only the damaged units re-ran; the rest kept their routed geometry.
+//! assert_eq!(
+//!     report.stats.units_dirty + report.stats.units_skipped,
+//!     report.stats.units,
+//! );
+//! ```
+
+use crate::edit::{add_damage, DamageReport};
+use crate::engine::{BaseCache, BoardSet, FleetConfig, FleetReport, FleetStats};
+use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
+use crate::steal::{steal_try_map, JobStatus, StealCounters};
+use meander_core::{
+    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared_recorded, CellTouches,
+    DirtyCells, GroupReport, StratumKey, UnitInput, UnitOutput, WorldBase,
+};
+use meander_geom::Polygon;
+use meander_layout::{
+    validate_board, validate_library, Board, Edit, EditScope, LibraryBoard, Obstacle,
+    ObstacleLibrary, ValidationError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One matching group's retained routing state: the planned units, their
+/// last outputs, and the cell sets their candidate queries touched.
+#[derive(Debug, Clone, Default)]
+struct GroupPlan {
+    target: f64,
+    units: Vec<UnitInput>,
+    outputs: Vec<Option<UnitOutput>>,
+    touches: Vec<CellTouches>,
+}
+
+/// One scheduled re-route: a single dirty unit, snapshotted. Finer-grained
+/// than the batch engine's `(board, group)` jobs — a serving re-route
+/// typically runs a handful of units, so per-unit scheduling keeps every
+/// worker busy even when one board absorbed all the damage.
+struct ReJob {
+    board: usize,
+    group: usize,
+    unit: usize,
+    input: UnitInput,
+    base: Option<Arc<WorldBase>>,
+    obstacles: Arc<Vec<Polygon>>,
+}
+
+/// A long-lived serving handle over a routed [`BoardSet`].
+///
+/// Holds the fleet twice: the **pristine** boards (as submitted, the
+/// canonical state edits apply to) and the **routed** set (pristine plus
+/// the last re-route's outputs). Between them sit the remembered sets:
+/// per-unit touched cells, per-library and per-board dirty cells, and
+/// per-board structural flags. See the [module docs](self) for the
+/// soundness argument.
+pub struct FleetSession {
+    /// Library table; `lib_of[b]` indexes into it. Slots are stable across
+    /// edits (a content edit swaps the `Arc` inside its slot).
+    libraries: Vec<Arc<ObstacleLibrary>>,
+    lib_of: Vec<usize>,
+    /// Canonical un-routed boards (local parts). Edits land here first.
+    pristine: Vec<Board>,
+    /// The served state: pristine + retained outputs, rebuilt per board
+    /// on re-route, obstacle edits mirrored in place between re-routes.
+    routed: BoardSet,
+    plans: Vec<Vec<GroupPlan>>,
+    /// Accumulated damage, consumed (and cleared) by `reroute_dirty`.
+    lib_dirty: Vec<DirtyCells>,
+    board_dirty: Vec<DirtyCells>,
+    /// Boards that must replan and re-route wholesale (rules / board
+    /// replacement edits, or a prior failure being retried).
+    structural: Vec<bool>,
+    /// Cached validation verdicts plus staleness markers — recomputed only
+    /// for edited scopes, so an untouched fleet pays no rescan.
+    lib_stale: Vec<bool>,
+    board_stale: Vec<bool>,
+    lib_verdict: Vec<Option<ValidationError>>,
+    board_verdict: Vec<Option<ValidationError>>,
+    /// Union of every retained unit's touched strata: the lattices damage
+    /// must be quantized on. Empty ⇒ damage degrades to `mark_all`.
+    strata: Vec<StratumKey>,
+    /// Per-`(library slot, rules lattice)` shared bases, kept warm across
+    /// re-routes; invalidated when a library's content changes.
+    bases: BaseCache<usize>,
+    /// Last re-route's results, reused for skipped boards.
+    cached_reports: Vec<Vec<GroupReport>>,
+    outcomes: Vec<BoardOutcome>,
+    last_stats: FleetStats,
+}
+
+impl FleetSession {
+    /// Routes `set` from scratch (recording touched cells) and wraps it in
+    /// a serving handle. The initial route's results are available via
+    /// [`FleetSession::report`].
+    pub fn new(set: BoardSet, config: &FleetConfig) -> FleetSession {
+        let n = set.len();
+        let mut libraries: Vec<Arc<ObstacleLibrary>> = Vec::new();
+        let mut lib_of = Vec::with_capacity(n);
+        for lb in set.boards() {
+            let key = Arc::as_ptr(lb.library());
+            let slot = libraries
+                .iter()
+                .position(|l| Arc::as_ptr(l) == key)
+                .unwrap_or_else(|| {
+                    libraries.push(Arc::clone(lb.library()));
+                    libraries.len() - 1
+                });
+            lib_of.push(slot);
+        }
+        let pristine: Vec<Board> = set.boards().iter().map(|lb| lb.board().clone()).collect();
+        let nl = libraries.len();
+        let mut session = FleetSession {
+            libraries,
+            lib_of,
+            pristine,
+            routed: set,
+            plans: vec![Vec::new(); n],
+            lib_dirty: vec![DirtyCells::new(); nl],
+            board_dirty: vec![DirtyCells::new(); n],
+            structural: vec![true; n],
+            lib_stale: vec![true; nl],
+            board_stale: vec![true; n],
+            lib_verdict: vec![None; nl],
+            board_verdict: vec![None; n],
+            strata: Vec::new(),
+            bases: BaseCache::new(),
+            cached_reports: vec![Vec::new(); n],
+            outcomes: vec![BoardOutcome::Routed; n],
+            last_stats: FleetStats::default(),
+        };
+        // The initial route is "everything structural" through the same
+        // path serving re-routes take — one code path, one semantics.
+        let _ = session.reroute_inner(config);
+        session
+    }
+
+    /// The served (routed) state.
+    pub fn boards(&self) -> &BoardSet {
+        &self.routed
+    }
+
+    /// The canonical pre-route state with every applied edit: what a
+    /// from-scratch [`crate::route_fleet`] of "the fleet as edited" would
+    /// take as input. The equality property in `tests/session.rs` routes
+    /// exactly this.
+    pub fn pristine_boards(&self) -> Vec<LibraryBoard> {
+        self.pristine
+            .iter()
+            .zip(&self.lib_of)
+            .map(|(b, &slot)| LibraryBoard::new(Arc::clone(&self.libraries[slot]), b.clone()))
+            .collect()
+    }
+
+    /// `true` when damage or structural edits are waiting for a
+    /// [`FleetSession::reroute_dirty`].
+    pub fn pending(&self) -> bool {
+        self.structural.iter().any(|&s| s)
+            || self.lib_dirty.iter().any(|d| !d.is_empty())
+            || self.board_dirty.iter().any(|d| !d.is_empty())
+    }
+
+    /// The last re-route's report (cloned from the retained state).
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            reports: self.cached_reports.clone(),
+            outcomes: self.outcomes.clone(),
+            stats: self.last_stats.clone(),
+        }
+    }
+
+    /// Applies one edit to the pristine fleet and accumulates its damage
+    /// into the dirty sets — O(strata) bitmap work, no routing. Indices
+    /// are taken modulo the current collection length and removals from
+    /// empty collections are no-ops (see [`meander_layout::edit`]), so any
+    /// generated edit is applicable in any order.
+    pub fn apply_edit(&mut self, edit: Edit) -> DamageReport {
+        let n = self.pristine.len();
+        if n == 0 {
+            return DamageReport::default();
+        }
+        match edit {
+            Edit::MoveObstacle { scope, index, by } => match scope {
+                EditScope::Board(b) => {
+                    let b = b % n;
+                    let len = self.pristine[b].obstacles().len();
+                    if len == 0 {
+                        return DamageReport::default();
+                    }
+                    let idx = index % len;
+                    let old = self.pristine[b].obstacles()[idx].clone();
+                    let new = old.translated(by);
+                    self.edit_board_obstacle(b, idx, Some(new.clone()));
+                    self.board_damage(b, &[old.polygon(), new.polygon()], 1)
+                }
+                EditScope::Library(slot) => {
+                    let slot = slot % self.libraries.len();
+                    let len = self.libraries[slot].len();
+                    if len == 0 {
+                        return DamageReport::default();
+                    }
+                    let idx = index % len;
+                    let mut obs = self.libraries[slot].obstacles().to_vec();
+                    let old = obs[idx].clone();
+                    let new = old.translated(by);
+                    obs[idx] = new.clone();
+                    self.replace_library(slot, obs);
+                    self.library_damage(slot, &[old.polygon(), new.polygon()])
+                }
+            },
+            Edit::AddObstacle { scope, obstacle } => match scope {
+                EditScope::Board(b) => {
+                    let b = b % n;
+                    self.pristine[b].add_obstacle(obstacle.clone());
+                    if !self.structural[b] {
+                        self.routed.boards_mut()[b]
+                            .board_mut()
+                            .add_obstacle(obstacle.clone());
+                    }
+                    self.board_damage(b, &[obstacle.polygon()], 1)
+                }
+                EditScope::Library(slot) => {
+                    let slot = slot % self.libraries.len();
+                    let mut obs = self.libraries[slot].obstacles().to_vec();
+                    obs.push(obstacle.clone());
+                    self.replace_library(slot, obs);
+                    self.library_damage(slot, &[obstacle.polygon()])
+                }
+            },
+            Edit::RemoveObstacle { scope, index } => match scope {
+                EditScope::Board(b) => {
+                    let b = b % n;
+                    let len = self.pristine[b].obstacles().len();
+                    if len == 0 {
+                        return DamageReport::default();
+                    }
+                    let idx = index % len;
+                    let old = self
+                        .edit_board_obstacle(b, idx, None)
+                        .expect("index in range");
+                    self.board_damage(b, &[old.polygon()], 1)
+                }
+                EditScope::Library(slot) => {
+                    let slot = slot % self.libraries.len();
+                    let len = self.libraries[slot].len();
+                    if len == 0 {
+                        return DamageReport::default();
+                    }
+                    let idx = index % len;
+                    let mut obs = self.libraries[slot].obstacles().to_vec();
+                    let old = obs.remove(idx);
+                    self.replace_library(slot, obs);
+                    self.library_damage(slot, &[old.polygon()])
+                }
+            },
+            Edit::SetRules { board, rules } => {
+                let b = board % n;
+                let ids: Vec<_> = self.pristine[b].traces().map(|(id, _)| id).collect();
+                for id in ids {
+                    if let Some(t) = self.pristine[b].trace_mut(id) {
+                        t.set_rules(rules);
+                    }
+                }
+                self.mark_structural(b)
+            }
+            Edit::ReplaceBoard { board, replacement } => {
+                let b = board % n;
+                self.pristine[b] = *replacement;
+                self.mark_structural(b)
+            }
+        }
+    }
+
+    /// Re-routes exactly the units whose touched cells intersect the
+    /// accumulated damage (plus structurally edited boards, wholesale),
+    /// reusing retained outputs for everything else. Consumes and clears
+    /// the dirty sets. The resulting fleet state and report are
+    /// bit-identical to a from-scratch [`crate::route_fleet`] of
+    /// [`FleetSession::pristine_boards`] under the same config (wall-clock
+    /// stats excluded, as ever).
+    ///
+    /// `config.deadline` / `config.board_budget` / `config.cancel` are not
+    /// consulted here: a serving re-route is bounded by its damage, which
+    /// the caller already metered through [`FleetSession::apply_edit`].
+    pub fn reroute_dirty(&mut self, config: &FleetConfig) -> FleetReport {
+        self.reroute_inner(config)
+    }
+
+    // ---- Edit plumbing. --------------------------------------------------
+
+    /// Replaces (`Some`) or removes (`None`) obstacle `idx` of board `b`,
+    /// mirrored into the routed twin while the twin's obstacle list is in
+    /// sync (it is unless the board has a structural re-route pending —
+    /// then the twin is rebuilt wholesale on the next re-route anyway).
+    fn edit_board_obstacle(
+        &mut self,
+        b: usize,
+        idx: usize,
+        new: Option<Obstacle>,
+    ) -> Option<Obstacle> {
+        let old = match &new {
+            Some(o) => self.pristine[b].replace_obstacle(idx, o.clone()),
+            None => self.pristine[b].remove_obstacle(idx),
+        };
+        if !self.structural[b] {
+            let twin = self.routed.boards_mut()[b].board_mut();
+            match new {
+                Some(o) => drop(twin.replace_obstacle(idx, o)),
+                None => drop(twin.remove_obstacle(idx)),
+            }
+        }
+        old
+    }
+
+    /// Swaps library `slot`'s content: new `Arc`, rebind every referencing
+    /// board's routed twin, invalidate the slot's shared bases, mark the
+    /// slot's validation verdict stale.
+    fn replace_library(&mut self, slot: usize, obstacles: Vec<Obstacle>) {
+        let lib = Arc::new(ObstacleLibrary::new(obstacles));
+        self.libraries[slot] = Arc::clone(&lib);
+        for (b, &s) in self.lib_of.iter().enumerate() {
+            if s == slot {
+                self.routed.boards_mut()[b].set_library(Arc::clone(&lib));
+            }
+        }
+        self.bases.invalidate(slot);
+        self.lib_stale[slot] = true;
+    }
+
+    fn board_damage(&mut self, b: usize, polys: &[&Polygon], affected: usize) -> DamageReport {
+        self.board_stale[b] = true;
+        let grew = add_damage(&mut self.board_dirty[b], &self.strata, polys);
+        DamageReport {
+            boards_affected: affected,
+            cells_dirty: grew,
+            structural: false,
+        }
+    }
+
+    fn library_damage(&mut self, slot: usize, polys: &[&Polygon]) -> DamageReport {
+        let grew = add_damage(&mut self.lib_dirty[slot], &self.strata, polys);
+        DamageReport {
+            boards_affected: self.lib_of.iter().filter(|&&s| s == slot).count(),
+            cells_dirty: grew,
+            structural: false,
+        }
+    }
+
+    fn mark_structural(&mut self, b: usize) -> DamageReport {
+        self.structural[b] = true;
+        self.board_stale[b] = true;
+        DamageReport {
+            boards_affected: 1,
+            cells_dirty: 0,
+            structural: true,
+        }
+    }
+
+    // ---- The re-route. ---------------------------------------------------
+
+    fn reroute_inner(&mut self, config: &FleetConfig) -> FleetReport {
+        let n = self.pristine.len();
+        let workers = config
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|w| w.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+
+        // Refresh validation verdicts for edited scopes only. Verdicts are
+        // deterministic in content, so cached ones equal what the batch
+        // engine's full pre-flight scan would recompute.
+        let mut validation_wall = Duration::ZERO;
+        if config.validate {
+            let t0 = Instant::now();
+            for slot in 0..self.libraries.len() {
+                if self.lib_stale[slot] {
+                    self.lib_verdict[slot] = validate_library(&self.libraries[slot]).err();
+                    self.lib_stale[slot] = false;
+                }
+            }
+            for b in 0..n {
+                if self.board_stale[b] {
+                    self.board_verdict[b] = validate_board(&self.pristine[b]).err();
+                    self.board_stale[b] = false;
+                }
+            }
+            validation_wall = t0.elapsed();
+        }
+
+        // The damage this re-route consumes (stat, before clearing).
+        let cells_dirty = self
+            .lib_dirty
+            .iter()
+            .chain(self.board_dirty.iter())
+            .fold(0u64, |acc, d| acc.saturating_add(d.cells()));
+
+        // ---- Classify: rejected / full re-route / per-unit dirty test. --
+        let mut dirty_units: Vec<(usize, usize, usize)> = Vec::new();
+        for b in 0..n {
+            let verdict = if config.validate {
+                self.lib_verdict[self.lib_of[b]]
+                    .clone()
+                    .or_else(|| self.board_verdict[b].clone())
+            } else {
+                None
+            };
+            if let Some(err) = verdict {
+                // Rejected: geometry reverts to pristine (exactly what the
+                // batch engine leaves untouched), retained state dropped.
+                // Empty plans mark the board for a full replan if a later
+                // edit makes it valid again.
+                if !matches!(self.outcomes[b], BoardOutcome::Rejected(_)) {
+                    self.routed.boards_mut()[b] = LibraryBoard::new(
+                        Arc::clone(&self.libraries[self.lib_of[b]]),
+                        self.pristine[b].clone(),
+                    );
+                }
+                self.plans[b].clear();
+                self.cached_reports[b].clear();
+                self.outcomes[b] = BoardOutcome::Rejected(err);
+                self.structural[b] = false;
+                continue;
+            }
+            if self.structural[b] || self.plans[b].is_empty() {
+                self.plans[b] = plan_board_units(&self.pristine[b])
+                    .into_iter()
+                    .map(|(target, units)| GroupPlan {
+                        target,
+                        outputs: vec![None; units.len()],
+                        touches: vec![CellTouches::new(); units.len()],
+                        units,
+                    })
+                    .collect();
+                for (g, gp) in self.plans[b].iter().enumerate() {
+                    for u in 0..gp.units.len() {
+                        dirty_units.push((b, g, u));
+                    }
+                }
+            } else {
+                let slot = self.lib_of[b];
+                for (g, gp) in self.plans[b].iter().enumerate() {
+                    for u in 0..gp.units.len() {
+                        if gp.outputs[u].is_none()
+                            || gp.touches[u].intersects(&self.lib_dirty[slot])
+                            || gp.touches[u].intersects(&self.board_dirty[b])
+                        {
+                            dirty_units.push((b, g, u));
+                        }
+                    }
+                }
+            }
+        }
+        let units_total: usize = self
+            .plans
+            .iter()
+            .flat_map(|groups| groups.iter().map(|gp| gp.units.len()))
+            .sum();
+
+        // ---- Shared bases for the dirty units (cache kept warm). --------
+        let base_before = self.bases.build_time();
+        if config.share_library {
+            for &(b, g, u) in &dirty_units {
+                let slot = self.lib_of[b];
+                self.bases.get_or_build(
+                    slot,
+                    self.plans[b][g].units[u].rules(),
+                    &self.libraries[slot],
+                    config.extend.index,
+                );
+            }
+        }
+        let base_build = self.bases.build_time() - base_before;
+
+        // ---- Snapshot the dirty units into per-unit jobs. ----------------
+        let mut board_obstacles: Vec<Option<Arc<Vec<Polygon>>>> = vec![None; n];
+        let mut jobs: Vec<ReJob> = Vec::with_capacity(dirty_units.len());
+        for &(b, g, u) in &dirty_units {
+            let slot = self.lib_of[b];
+            let obstacles = board_obstacles[b]
+                .get_or_insert_with(|| {
+                    // Snapshot from the *pristine* board — the batch engine
+                    // gathers from its (un-routed) input exactly the same.
+                    Arc::new(if config.share_library {
+                        gather_obstacles(&self.pristine[b])
+                    } else {
+                        let mut all = self.libraries[slot].polygons();
+                        all.extend(gather_obstacles(&self.pristine[b]));
+                        all
+                    })
+                })
+                .clone();
+            let input = self.plans[b][g].units[u].clone();
+            let base = if config.share_library {
+                self.bases.lookup(slot, input.rules())
+            } else {
+                None
+            };
+            jobs.push(ReJob {
+                board: b,
+                group: g,
+                unit: u,
+                input,
+                base,
+                obstacles,
+            });
+        }
+
+        // ---- Route the dirty units on the work-stealing pool. ------------
+        let extend = &config.extend;
+        let t0 = Instant::now();
+        let (statuses, scheduler) = if jobs.is_empty() {
+            (Vec::new(), StealCounters::default())
+        } else {
+            steal_try_map(&jobs, workers, None, |job: &ReJob| {
+                let t_job = Instant::now();
+                let mut touches = CellTouches::new();
+                let out = run_unit_shared_recorded(
+                    &job.input,
+                    &job.obstacles,
+                    job.base.as_ref(),
+                    extend,
+                    &mut touches,
+                );
+                (out, touches, t_job.elapsed())
+            })
+        };
+        let route_wall = t0.elapsed();
+
+        // ---- Harvest: outputs + touches back into the plans. -------------
+        let mut failed: Vec<Option<JobError>> = vec![None; n];
+        let mut units_run = 0usize;
+        let mut latency = LatencyHistogram::default();
+        let mut board_busy: Vec<Duration> = vec![Duration::ZERO; n];
+        for (job, status) in jobs.iter().zip(statuses) {
+            match status {
+                JobStatus::Done((out, touches, elapsed)) => {
+                    units_run += 1;
+                    latency.record(elapsed);
+                    board_busy[job.board] += out.busy();
+                    let gp = &mut self.plans[job.board][job.group];
+                    gp.outputs[job.unit] = Some(out);
+                    gp.touches[job.unit] = touches;
+                }
+                JobStatus::Panicked(p) => {
+                    failed[job.board].get_or_insert(JobError::Panicked {
+                        group: job.group,
+                        unit: Some(job.unit as u64),
+                        message: p.message(),
+                    });
+                }
+                // No stop predicate is passed, so nothing is ever skipped.
+                JobStatus::Skipped => unreachable!("session re-routes run without a stop signal"),
+            }
+        }
+
+        // ---- Per-board write-back (atomic: pristine + all outputs). ------
+        let mut touched: Vec<bool> = vec![false; n];
+        for &(b, _, _) in &dirty_units {
+            touched[b] = true;
+        }
+        for b in 0..n {
+            if matches!(self.outcomes[b], BoardOutcome::Rejected(_)) && self.plans[b].is_empty() {
+                continue;
+            }
+            if let Some(err) = failed[b].take() {
+                // Failure domain = one board: revert it to pristine, drop
+                // retained state, retry wholesale on the next re-route.
+                self.routed.boards_mut()[b] = LibraryBoard::new(
+                    Arc::clone(&self.libraries[self.lib_of[b]]),
+                    self.pristine[b].clone(),
+                );
+                self.plans[b].clear();
+                self.cached_reports[b].clear();
+                self.outcomes[b] = BoardOutcome::Failed(err);
+                self.structural[b] = true;
+                continue;
+            }
+            if !touched[b] {
+                continue; // clean board: routed state and report retained
+            }
+            let mut board = self.pristine[b].clone();
+            let mut reports_b = Vec::with_capacity(self.plans[b].len());
+            for gp in &self.plans[b] {
+                let outputs: Vec<UnitOutput> = gp
+                    .outputs
+                    .iter()
+                    .map(|o| {
+                        o.clone()
+                            .expect("every unit of a non-failed board has output")
+                    })
+                    .collect();
+                let (traces, busy) = apply_outputs(&mut board, outputs);
+                reports_b.push(GroupReport {
+                    target: gp.target,
+                    traces,
+                    runtime: busy,
+                });
+            }
+            self.routed.boards_mut()[b] =
+                LibraryBoard::new(Arc::clone(&self.libraries[self.lib_of[b]]), board);
+            self.cached_reports[b] = reports_b;
+            self.outcomes[b] = BoardOutcome::Routed;
+            self.structural[b] = false;
+        }
+
+        // ---- Refresh the stratum union; consume the damage. --------------
+        self.strata.clear();
+        for groups in &self.plans {
+            for gp in groups {
+                for t in &gp.touches {
+                    for key in t.strata() {
+                        if !self.strata.contains(&key) {
+                            self.strata.push(key);
+                        }
+                    }
+                }
+            }
+        }
+        for d in &mut self.lib_dirty {
+            d.clear();
+        }
+        for d in &mut self.board_dirty {
+            d.clear();
+        }
+
+        // ---- Report. -----------------------------------------------------
+        let count =
+            |pred: fn(&BoardOutcome) -> bool| self.outcomes.iter().filter(|o| pred(o)).count();
+        self.last_stats = FleetStats {
+            boards: n,
+            jobs: jobs.len(),
+            units: units_total,
+            units_run,
+            libraries: self.libraries.len(),
+            library_polygons: self.libraries.iter().map(|l| l.len()).sum(),
+            routed: count(BoardOutcome::is_routed),
+            rejected: count(|o| matches!(o, BoardOutcome::Rejected(_))),
+            failed: count(|o| matches!(o, BoardOutcome::Failed(_))),
+            cancelled: 0,
+            deadline_exceeded: 0,
+            degraded: 0,
+            shed: 0,
+            retries: 0,
+            units_dirty: jobs.len(),
+            units_skipped: units_total.saturating_sub(jobs.len()),
+            cells_dirty,
+            board_busy,
+            validation_wall,
+            base_build,
+            route_wall,
+            latency,
+            scheduler,
+        };
+        self.report()
+    }
+}

@@ -47,9 +47,11 @@ pub mod msegtree;
 pub mod overlay;
 pub mod rtree;
 pub mod spatial;
+pub mod touch;
 
 pub use grid::{GridScratch, SegmentGrid};
 pub use msegtree::MergeSortTree;
 pub use overlay::OverlayIndex;
 pub use rtree::RTree;
 pub use spatial::{IndexKind, SegIndex, SpatialIndex};
+pub use touch::{quantize, CellTouches, DirtyCells, StratumKey};

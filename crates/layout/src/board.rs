@@ -94,6 +94,26 @@ impl Board {
         &self.obstacles
     }
 
+    /// Replaces the obstacle at `idx` in place (position — and therefore
+    /// the polygon id every routed trace saw it under — is preserved).
+    /// Returns the old obstacle, or `None` when `idx` is out of range.
+    pub fn replace_obstacle(&mut self, idx: usize, o: Obstacle) -> Option<Obstacle> {
+        let slot = self.obstacles.get_mut(idx)?;
+        Some(std::mem::replace(slot, o))
+    }
+
+    /// Removes and returns the obstacle at `idx`, preserving the relative
+    /// order of the rest (edits must keep id order stable for the
+    /// incremental serving loop's candidacy argument). `None` when out of
+    /// range.
+    pub fn remove_obstacle(&mut self, idx: usize) -> Option<Obstacle> {
+        if idx < self.obstacles.len() {
+            Some(self.obstacles.remove(idx))
+        } else {
+            None
+        }
+    }
+
     /// Adds a matching group.
     pub fn add_group(&mut self, g: MatchGroup) {
         self.groups.push(g);

@@ -42,7 +42,8 @@ pub struct FleetCase {
 }
 
 /// Geometry shared with the stress generators (`d_gap`, stair run, riser).
-const DGAP: f64 = 8.0;
+/// `pub(super)` so the edit-stream generator perturbs on the same scale.
+pub(super) const DGAP: f64 = 8.0;
 const RUN: f64 = 56.0;
 const RISE: f64 = 10.0;
 
@@ -55,7 +56,7 @@ struct FleetDims {
     max_local_vias: usize,
 }
 
-fn fleet_rules() -> DesignRules {
+pub(super) fn fleet_rules() -> DesignRules {
     let width = DGAP / 2.0;
     DesignRules {
         gap: DGAP,
@@ -118,8 +119,9 @@ fn sample_vias(
 }
 
 /// Mixes a board index into the per-board seed stream (splitmix-style), so
-/// board `b` of a fleet is the same whatever `n_boards` is.
-fn board_seed(per_board_seed: u64, b: usize) -> u64 {
+/// board `b` of a fleet is the same whatever `n_boards` is. The edit-stream
+/// generator reuses the same mixer for per-edit seeds (prefix stability).
+pub(super) fn board_seed(per_board_seed: u64, b: usize) -> u64 {
     let mut z = per_board_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

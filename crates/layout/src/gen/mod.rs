@@ -10,6 +10,7 @@
 
 pub mod anyangle;
 pub mod diffpair;
+pub mod edits;
 pub mod fleet;
 pub mod stress;
 pub mod table1;
@@ -17,6 +18,7 @@ pub mod table2;
 
 pub use anyangle::any_angle_bus;
 pub use diffpair::{decoupled_pair, DecoupledPairCase};
+pub use edits::{edit_stream, nth_edit};
 pub use fleet::{fleet_boards, fleet_boards_small, FleetCase};
 pub use stress::{stress_board, stress_mixed_board, StressCase};
 pub use table1::{table1_case, Table1Case};

@@ -41,6 +41,7 @@
 pub mod area;
 pub mod board;
 pub mod diffpair;
+pub mod edit;
 pub mod gen;
 pub mod group;
 pub mod io;
@@ -53,6 +54,7 @@ pub mod validate;
 pub use area::RoutableArea;
 pub use board::Board;
 pub use diffpair::DiffPair;
+pub use edit::{Edit, EditScope};
 pub use group::{MatchGroup, TargetLength};
 pub use library::{LibraryBoard, ObstacleLibrary};
 pub use obstacle::{Obstacle, ObstacleKind};

@@ -102,6 +102,13 @@ impl LibraryBoard {
         &mut self.board
     }
 
+    /// Rebinds the board to a different (typically edited) library. The
+    /// serving loop's library edits build a fresh `Arc` and swing every
+    /// referencing board over to it.
+    pub fn set_library(&mut self, library: Arc<ObstacleLibrary>) {
+        self.library = library;
+    }
+
     /// Materializes a standalone [`Board`]: the library's obstacles first,
     /// then the board-local ones — the reference order the shared routing
     /// path is bit-identical to.

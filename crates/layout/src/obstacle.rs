@@ -65,6 +65,15 @@ impl Obstacle {
         &self.polygon
     }
 
+    /// The obstacle translated by `v` (kind preserved) — the geometry of a
+    /// "move" edit.
+    pub fn translated(&self, v: meander_geom::Vector) -> Obstacle {
+        Obstacle {
+            polygon: self.polygon.translated(v),
+            kind: self.kind,
+        }
+    }
+
     /// The obstacle kind.
     #[inline]
     pub fn kind(&self) -> ObstacleKind {
