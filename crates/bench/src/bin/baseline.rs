@@ -1,7 +1,7 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! the DRC scan, and the **multi-board fleet engine** on the paper's cases
 //! plus the stress boards, for each engine configuration, and emits
-//! `BENCH_PR8.json` (schema v8) — the eighth point of the repo's
+//! `BENCH_PR9.json` (schema v9) — the ninth point of the repo's
 //! performance trajectory. The `fleet` section times a serving-size fleet
 //! routed per-board sequentially, batched without library sharing, and
 //! batched **with** the shared obstacle-library world
@@ -9,14 +9,18 @@
 //! The `hardening` section records the cancellation drain latency plus,
 //! with `--features fault`, an injected-panic smoke proving a crashing
 //! board costs one board; the `resilience` section measures the retry
-//! ladder's happy-path overhead and injected-fault recovery. Schema v8
-//! adds the **session** section: incremental re-routing through
-//! `FleetSession` on a 1000-board fleet at 1% churn — edits/sec against
-//! the from-scratch server (target ≥ 20×), the unit skip rate, and the
-//! touched-cell tracking overhead of the recording route over the plain
-//! one (target ≤ 3%; the plain path's own drift shows in the fleet rows'
-//! comparison). Printed deltas compare against the recorded
-//! `BENCH_PR7.json`.
+//! ladder's happy-path overhead and injected-fault recovery; the
+//! `session` section measures incremental re-routing through
+//! `FleetSession` on a 1000-board fleet at 1% churn. Schema v9 adds the
+//! **cache** section: the content-addressed result cache on a 1000-board
+//! duplicate-heavy fleet (`dup_fleet_boards`, dup rate 0.9) — boards/sec
+//! uncached vs cold (populating) vs warm (serving), the warm-pass hit
+//! rate (asserted ≥ 90%, with warm throughput ≥ 3× uncached), and the
+//! invalidation precision of a single library edit (a corridor-local via
+//! move must invalidate < 20% of the entries, counter-asserted; the rest
+//! survive re-keyed under the new Merkle root). Every pass is asserted
+//! bit-identical to uncached routing. Printed deltas compare against the
+//! recorded `BENCH_PR8.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -46,9 +50,11 @@
 //! hardware for scheduler scaling.
 //!
 //! `--smoke` runs the table1:5 matching + DRC slice plus a 4-board mini
-//! fleet and the cancellation-drain case (seconds, debug or release) so CI
-//! keeps both binaries' paths from rotting between perf PRs; with
-//! `--features fault` it also exercises the injected-panic fleet.
+//! fleet, a duplicate-heavy 4-board fleet routed twice through the result
+//! cache (the warm pass must hit at least once), and the
+//! cancellation-drain case (seconds, debug or release) so CI keeps both
+//! binaries' paths from rotting between perf PRs; with `--features fault`
+//! it also exercises the injected-panic fleet.
 
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
@@ -65,16 +71,17 @@ use meander_drc::{
 use meander_fleet::FaultPlan;
 use meander_fleet::{
     route_fleet, route_fleet_resilient, BoardSet, CancelToken, Edit, EditScope, FleetConfig,
-    FleetSession, RetryPolicy,
+    FleetSession, ResultCache, RetryPolicy,
 };
 use meander_geom::batch::BatchStats;
 use meander_geom::Vector;
 use meander_layout::gen::{
-    edit_stream, fleet_boards, fleet_boards_small, stress_board, stress_mixed_board, table1_case,
-    table2_case, FleetCase,
+    dup_fleet_boards, dup_fleet_boards_small, edit_stream, fleet_boards, fleet_boards_small,
+    stress_board, stress_mixed_board, table1_case, table2_case, FleetCase,
 };
 use meander_layout::Board;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 // Every measured config pins `index` explicitly so building the bench with
@@ -662,6 +669,215 @@ fn run_fleet_case(name: &str, make: impl Fn() -> FleetCase, reps: usize) -> Flee
     row
 }
 
+struct CacheInvalRow {
+    /// Library obstacle index moved (corridor-major: the top corridor's
+    /// vias, so only the boards routing that corridor are damaged).
+    edited_index: usize,
+    /// Entries in the cache when the edit landed.
+    entries: usize,
+    /// Entries whose recorded touches intersected the damage — evicted.
+    invalidated: u64,
+    /// Entries outside the damage — moved under the new Merkle root.
+    rekeyed: u64,
+}
+
+impl CacheInvalRow {
+    fn invalidated_pct(&self) -> f64 {
+        if self.entries == 0 {
+            return 0.0;
+        }
+        100.0 * self.invalidated as f64 / self.entries as f64
+    }
+}
+
+struct CacheRow {
+    name: String,
+    boards: usize,
+    dup_rate: f64,
+    jobs: usize,
+    /// No cache attached — the from-scratch reference and denominator.
+    uncached_s: f64,
+    /// Fresh cache: every distinct (board, group) routes once and inserts.
+    cold_s: f64,
+    /// Same cache, fresh copy of the fleet: the serving regime.
+    warm_s: f64,
+    cold_hits: u64,
+    cold_misses: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    /// Cache occupancy after the warm pass (before the invalidation run).
+    entries: usize,
+    bytes: usize,
+    invalidation: Option<CacheInvalRow>,
+}
+
+impl CacheRow {
+    fn boards_per_sec(&self, secs: f64) -> f64 {
+        self.boards as f64 / secs.max(1e-12)
+    }
+
+    fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.warm_hits as f64 / total as f64
+    }
+}
+
+/// Times the duplicate-heavy fleet three ways — uncached, cold cache
+/// (populating), warm cache (serving a fresh copy of the same content) —
+/// asserting all three routings bit-identical, then (full mode) lands one
+/// library via move through a [`FleetSession`] and reads the invalidation
+/// split off the cache counters.
+fn run_cache_case(
+    name: &str,
+    make: impl Fn() -> FleetCase,
+    dup_rate: f64,
+    invalidate_index: Option<usize>,
+) -> CacheRow {
+    let extend = batched_config();
+    let plain_cfg = FleetConfig {
+        extend: extend.clone(),
+        workers: None,
+        share_library: true,
+        ..Default::default()
+    };
+    let fingerprint = |reports: &[Vec<meander_core::GroupReport>]| -> Vec<u64> {
+        reports
+            .iter()
+            .flatten()
+            .flat_map(|g| {
+                g.traces
+                    .iter()
+                    .map(|t| t.achieved.to_bits() ^ (t.patterns as u64) << 1)
+            })
+            .collect()
+    };
+
+    let fleet = make();
+    let mut plain = BoardSet::new(fleet.boards.clone());
+    let t0 = Instant::now();
+    let plain_report = route_fleet(&mut plain, &plain_cfg);
+    let uncached_s = t0.elapsed().as_secs_f64();
+    assert!(plain_report.all_routed(), "{name}: bench fleets are valid");
+    let want = fingerprint(&plain_report.reports);
+
+    let cache = Arc::new(ResultCache::default());
+    let cached_cfg = FleetConfig {
+        extend: extend.clone(),
+        workers: None,
+        share_library: true,
+        cache: Some(Arc::clone(&cache)),
+        ..Default::default()
+    };
+    let mut cold = BoardSet::new(fleet.boards.clone());
+    let t0 = Instant::now();
+    let cold_report = route_fleet(&mut cold, &cached_cfg);
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        want,
+        fingerprint(&cold_report.reports),
+        "{name}: cache-on must be bit-identical to cache-off"
+    );
+
+    let mut warm = BoardSet::new(fleet.boards.clone());
+    let t0 = Instant::now();
+    let warm_report = route_fleet(&mut warm, &cached_cfg);
+    let warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        want,
+        fingerprint(&warm_report.reports),
+        "{name}: the warm pass must replay the routing exactly"
+    );
+    for (a, b) in cold.boards().iter().zip(warm.boards()) {
+        for (id, t) in a.board().traces() {
+            assert_eq!(
+                t.centerline(),
+                b.board().trace(id).expect("same traces").centerline(),
+                "{name}: warm geometry must equal cold bit for bit"
+            );
+        }
+    }
+    assert!(
+        warm_report.stats.cache_hits >= 1,
+        "{name}: a duplicate-heavy second pass must hit the cache"
+    );
+    let entries = cache.len();
+    let bytes = cache.bytes();
+
+    let invalidation = invalidate_index.map(|index| {
+        let mut session = FleetSession::new(BoardSet::new(fleet.boards.clone()), &cached_cfg);
+        assert!(session.report().all_routed(), "{name}: session init routes");
+        let entries = cache.len();
+        let before = cache.stats();
+        let _ = session.apply_edit(Edit::MoveObstacle {
+            scope: EditScope::Library(0),
+            index,
+            by: Vector::new(1.5, 1.0),
+        });
+        let report = session.reroute_dirty(&cached_cfg);
+        assert!(report.all_routed(), "{name}: fleet stays routed post-edit");
+        let after = cache.stats();
+        let row = CacheInvalRow {
+            edited_index: index,
+            entries,
+            invalidated: after.invalidated - before.invalidated,
+            rekeyed: after.rekeyed - before.rekeyed,
+        };
+        assert_eq!(
+            (row.invalidated + row.rekeyed) as usize,
+            entries,
+            "{name}: the root transition classifies every entry"
+        );
+        row
+    });
+
+    let row = CacheRow {
+        name: name.to_string(),
+        boards: fleet.boards.len(),
+        dup_rate,
+        jobs: warm_report.stats.jobs,
+        uncached_s,
+        cold_s,
+        warm_s,
+        cold_hits: cold_report.stats.cache_hits,
+        cold_misses: cold_report.stats.cache_misses,
+        warm_hits: warm_report.stats.cache_hits,
+        warm_misses: warm_report.stats.cache_misses,
+        entries,
+        bytes,
+        invalidation,
+    };
+    println!(
+        "{:<18} uncached {:>8.4}s  cold {:>8.4}s  warm {:>8.4}s  ({:.1} / {:.1} / {:.1} boards/s)  warm hits {}/{} ({:.1}%)  {} entries, {:.1} KiB",
+        row.name,
+        row.uncached_s,
+        row.cold_s,
+        row.warm_s,
+        row.boards_per_sec(row.uncached_s),
+        row.boards_per_sec(row.cold_s),
+        row.boards_per_sec(row.warm_s),
+        row.warm_hits,
+        row.jobs,
+        100.0 * row.warm_hit_rate(),
+        row.entries,
+        row.bytes as f64 / 1024.0,
+    );
+    if let Some(i) = &row.invalidation {
+        println!(
+            "{:<18} library move @{}: {} invalidated + {} rekeyed of {} entries ({:.1}% invalidated)",
+            row.name,
+            i.edited_index,
+            i.invalidated,
+            i.rekeyed,
+            i.entries,
+            i.invalidated_pct(),
+        );
+    }
+    row
+}
+
 struct SessionRow {
     name: String,
     boards: usize,
@@ -1144,7 +1360,7 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR8.json".to_string()
+            "BENCH_PR9.json".to_string()
         }
     });
 
@@ -1177,15 +1393,15 @@ fn main() {
         }
         // Side-by-side vs the recorded prior baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr6 = parse_recorded("BENCH_PR7.json", "single_trace_extension", "batched_s");
-        if !pr6.is_empty() {
-            println!("\n-- delta vs BENCH_PR7.json (recorded batched_s) --");
+        let pr8 = parse_recorded("BENCH_PR8.json", "single_trace_extension", "batched_s");
+        if !pr8.is_empty() {
+            println!("\n-- delta vs BENCH_PR8.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr8.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr6 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr8 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -1194,7 +1410,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR6: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR8: x{g:.2}", "");
             }
         }
     }
@@ -1223,13 +1439,13 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr6 = parse_recorded("BENCH_PR7.json", "drc_scan", "rtree_s");
-        if !pr6.is_empty() {
-            println!("\n-- delta vs BENCH_PR7.json (recorded rtree_s) --");
+        let pr8 = parse_recorded("BENCH_PR8.json", "drc_scan", "rtree_s");
+        if !pr8.is_empty() {
+            println!("\n-- delta vs BENCH_PR8.json (recorded rtree_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr6.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr8.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr6 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr8 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -1238,13 +1454,13 @@ fn main() {
                 }
             }
         }
-        let pr6m = parse_recorded("BENCH_PR7.json", "group_matching", "rtree_s");
-        if !pr6m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR7.json (recorded rtree_s) --");
+        let pr8m = parse_recorded("BENCH_PR8.json", "group_matching", "rtree_s");
+        if !pr8m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR8.json (recorded rtree_s) --");
             for r in &rows {
-                if let Some((_, old)) = pr6m.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr8m.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr6 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr8 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -1273,17 +1489,18 @@ fn main() {
         fleet_rows.push(run_fleet_case("fleet:32", || fleet_boards(32, 5, 9), 3));
     }
 
-    // Fleet drift against the recorded PR 6 rows (same engine shape both
-    // sides — this PR adds recovery on top, so shared_s should hold).
+    // Fleet drift against the recorded PR 8 rows (same engine shape both
+    // sides — this PR adds the cache seam on top, which is off here, so
+    // shared_s should hold).
     if !smoke {
-        let pr6f = parse_recorded("BENCH_PR7.json", "fleet", "shared_s");
-        if !pr6f.is_empty() {
-            println!("\n-- fleet drift vs BENCH_PR7.json (recorded shared_s) --");
+        let pr8f = parse_recorded("BENCH_PR8.json", "fleet", "shared_s");
+        if !pr8f.is_empty() {
+            println!("\n-- fleet drift vs BENCH_PR8.json (recorded shared_s) --");
             for r in &fleet_rows {
-                if let Some((_, old)) = pr6f.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr8f.iter().find(|(n, _)| *n == r.name) {
                     let overhead = r.shared_s / old.max(1e-12) - 1.0;
                     println!(
-                        "{:<18} pr6 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% drift, validation {:>8.5}s of it)",
+                        "{:<18} pr8 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% drift, validation {:>8.5}s of it)",
                         r.name,
                         old,
                         r.shared_s,
@@ -1331,6 +1548,54 @@ fn main() {
             },
         )
     };
+
+    println!("\n== result cache: content-addressed serving (uncached vs cold vs warm) ==");
+    let cache_row = if smoke {
+        // The CI smoke: a duplicate-heavy 4-board fleet routed twice; the
+        // warm pass must hit at least once (asserted inside the case).
+        run_cache_case(
+            "cache:small:4",
+            || dup_fleet_boards_small(4, 0.5, 19),
+            0.5,
+            None,
+        )
+    } else {
+        // The headline: 1000 boards at dup rate 0.9 (~100 distinct), then
+        // one library via move in the top corridor — corridor-major
+        // library layout puts corridor 5's vias at indices 20..24, and
+        // only 6-trace boards route that corridor, so the invalidation
+        // must stay a small slice of the entries.
+        run_cache_case(
+            "cache:1000@0.9",
+            || dup_fleet_boards(1000, 0.9, 33),
+            0.9,
+            Some(23),
+        )
+    };
+    if !smoke {
+        // The PR's acceptance gates, held in-bench so a regression fails
+        // the run rather than shipping a quietly slower JSON.
+        assert!(
+            cache_row.warm_hit_rate() >= 0.9,
+            "warm-pass hit rate {:.3} must be >= 0.9",
+            cache_row.warm_hit_rate()
+        );
+        assert!(
+            cache_row.uncached_s / cache_row.warm_s.max(1e-12) >= 3.0,
+            "warm serving must be >= 3x uncached ({:.4}s vs {:.4}s)",
+            cache_row.warm_s,
+            cache_row.uncached_s
+        );
+        let inval = cache_row
+            .invalidation
+            .as_ref()
+            .expect("the full bench measures invalidation precision");
+        assert!(
+            inval.invalidated_pct() < 20.0,
+            "one library edit invalidated {:.1}% of entries (must stay < 20%)",
+            inval.invalidated_pct()
+        );
+    }
 
     println!("\n== resilience: retry ladder happy path + injected-fault recovery ==");
     let resilience_row = if smoke {
@@ -1426,8 +1691,8 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/8\",");
-    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/9\",");
+    let _ = writeln!(j, "  \"pr\": 9,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -1609,6 +1874,61 @@ fn main() {
         session_row.skip_rate_pct(),
         session_row.cells_dirty_total,
     );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"cache\": {{");
+    let _ = writeln!(
+        j,
+        "    \"case\": \"{}\", \"boards\": {}, \"dup_rate\": {:.2}, \"jobs\": {},",
+        cache_row.name, cache_row.boards, cache_row.dup_rate, cache_row.jobs,
+    );
+    let _ = writeln!(
+        j,
+        "    \"uncached_s\": {:.6}, \"cold_s\": {:.6}, \"warm_s\": {:.6},",
+        cache_row.uncached_s, cache_row.cold_s, cache_row.warm_s,
+    );
+    let _ = writeln!(
+        j,
+        "    \"boards_per_sec_uncached\": {:.3}, \"boards_per_sec_cold\": {:.3}, \"boards_per_sec_warm\": {:.3},",
+        cache_row.boards_per_sec(cache_row.uncached_s),
+        cache_row.boards_per_sec(cache_row.cold_s),
+        cache_row.boards_per_sec(cache_row.warm_s),
+    );
+    let _ = writeln!(
+        j,
+        "    \"speedup_warm_vs_uncached\": {:.3}, \"speedup_cold_vs_uncached\": {:.3},",
+        cache_row.uncached_s / cache_row.warm_s.max(1e-12),
+        cache_row.uncached_s / cache_row.cold_s.max(1e-12),
+    );
+    let _ = writeln!(
+        j,
+        "    \"cold_hits\": {}, \"cold_misses\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \"warm_hit_rate\": {:.4},",
+        cache_row.cold_hits,
+        cache_row.cold_misses,
+        cache_row.warm_hits,
+        cache_row.warm_misses,
+        cache_row.warm_hit_rate(),
+    );
+    let _ = writeln!(
+        j,
+        "    \"entries\": {}, \"bytes\": {},",
+        cache_row.entries, cache_row.bytes,
+    );
+    match &cache_row.invalidation {
+        Some(i) => {
+            let _ = writeln!(
+                j,
+                "    \"invalidation\": {{\"edited_index\": {}, \"entries\": {}, \"invalidated\": {}, \"rekeyed\": {}, \"invalidated_pct\": {:.3}}}",
+                i.edited_index,
+                i.entries,
+                i.invalidated,
+                i.rekeyed,
+                i.invalidated_pct(),
+            );
+        }
+        None => {
+            let _ = writeln!(j, "    \"invalidation\": null");
+        }
+    }
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"drc_scan\": [");
     for (i, r) in drc_rows.iter().enumerate() {

@@ -142,6 +142,36 @@ impl UnitOutput {
     pub fn busy(&self) -> Duration {
         self.busy
     }
+
+    /// The routed geometry this unit will write back, in application
+    /// order.
+    #[inline]
+    pub fn updates(&self) -> &[(TraceId, Polyline)] {
+        &self.updates
+    }
+
+    /// The per-trace reports this unit contributes.
+    #[inline]
+    pub fn reports(&self) -> &[TraceReport] {
+        &self.reports
+    }
+
+    /// Reassembles an output from retained parts. The fleet's result
+    /// cache stores a hit's geometry and report floats verbatim and
+    /// replays them through this; `busy` is a *measurement* (excluded
+    /// from the bit-identity contract), so a cache hit reports
+    /// [`Duration::ZERO`] — no routing work was done.
+    pub fn from_parts(
+        busy: Duration,
+        updates: Vec<(TraceId, Polyline)>,
+        reports: Vec<TraceReport>,
+    ) -> UnitOutput {
+        UnitOutput {
+            busy,
+            updates,
+            reports,
+        }
+    }
 }
 
 /// Plans the units of `group` in member-declaration order.

@@ -72,6 +72,7 @@
 //! Wall-clock fields ([`GroupReport::runtime`], [`FleetStats`] timings)
 //! are measurements, not outputs — they are excluded from the identity.
 
+use crate::cache::{self, CacheKey, CachedGroup, CachedUnit, ResultCache};
 use crate::cancel::CancelToken;
 #[cfg(feature = "fault")]
 use crate::fault::FaultPlan;
@@ -79,10 +80,12 @@ use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
 use crate::steal::{steal_try_map, JobStatus, StealCounters};
 use meander_core::context::{obstacle_inflation, world_cell};
 use meander_core::{
-    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, DesignRules, ExtendConfig,
-    GroupReport, IndexKind, UnitInput, UnitOutput, WorldBase,
+    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, run_unit_shared_recorded,
+    CellTouches, DesignRules, ExtendConfig, GroupReport, IndexKind, UnitInput, UnitOutput,
+    WorldBase,
 };
 use meander_geom::Polygon;
+use meander_layout::hash::{hash_board_local, library_root};
 use meander_layout::{
     validate_board, validate_library, LibraryBoard, ObstacleLibrary, ValidationError,
 };
@@ -167,6 +170,14 @@ pub struct FleetConfig {
     /// the fleet stops within one unit's work per worker; boards that
     /// lost work report [`BoardOutcome::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// Content-addressed result cache ([`crate::cache`]). When set, every
+    /// `(board, group)` job derives its [`CacheKey`] and consults the
+    /// cache before routing: a hit writes the cached geometry and report
+    /// floats back (bit-identical to re-routing, by determinism); a miss
+    /// routes with touched-cell recording and inserts. Panicked or halted
+    /// jobs never insert. Share one cache across fleets and sessions via
+    /// the `Arc`.
+    pub cache: Option<Arc<ResultCache>>,
     /// Scripted faults for chaos testing (`fault` feature only —
     /// production builds don't carry the field).
     #[cfg(feature = "fault")]
@@ -183,6 +194,7 @@ impl Default for FleetConfig {
             deadline: None,
             board_budget: None,
             cancel: None,
+            cache: None,
             #[cfg(feature = "fault")]
             fault: FaultPlan::default(),
         }
@@ -237,6 +249,14 @@ pub struct FleetStats {
     /// libraries, boards, and strata. Always zero for a bare
     /// [`route_fleet`].
     pub cells_dirty: u64,
+    /// `(board, group)` jobs served from [`FleetConfig::cache`] this run.
+    /// Zero when no cache is attached. Counters are observability, not
+    /// outputs: which job hits can vary with scheduling (a twin inserted
+    /// earlier in the run), the routed bytes cannot.
+    pub cache_hits: u64,
+    /// Jobs that consulted the cache and routed (then inserted). Zero
+    /// when no cache is attached.
+    pub cache_misses: u64,
     /// Busy time charged to each board (unit runtimes, indexed by
     /// submission order) — the per-board slice of the scheduler's busy
     /// total, and the quantity [`FleetConfig::board_budget`] meters.
@@ -407,6 +427,9 @@ struct Job {
     /// across scheduling).
     #[cfg_attr(not(feature = "fault"), allow(dead_code))]
     unit_base: u64,
+    /// Content-addressed identity of this job (`Some` iff a cache is
+    /// attached): what the cache is consulted with before routing.
+    key: Option<CacheKey>,
 }
 
 /// Why a job (or the run) stopped early.
@@ -552,6 +575,35 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
     }
     let base_build = bases.build_time();
 
+    // ---- Content identities, only when a cache is attached. -------------
+    // One Merkle root per distinct library, one local digest per valid
+    // board; with duplicates in the set the digests coincide and their
+    // jobs share cache entries. The hashes cost one pass over the
+    // geometry; an uncached fleet skips them entirely.
+    let lib_roots: Vec<(LibKey, u64)> = if config.cache.is_some() {
+        distinct
+            .iter()
+            .map(|&(key, b)| (key, library_root(set.boards[b].library())))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let board_hash: Vec<u64> = if config.cache.is_some() {
+        set.boards
+            .iter()
+            .enumerate()
+            .map(|(b, lb)| {
+                if rejected[b].is_some() {
+                    0
+                } else {
+                    hash_board_local(lb.board())
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // ---- Flatten boards × groups into jobs (snapshot everything). -------
     let mut jobs: Vec<Job> = Vec::new();
     let mut units_total = 0usize;
@@ -591,6 +643,16 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             } else {
                 vec![None; units.len()]
             };
+            let key = config.cache.is_some().then(|| CacheKey {
+                library_root: lib_roots
+                    .iter()
+                    .find(|(k, _)| *k == lib_key)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(0),
+                rules_hash: cache::rules_key(&units, &config.extend),
+                board_local_hash: board_hash[b],
+                group_hash: cache::group_key(&lb.board().groups()[group], group, target),
+            });
             jobs.push(Job {
                 board: b,
                 group,
@@ -600,6 +662,7 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
                 obstacles: Arc::clone(&obstacles),
                 job_index: jobs.len() as u64,
                 unit_base,
+                key,
             });
         }
     }
@@ -618,6 +681,8 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
     // panic's unwind leaves the crashing unit's index behind for the
     // failure diagnostics (u64::MAX = the job never reached a unit).
     let progress: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let cache_hits = AtomicU64::new(0);
+    let cache_misses = AtomicU64::new(0);
     let t0 = Instant::now();
     let (statuses, scheduler) = steal_try_map(&jobs, workers, Some(&stop), |job: &Job| {
         let t_job = Instant::now();
@@ -625,7 +690,23 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         if let Some(delay) = config.fault.delay_jobs.get(&job.job_index) {
             std::thread::sleep(*delay);
         }
+        // Cache consultation: a hit replays the stored outputs — the
+        // exact bytes routing would produce (determinism; module docs of
+        // `crate::cache`) — and skips the unit loop entirely.
+        if let (Some(cache), Some(key)) = (config.cache.as_deref(), job.key.as_ref()) {
+            if let Some(cached) = cache.lookup(key) {
+                cache_hits.fetch_add(1, Ordering::Relaxed);
+                return JobOut {
+                    outputs: cached.units().iter().map(CachedUnit::to_output).collect(),
+                    halted: None,
+                    elapsed: t_job.elapsed(),
+                };
+            }
+            cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let recording = job.key.is_some();
         let mut outputs = Vec::with_capacity(job.units.len());
+        let mut touched: Vec<CellTouches> = Vec::with_capacity(job.units.len());
         let mut halted = None;
         for k in 0..job.units.len() {
             // Unit boundary: the finer-grained budget check. A fired
@@ -646,14 +727,40 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
                     config.fault.attempt
                 );
             }
-            let out = run_unit_shared(
-                &job.units[k],
-                &job.obstacles,
-                job.unit_bases[k].as_ref(),
-                extend,
-            );
+            let out = if recording {
+                let mut touches = CellTouches::new();
+                let out = run_unit_shared_recorded(
+                    &job.units[k],
+                    &job.obstacles,
+                    job.unit_bases[k].as_ref(),
+                    extend,
+                    &mut touches,
+                );
+                touched.push(touches);
+                out
+            } else {
+                run_unit_shared(
+                    &job.units[k],
+                    &job.obstacles,
+                    job.unit_bases[k].as_ref(),
+                    extend,
+                )
+            };
             control.charge(job.board, out.busy());
             outputs.push(out);
+        }
+        // Only complete jobs insert: a panic unwinds out of the loop
+        // above before reaching here (no poisoned entries, structurally),
+        // and a halted job holds a prefix, not the group.
+        if halted.is_none() && outputs.len() == job.units.len() {
+            if let (Some(cache), Some(key)) = (config.cache.as_deref(), job.key) {
+                let units = outputs
+                    .iter()
+                    .zip(&touched)
+                    .map(|(out, touches)| CachedUnit::new(out, touches.clone()))
+                    .collect();
+                cache.insert(key, CachedGroup::new(units));
+            }
         }
         JobOut {
             outputs,
@@ -766,6 +873,8 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             units_dirty: 0,
             units_skipped: 0,
             cells_dirty: 0,
+            cache_hits: cache_hits.into_inner(),
+            cache_misses: cache_misses.into_inner(),
             board_busy,
             validation_wall,
             base_build,

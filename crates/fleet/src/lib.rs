@@ -71,6 +71,7 @@
 // against (tests keep their unwraps — a failing test panics by design).
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod cancel;
 pub mod edit;
 pub mod engine;
@@ -82,6 +83,10 @@ pub mod resilience;
 pub mod session;
 pub mod steal;
 
+pub use cache::{
+    board_keys, engine_identity, CacheKey, CacheStats, CachedGroup, CachedUnit, ResultCache,
+    DEFAULT_CACHE_BUDGET,
+};
 pub use cancel::CancelToken;
 pub use edit::DamageReport;
 pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};

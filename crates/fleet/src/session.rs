@@ -61,15 +61,17 @@
 //! );
 //! ```
 
+use crate::cache::{self, CacheKey, CachedGroup, CachedUnit};
 use crate::edit::{add_damage, DamageReport};
 use crate::engine::{BaseCache, BoardSet, FleetConfig, FleetReport, FleetStats};
 use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
 use crate::steal::{steal_try_map, JobStatus, StealCounters};
 use meander_core::{
     apply_outputs, gather_obstacles, plan_board_units, run_unit_shared_recorded, CellTouches,
-    DirtyCells, GroupReport, StratumKey, UnitInput, UnitOutput, WorldBase,
+    DirtyCells, ExtendConfig, GroupReport, StratumKey, UnitInput, UnitOutput, WorldBase,
 };
 use meander_geom::Polygon;
+use meander_layout::hash::{hash_board_local, LibraryCommitment};
 use meander_layout::{
     validate_board, validate_library, Board, Edit, EditScope, LibraryBoard, Obstacle,
     ObstacleLibrary, ValidationError,
@@ -85,6 +87,26 @@ struct GroupPlan {
     units: Vec<UnitInput>,
     outputs: Vec<Option<UnitOutput>>,
     touches: Vec<CellTouches>,
+}
+
+/// The result-cache identity of a planned group — the session-side twin
+/// of the batch engine's per-job key derivation (same components, same
+/// digests, so fleets and sessions sharing one cache hit each other's
+/// entries).
+fn plan_cache_key(
+    board: &Board,
+    g: usize,
+    gp: &GroupPlan,
+    extend: &ExtendConfig,
+    library_root: u64,
+    board_local_hash: u64,
+) -> CacheKey {
+    CacheKey {
+        library_root,
+        rules_hash: cache::rules_key(&gp.units, extend),
+        board_local_hash,
+        group_hash: cache::group_key(&board.groups()[g], g, gp.target),
+    }
 }
 
 /// One scheduled re-route: a single dirty unit, snapshotted. Finer-grained
@@ -137,6 +159,21 @@ pub struct FleetSession {
     /// Per-`(library slot, rules lattice)` shared bases, kept warm across
     /// re-routes; invalidated when a library's content changes.
     bases: BaseCache<usize>,
+    /// Per-slot Merkle commitments over library content, built on the
+    /// first cache-enabled re-route and maintained incrementally: a moved
+    /// obstacle recomputes only its authentication path
+    /// ([`LibraryCommitment::update_obstacle`]); add/remove change the
+    /// leaf count and rebuild.
+    commitments: Vec<Option<LibraryCommitment>>,
+    /// The library roots the attached result cache's entries are keyed
+    /// under, per slot — the `old_root` side of the next
+    /// [`crate::ResultCache::apply_library_edit`]. Cleared when a
+    /// re-route runs uncached: transitions the cache didn't observe must
+    /// never be re-keyed past.
+    served_roots: Vec<u64>,
+    /// Likewise per board: the local digest the cache's entries are keyed
+    /// under.
+    served_board_hash: Vec<u64>,
     /// Last re-route's results, reused for skipped boards.
     cached_reports: Vec<Vec<GroupReport>>,
     outcomes: Vec<BoardOutcome>,
@@ -179,6 +216,9 @@ impl FleetSession {
             board_verdict: vec![None; n],
             strata: Vec::new(),
             bases: BaseCache::new(),
+            commitments: (0..nl).map(|_| None).collect(),
+            served_roots: Vec::new(),
+            served_board_hash: Vec::new(),
             cached_reports: vec![Vec::new(); n],
             outcomes: vec![BoardOutcome::Routed; n],
             last_stats: FleetStats::default(),
@@ -258,7 +298,7 @@ impl FleetSession {
                     let old = obs[idx].clone();
                     let new = old.translated(by);
                     obs[idx] = new.clone();
-                    self.replace_library(slot, obs);
+                    self.replace_library(slot, obs, Some(idx));
                     self.library_damage(slot, &[old.polygon(), new.polygon()])
                 }
             },
@@ -277,7 +317,7 @@ impl FleetSession {
                     let slot = slot % self.libraries.len();
                     let mut obs = self.libraries[slot].obstacles().to_vec();
                     obs.push(obstacle.clone());
-                    self.replace_library(slot, obs);
+                    self.replace_library(slot, obs, None);
                     self.library_damage(slot, &[obstacle.polygon()])
                 }
             },
@@ -303,7 +343,7 @@ impl FleetSession {
                     let idx = index % len;
                     let mut obs = self.libraries[slot].obstacles().to_vec();
                     let old = obs.remove(idx);
-                    self.replace_library(slot, obs);
+                    self.replace_library(slot, obs, None);
                     self.library_damage(slot, &[old.polygon()])
                 }
             },
@@ -368,9 +408,19 @@ impl FleetSession {
 
     /// Swaps library `slot`'s content: new `Arc`, rebind every referencing
     /// board's routed twin, invalidate the slot's shared bases, mark the
-    /// slot's validation verdict stale.
-    fn replace_library(&mut self, slot: usize, obstacles: Vec<Obstacle>) {
+    /// slot's validation verdict stale, advance the Merkle commitment.
+    /// `moved` names the single replaced obstacle when the edit kept the
+    /// leaf count — that recomputes only its authentication path.
+    fn replace_library(&mut self, slot: usize, obstacles: Vec<Obstacle>, moved: Option<usize>) {
         let lib = Arc::new(ObstacleLibrary::new(obstacles));
+        if let Some(commit) = &mut self.commitments[slot] {
+            match moved {
+                Some(idx) => {
+                    commit.update_obstacle(idx, &lib.obstacles()[idx]);
+                }
+                None => *commit = LibraryCommitment::new(&lib),
+            }
+        }
         self.libraries[slot] = Arc::clone(&lib);
         for (b, &s) in self.lib_of.iter().enumerate() {
             if s == slot {
@@ -451,8 +501,77 @@ impl FleetSession {
             .chain(self.board_dirty.iter())
             .fold(0u64, |acc, d| acc.saturating_add(d.cells()));
 
+        // ---- Result-cache key transitions. ------------------------------
+        // An edit moved content identities the attached cache keys on.
+        // Walk each transition with the very damage this re-route is
+        // about to consume: entries whose touches intersect it are
+        // evicted, the rest re-keyed to the new identity (sound by the
+        // cell-intersection argument in the module docs — the same one
+        // that lets clean units keep their retained outputs).
+        let result_cache = config.cache.as_deref();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut board_hash: Vec<u64> = Vec::new();
+        if let Some(rc) = result_cache {
+            for slot in 0..self.libraries.len() {
+                if self.commitments[slot].is_none() {
+                    self.commitments[slot] = Some(LibraryCommitment::new(&self.libraries[slot]));
+                }
+            }
+            let new_roots: Vec<u64> = self
+                .commitments
+                .iter()
+                .map(|c| c.as_ref().map(LibraryCommitment::root).unwrap_or(0))
+                .collect();
+            if self.served_roots.len() == new_roots.len() {
+                for ((&old, &new), dirty) in self
+                    .served_roots
+                    .iter()
+                    .zip(&new_roots)
+                    .zip(&self.lib_dirty)
+                {
+                    rc.apply_library_edit(old, new, dirty);
+                }
+            }
+            board_hash = self.pristine.iter().map(hash_board_local).collect();
+            if self.served_board_hash.len() == board_hash.len() {
+                for b in 0..n {
+                    let (old, new) = (self.served_board_hash[b], board_hash[b]);
+                    if old == new {
+                        continue;
+                    }
+                    // A twin still serving under the old digest keeps the
+                    // entries alive — content addressing means they stay
+                    // exact for it; the edited board re-routes and
+                    // inserts under its new digest.
+                    if board_hash.contains(&old) {
+                        continue;
+                    }
+                    if self.structural[b] {
+                        // The board's unit plan itself may have changed:
+                        // nothing under the old digest can be re-keyed.
+                        rc.drop_board(old);
+                    } else {
+                        rc.apply_board_edit(old, new, &self.board_dirty[b]);
+                    }
+                }
+            }
+            self.served_roots = new_roots;
+            self.served_board_hash = board_hash.clone();
+        } else {
+            // Without the cache in hand this re-route's transitions go
+            // unobserved; forget the served identities rather than re-key
+            // entries past unobserved damage on a later cached re-route.
+            self.served_roots.clear();
+            self.served_board_hash.clear();
+        }
+
         // ---- Classify: rejected / full re-route / per-unit dirty test. --
         let mut dirty_units: Vec<(usize, usize, usize)> = Vec::new();
+        // Boards that replanned this re-route: their routed twin must be
+        // rebuilt even when every group came out of the cache and no unit
+        // is dirty.
+        let mut replanned: Vec<bool> = vec![false; n];
         for b in 0..n {
             let verdict = if config.validate {
                 self.lib_verdict[self.lib_of[b]]
@@ -479,7 +598,8 @@ impl FleetSession {
                 continue;
             }
             if self.structural[b] || self.plans[b].is_empty() {
-                self.plans[b] = plan_board_units(&self.pristine[b])
+                replanned[b] = true;
+                let mut plans_b: Vec<GroupPlan> = plan_board_units(&self.pristine[b])
                     .into_iter()
                     .map(|(target, units)| GroupPlan {
                         target,
@@ -488,11 +608,41 @@ impl FleetSession {
                         units,
                     })
                     .collect();
-                for (g, gp) in self.plans[b].iter().enumerate() {
-                    for u in 0..gp.units.len() {
-                        dirty_units.push((b, g, u));
+                // A replanned board consults the result cache per group:
+                // a hit replays the stored outputs and touches (exact by
+                // determinism), a miss re-routes below.
+                for (g, gp) in plans_b.iter_mut().enumerate() {
+                    let cached = result_cache.and_then(|rc| {
+                        let key = plan_cache_key(
+                            &self.pristine[b],
+                            g,
+                            gp,
+                            &config.extend,
+                            self.served_roots[self.lib_of[b]],
+                            board_hash[b],
+                        );
+                        rc.lookup(&key)
+                            .filter(|c| c.units().len() == gp.units.len())
+                    });
+                    match cached {
+                        Some(c) => {
+                            cache_hits += 1;
+                            for (u, cu) in c.units().iter().enumerate() {
+                                gp.outputs[u] = Some(cu.to_output());
+                                gp.touches[u] = cu.touches().clone();
+                            }
+                        }
+                        None => {
+                            if result_cache.is_some() {
+                                cache_misses += 1;
+                            }
+                            for u in 0..gp.units.len() {
+                                dirty_units.push((b, g, u));
+                            }
+                        }
                     }
                 }
+                self.plans[b] = plans_b;
             } else {
                 let slot = self.lib_of[b];
                 for (g, gp) in self.plans[b].iter().enumerate() {
@@ -615,6 +765,9 @@ impl FleetSession {
         for &(b, _, _) in &dirty_units {
             touched[b] = true;
         }
+        for (t, &r) in touched.iter_mut().zip(&replanned) {
+            *t |= r;
+        }
         for b in 0..n {
             if matches!(self.outcomes[b], BoardOutcome::Rejected(_)) && self.plans[b].is_empty() {
                 continue;
@@ -660,6 +813,43 @@ impl FleetSession {
             self.structural[b] = false;
         }
 
+        // ---- Feed the result cache (insert-if-absent). -------------------
+        // Every group of every board routed this re-route goes in under
+        // its current identity; twins elsewhere in the fleet (or future
+        // fleets sharing the cache) hit it.
+        if let Some(rc) = result_cache {
+            for b in 0..n {
+                if !touched[b] || !matches!(self.outcomes[b], BoardOutcome::Routed) {
+                    continue;
+                }
+                for (g, gp) in self.plans[b].iter().enumerate() {
+                    let key = plan_cache_key(
+                        &self.pristine[b],
+                        g,
+                        gp,
+                        &config.extend,
+                        self.served_roots[self.lib_of[b]],
+                        board_hash[b],
+                    );
+                    if rc.contains(&key) {
+                        continue;
+                    }
+                    let units: Vec<CachedUnit> = gp
+                        .outputs
+                        .iter()
+                        .zip(&gp.touches)
+                        .map(|(o, t)| {
+                            CachedUnit::new(
+                                o.as_ref().expect("routed board has all outputs"),
+                                t.clone(),
+                            )
+                        })
+                        .collect();
+                    rc.insert(key, CachedGroup::new(units));
+                }
+            }
+        }
+
         // ---- Refresh the stratum union; consume the damage. --------------
         self.strata.clear();
         for groups in &self.plans {
@@ -701,6 +891,8 @@ impl FleetSession {
             units_dirty: jobs.len(),
             units_skipped: units_total.saturating_sub(jobs.len()),
             cells_dirty,
+            cache_hits,
+            cache_misses,
             board_busy,
             validation_wall,
             base_build,

@@ -1,0 +1,349 @@
+//! Cache-equality property suite: attaching a [`ResultCache`] must never
+//! change a routed bit.
+//!
+//! The exactness claim (see `fleet::cache` module docs) is that a cache
+//! hit replays the very bytes routing would produce — determinism plus
+//! content-addressed keys, no tolerance anywhere. These properties make
+//! the claim executable:
+//!
+//! * 64 randomized duplicate-heavy fleets, workers 1–4 × sharing on/off:
+//!   cache-on output bit-compared to cache-off (outcomes, report floats,
+//!   centerlines);
+//! * a warm second pass over a fresh copy of the fleet hits on every job
+//!   and still matches bit for bit;
+//! * content digests are insensitive to re-orderings without semantics
+//!   (area map insertion order) and sensitive to ones with (trace order);
+//! * a serving session with a cache replays an edit stream bit-identical
+//!   to from-scratch uncached routing, invalidation stays precise under
+//!   library edits (counter-asserted), and stale entries never serve;
+//! * (under `--features fault`) a panicking job never inserts a poisoned
+//!   entry.
+
+use std::sync::Arc;
+
+use meander_core::ExtendConfig;
+use meander_fleet::{
+    board_keys, route_fleet, BoardSet, Edit, EditScope, FleetConfig, FleetReport, FleetSession,
+    ResultCache,
+};
+use meander_geom::{Point, Polyline, Rect, Vector};
+use meander_layout::gen::{dup_fleet_boards_small, edit_stream};
+use meander_layout::{hash_board_local, Board, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn serial_extend() -> ExtendConfig {
+    ExtendConfig {
+        parallel: false,
+        ..Default::default()
+    }
+}
+
+fn config(workers: usize, share: bool, cache: Option<Arc<ResultCache>>) -> FleetConfig {
+    FleetConfig {
+        extend: serial_extend(),
+        workers: Some(workers),
+        share_library: share,
+        cache,
+        ..Default::default()
+    }
+}
+
+/// Two fleet runs over the same input must agree bit for bit: outcomes,
+/// targets, every report float, every routed centerline.
+fn assert_runs_identical(ctx: &str, a: (&BoardSet, &FleetReport), b: (&BoardSet, &FleetReport)) {
+    let ((set_a, rep_a), (set_b, rep_b)) = (a, b);
+    assert_eq!(rep_a.outcomes, rep_b.outcomes, "{ctx}: outcomes");
+    assert_eq!(rep_a.reports.len(), rep_b.reports.len(), "{ctx}");
+    for (bi, (w, g)) in rep_a.reports.iter().zip(&rep_b.reports).enumerate() {
+        assert_eq!(w.len(), g.len(), "{ctx}: board {bi} group count");
+        for (x, y) in w.iter().zip(g) {
+            assert_eq!(x.target.to_bits(), y.target.to_bits(), "{ctx}: board {bi}");
+            assert_eq!(x.traces.len(), y.traces.len(), "{ctx}: board {bi}");
+            for (p, q) in x.traces.iter().zip(&y.traces) {
+                assert_eq!(p.id, q.id, "{ctx}: board {bi}");
+                assert_eq!(p.patterns, q.patterns, "{ctx}: board {bi} {:?}", p.id);
+                assert_eq!(
+                    p.achieved.to_bits(),
+                    q.achieved.to_bits(),
+                    "{ctx}: board {bi} {:?} achieved",
+                    p.id
+                );
+                assert_eq!(p.initial.to_bits(), q.initial.to_bits(), "{ctx}");
+                assert_eq!(p.via_msdtw, q.via_msdtw, "{ctx}");
+            }
+        }
+    }
+    for (bi, (la, lb)) in set_a.boards().iter().zip(set_b.boards()).enumerate() {
+        for (id, t) in la.board().traces() {
+            let other = lb.board().trace(id).expect("same trace set");
+            assert_eq!(
+                t.centerline(),
+                other.centerline(),
+                "{ctx}: board {bi} trace {id:?} geometry"
+            );
+        }
+    }
+}
+
+/// The 64-case matrix: duplicate-heavy fleets with the cache attached
+/// must be bit-identical to the same fleets routed uncached, for every
+/// worker count and sharing mode drawn.
+#[test]
+fn cache_on_is_bit_identical_to_cache_off() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    for case in 0..64 {
+        let seed = rng.gen_range(0..1_000_000) as u64;
+        let n_boards = rng.gen_range(3..6);
+        let dup_rate = [0.5, 0.7, 0.9][rng.gen_range(0..3usize)];
+        let workers = rng.gen_range(1..5);
+        let share = rng.gen_range(0..2) == 1;
+        let ctx = format!(
+            "case {case} (seed {seed}, boards {n_boards}, dup {dup_rate}, \
+             workers {workers}, share {share})"
+        );
+
+        let fleet = dup_fleet_boards_small(n_boards, dup_rate, seed);
+        let mut plain = BoardSet::new(fleet.boards.clone());
+        let plain_report = route_fleet(&mut plain, &config(workers, share, None));
+        assert_eq!(
+            plain_report.stats.cache_hits + plain_report.stats.cache_misses,
+            0
+        );
+
+        let cache = Arc::new(ResultCache::default());
+        let mut cached = BoardSet::new(fleet.boards.clone());
+        let cached_report = route_fleet(
+            &mut cached,
+            &config(workers, share, Some(Arc::clone(&cache))),
+        );
+        assert_runs_identical(&ctx, (&plain, &plain_report), (&cached, &cached_report));
+        // Every job consulted the cache exactly once.
+        assert_eq!(
+            (cached_report.stats.cache_hits + cached_report.stats.cache_misses) as usize,
+            cached_report.stats.jobs,
+            "{ctx}: hit/miss partition the jobs"
+        );
+    }
+}
+
+/// A warm second pass over a fresh copy of the same fleet serves every
+/// job from the cache — and is still bit-identical.
+#[test]
+fn warm_pass_hits_everything_and_matches() {
+    let fleet = dup_fleet_boards_small(8, 0.7, 41);
+    let cache = Arc::new(ResultCache::default());
+    let cfg = config(3, true, Some(Arc::clone(&cache)));
+
+    let mut cold = BoardSet::new(fleet.boards.clone());
+    let cold_report = route_fleet(&mut cold, &cfg);
+    assert!(cold_report.all_routed());
+    assert!(cold_report.stats.cache_misses > 0, "cold pass routes");
+    // Duplicates within the cold pass already hit (scheduling decides
+    // how many, at least the clones of already-inserted boards can).
+    let inserted = cache.len();
+    assert!(inserted > 0);
+
+    let mut warm = BoardSet::new(fleet.boards.clone());
+    let warm_report = route_fleet(&mut warm, &cfg);
+    assert_eq!(
+        warm_report.stats.cache_hits as usize, warm_report.stats.jobs,
+        "warm pass is all hits"
+    );
+    assert_eq!(warm_report.stats.cache_misses, 0);
+    assert_eq!(cache.len(), inserted, "warm pass inserts nothing");
+    assert_runs_identical("warm vs cold", (&cold, &cold_report), (&warm, &warm_report));
+}
+
+fn two_trace_board(flip: bool) -> Board {
+    let mut board = Board::new(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 60.0)));
+    let t1 = Trace::new(
+        "A",
+        Polyline::new(vec![Point::new(0.0, 20.0), Point::new(100.0, 20.0)]),
+        2.0,
+    );
+    let t2 = Trace::new(
+        "B",
+        Polyline::new(vec![Point::new(0.0, 40.0), Point::new(100.0, 40.0)]),
+        2.0,
+    );
+    if flip {
+        board.add_trace(t2);
+        board.add_trace(t1);
+    } else {
+        board.add_trace(t1);
+        board.add_trace(t2);
+    }
+    board
+}
+
+/// Digests ignore orderings without routing semantics (the area map's
+/// insertion order) and respect ones with (trace insertion order fixes
+/// the id space the router sees).
+#[test]
+fn digest_ordering_semantics() {
+    use meander_geom::Polygon;
+    use meander_layout::{RoutableArea, TraceId};
+
+    let area = |lo: f64| {
+        RoutableArea::from_polygon(Polygon::rectangle(
+            Point::new(0.0, lo),
+            Point::new(100.0, lo + 25.0),
+        ))
+    };
+    let mut fwd = two_trace_board(false);
+    fwd.set_area(TraceId(0), area(5.0));
+    fwd.set_area(TraceId(1), area(30.0));
+    let mut rev = two_trace_board(false);
+    rev.set_area(TraceId(1), area(30.0));
+    rev.set_area(TraceId(0), area(5.0));
+    assert_eq!(
+        hash_board_local(&fwd),
+        hash_board_local(&rev),
+        "area insertion order has no routing semantics"
+    );
+
+    assert_ne!(
+        hash_board_local(&two_trace_board(false)),
+        hash_board_local(&two_trace_board(true)),
+        "trace order assigns ids — it is semantic"
+    );
+}
+
+/// A serving session with the cache attached replays every prefix of an
+/// edit stream bit-identical to from-scratch *uncached* routing: no
+/// stale entry ever serves, across content edits, structural edits, and
+/// library transitions.
+#[test]
+fn session_with_cache_replays_edit_stream_exactly() {
+    for workers in [1usize, 4] {
+        let cache = Arc::new(ResultCache::default());
+        let cached_cfg = config(workers, true, Some(Arc::clone(&cache)));
+        let plain_cfg = config(workers, true, None);
+        let case = dup_fleet_boards_small(4, 0.6, 23 + workers as u64);
+        let mut session = FleetSession::new(BoardSet::new(case.boards.clone()), &cached_cfg);
+        assert!(session.report().all_routed());
+        for (k, edit) in edit_stream(&case, 900 + workers as u64, 9)
+            .into_iter()
+            .enumerate()
+        {
+            let ctx = format!("workers={workers} prefix={k} edit={edit}");
+            let _ = session.apply_edit(edit);
+            let report = session.reroute_dirty(&cached_cfg);
+            assert!(!session.pending(), "{ctx}");
+            // Reference: from scratch, no cache anywhere.
+            let mut reference = BoardSet::new(session.pristine_boards());
+            let want = route_fleet(&mut reference, &plain_cfg);
+            let got = session.report();
+            assert_runs_identical(&ctx, (&reference, &want), (session.boards(), &got));
+            let _ = report;
+        }
+    }
+}
+
+/// A single library move invalidates only the entries whose recorded
+/// touches intersect the damage; the rest survive re-keyed under the new
+/// Merkle root (counter-asserted), and the next re-route still matches
+/// from-scratch.
+#[test]
+fn library_edit_invalidation_is_precise() {
+    let cache = Arc::new(ResultCache::default());
+    let cfg = config(2, true, Some(Arc::clone(&cache)));
+    let case = dup_fleet_boards_small(10, 0.5, 77);
+    let mut session = FleetSession::new(BoardSet::new(case.boards.clone()), &cfg);
+    assert!(session.report().all_routed());
+    let entries = cache.len();
+    assert!(entries > 0);
+    let before = cache.stats();
+
+    // Library obstacles are corridor-major: with 3 vias per corridor,
+    // index 7 sits in the top corridor, which only 3-trace boards route.
+    let _ = session.apply_edit(Edit::MoveObstacle {
+        scope: EditScope::Library(0),
+        index: 7,
+        by: Vector::new(1.5, 1.0),
+    });
+    let _ = session.reroute_dirty(&cfg);
+    let after = cache.stats();
+    let invalidated = after.invalidated - before.invalidated;
+    let rekeyed = after.rekeyed - before.rekeyed;
+    assert_eq!(
+        (invalidated + rekeyed) as usize,
+        entries,
+        "the transition classifies every entry"
+    );
+    assert!(
+        rekeyed > 0,
+        "entries outside the edited corridor survive re-keyed \
+         (invalidated {invalidated} of {entries})"
+    );
+    assert!(
+        (invalidated as usize) < entries,
+        "a single move must not flush the cache"
+    );
+
+    // The survivors serve under the new root, and the result is exact.
+    let mut reference = BoardSet::new(session.pristine_boards());
+    let want = route_fleet(&mut reference, &config(2, true, None));
+    assert_runs_identical(
+        "post-invalidation",
+        (&reference, &want),
+        (session.boards(), &session.report()),
+    );
+}
+
+/// A board-local edit touches only that board's content digest: twins
+/// of *other* content keep their entries and the next warm lookup still
+/// hits them.
+#[test]
+fn board_edit_leaves_other_boards_entries() {
+    let cache = Arc::new(ResultCache::default());
+    let cfg = config(2, true, Some(Arc::clone(&cache)));
+    let case = dup_fleet_boards_small(5, 0.0, 13);
+    let mut session = FleetSession::new(BoardSet::new(case.boards.clone()), &cfg);
+    let keys_other: Vec<_> = board_keys(&session.pristine_boards()[3], &cfg.extend);
+    assert!(keys_other.iter().all(|k| cache.contains(k)));
+
+    let _ = session.apply_edit(Edit::MoveObstacle {
+        scope: EditScope::Board(0),
+        index: 1,
+        by: Vector::new(2.0, 0.0),
+    });
+    let _ = session.reroute_dirty(&cfg);
+    // Board 3 was untouched: its entries survive under unchanged keys.
+    assert!(
+        keys_other.iter().all(|k| cache.contains(k)),
+        "board-local damage must not reach other boards' entries"
+    );
+}
+
+/// Chaos coverage: a job that panics mid-group never inserts — the cache
+/// holds no entry under the crashed board's keys and is exactly as large
+/// as the healthy boards' group count.
+#[cfg(feature = "fault")]
+#[test]
+fn panicked_job_never_inserts_a_poisoned_entry() {
+    use meander_fleet::{BoardOutcome, FaultPlan};
+
+    let fleet = dup_fleet_boards_small(3, 0.0, 9);
+    let cache = Arc::new(ResultCache::default());
+    let mut cfg = config(2, true, Some(Arc::clone(&cache)));
+    // Unit 0 is board 0's first unit (input order), every attempt.
+    cfg.fault = FaultPlan::new().panic_at_unit(0);
+    let mut set = BoardSet::new(fleet.boards.clone());
+    let report = route_fleet(&mut set, &cfg);
+    assert!(matches!(report.outcomes[0], BoardOutcome::Failed(_)));
+    assert!(report.outcomes[1].is_routed() && report.outcomes[2].is_routed());
+
+    for key in board_keys(&fleet.boards[0], &cfg.extend) {
+        assert!(
+            !cache.contains(&key),
+            "a panicked job must not leave an entry behind"
+        );
+    }
+    let healthy_groups: usize = fleet.boards[1..]
+        .iter()
+        .map(|lb| lb.board().groups().len())
+        .sum();
+    assert_eq!(cache.len(), healthy_groups, "only healthy groups inserted");
+}

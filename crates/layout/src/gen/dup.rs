@@ -1,0 +1,155 @@
+//! Duplicate-heavy fleet generator: the content-addressed cache's target
+//! workload.
+//!
+//! At panel scale most boards are *clones* — the same local geometry
+//! stamped many times against one shared library (the dense, repetitive
+//! instance regime of the VLSI global-routing literature). The result
+//! cache turns every repeat into a lookup, so its bench and property
+//! suites need fleets with a controlled duplicate fraction:
+//! [`dup_fleet_boards`] emits `n_boards` boards of which an expected
+//! `dup_rate` fraction are exact clones of earlier boards (same `Arc`'d
+//! library, byte-identical local content ⇒ equal
+//! [`crate::hash::hash_board_local`] digests), the rest fresh draws from
+//! the standard fleet generator.
+//!
+//! Like every generator here the output is a pure function of its
+//! arguments, and prefix-stable: the dup/fresh decision and the clone
+//! source for board `b` depend only on `(seed, b)`.
+
+use super::fleet::{board_seed, fleet_boards_with_dims, FleetDims};
+use super::FleetCase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serving-size dims for duplicate-heavy sets: the standard six corridors
+/// (so library damage stays corridor-local — what the invalidation
+/// precision bench measures) with short stairs and a light via load, so a
+/// 1000-board set routes in bench time.
+fn dup_dims() -> FleetDims {
+    FleetDims {
+        corridors: 6,
+        n_steps: 2,
+        lib_vias_per_corridor: 4,
+        max_local_vias: 2,
+    }
+}
+
+fn build_dup_fleet(n_boards: usize, dup_rate: f64, seed: u64, dims: FleetDims) -> FleetCase {
+    assert!((0.0..=1.0).contains(&dup_rate), "dup_rate in [0, 1]");
+    // Pass 1: decide dup/fresh per board — a pure function of (seed, b).
+    // Board 0 is always fresh (a duplicate needs a predecessor).
+    let choices: Vec<Option<usize>> = (0..n_boards)
+        .map(|b| {
+            let mut rng = StdRng::seed_from_u64(board_seed(seed, b));
+            let dup = b > 0 && rng.gen_range(0.0..1.0) < dup_rate;
+            dup.then(|| rng.gen_range(0..b))
+        })
+        .collect();
+    let fresh = choices.iter().filter(|c| c.is_none()).count();
+
+    // Pass 2: draw the distinct boards, then assemble — a duplicate is an
+    // exact clone of an earlier *assembled* board (which may itself be a
+    // clone; the chain bottoms out at a fresh draw).
+    let pool = fleet_boards_with_dims(fresh.max(1), seed ^ 0x6475_706c, seed, dims);
+    let mut next_fresh = 0usize;
+    let mut boards: Vec<crate::LibraryBoard> = Vec::with_capacity(n_boards);
+    for choice in choices {
+        match choice {
+            Some(src) => boards.push(boards[src].clone()),
+            None => {
+                boards.push(pool.boards[next_fresh].clone());
+                next_fresh += 1;
+            }
+        }
+    }
+    FleetCase {
+        library: pool.library,
+        boards,
+    }
+}
+
+/// Generates `n_boards` boards sharing one library, an expected
+/// `dup_rate` fraction of them exact clones of earlier boards. Clones
+/// share the library `Arc` and have byte-identical local content, so
+/// their content digests — and therefore their result-cache keys —
+/// coincide. Deterministic and prefix-stable in `(seed, b)`.
+pub fn dup_fleet_boards(n_boards: usize, dup_rate: f64, seed: u64) -> FleetCase {
+    build_dup_fleet(n_boards, dup_rate, seed, dup_dims())
+}
+
+/// [`dup_fleet_boards`] at property-suite size (three light corridors, as
+/// [`super::fleet_boards_small`]), so randomized cache-equality suites
+/// can route dozens of fleets in debug builds.
+pub fn dup_fleet_boards_small(n_boards: usize, dup_rate: f64, seed: u64) -> FleetCase {
+    build_dup_fleet(
+        n_boards,
+        dup_rate,
+        seed,
+        FleetDims {
+            corridors: 3,
+            n_steps: 2,
+            lib_vias_per_corridor: 3,
+            max_local_vias: 2,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_board_local;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn deterministic_and_prefix_stable() {
+        let a = dup_fleet_boards_small(8, 0.6, 5);
+        let b = dup_fleet_boards_small(8, 0.6, 5);
+        for (x, y) in a.boards.iter().zip(&b.boards) {
+            assert_eq!(hash_board_local(x.board()), hash_board_local(y.board()));
+        }
+        // Growing the set preserves the prefix.
+        let bigger = dup_fleet_boards_small(12, 0.6, 5);
+        for (x, y) in a.boards.iter().zip(&bigger.boards) {
+            assert_eq!(hash_board_local(x.board()), hash_board_local(y.board()));
+        }
+    }
+
+    #[test]
+    fn dup_rate_controls_distinct_content() {
+        let heavy = dup_fleet_boards_small(32, 0.9, 7);
+        let distinct: HashSet<u64> = heavy
+            .boards
+            .iter()
+            .map(|lb| hash_board_local(lb.board()))
+            .collect();
+        assert!(
+            distinct.len() <= 8,
+            "dup_rate=0.9 should leave few distinct boards, got {}",
+            distinct.len()
+        );
+        // All boards share one library Arc.
+        assert!(heavy
+            .boards
+            .iter()
+            .all(|lb| Arc::ptr_eq(lb.library(), &heavy.library)));
+        // dup_rate = 0 yields all-distinct content.
+        let none = dup_fleet_boards_small(8, 0.0, 7);
+        let distinct: HashSet<u64> = none
+            .boards
+            .iter()
+            .map(|lb| hash_board_local(lb.board()))
+            .collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn serving_size_has_six_corridors_and_is_clean() {
+        let fleet = dup_fleet_boards(4, 0.5, 3);
+        for lb in &fleet.boards {
+            let mat = lb.to_board();
+            assert!(mat.check().is_empty());
+            assert!(!mat.groups().is_empty());
+        }
+    }
+}

@@ -47,13 +47,25 @@ pub(super) const DGAP: f64 = 8.0;
 const RUN: f64 = 56.0;
 const RISE: f64 = 10.0;
 
-/// Dimensions of one generated fleet, bundled so the standard and the
-/// test-sized entry points share every derivation.
-struct FleetDims {
-    corridors: usize,
-    n_steps: usize,
-    lib_vias_per_corridor: usize,
-    max_local_vias: usize,
+/// Dimensions of one generated fleet, bundled so the standard, the
+/// test-sized, and the duplicate-heavy entry points share every
+/// derivation.
+pub(super) struct FleetDims {
+    pub(super) corridors: usize,
+    pub(super) n_steps: usize,
+    pub(super) lib_vias_per_corridor: usize,
+    pub(super) max_local_vias: usize,
+}
+
+/// [`build_fleet`] under caller-chosen dims — the duplicate-heavy
+/// generator draws its distinct-board pool through this.
+pub(super) fn fleet_boards_with_dims(
+    n_boards: usize,
+    library_seed: u64,
+    per_board_seed: u64,
+    dims: FleetDims,
+) -> FleetCase {
+    build_fleet(n_boards, library_seed, per_board_seed, dims)
 }
 
 pub(super) fn fleet_rules() -> DesignRules {

@@ -10,6 +10,7 @@
 
 pub mod anyangle;
 pub mod diffpair;
+pub mod dup;
 pub mod edits;
 pub mod fleet;
 pub mod stress;
@@ -18,6 +19,7 @@ pub mod table2;
 
 pub use anyangle::any_angle_bus;
 pub use diffpair::{decoupled_pair, DecoupledPairCase};
+pub use dup::{dup_fleet_boards, dup_fleet_boards_small};
 pub use edits::{edit_stream, nth_edit};
 pub use fleet::{fleet_boards, fleet_boards_small, FleetCase};
 pub use stress::{stress_board, stress_mixed_board, StressCase};

@@ -44,6 +44,7 @@ pub mod diffpair;
 pub mod edit;
 pub mod gen;
 pub mod group;
+pub mod hash;
 pub mod io;
 pub mod library;
 pub mod obstacle;
@@ -56,6 +57,7 @@ pub use board::Board;
 pub use diffpair::DiffPair;
 pub use edit::{Edit, EditScope};
 pub use group::{MatchGroup, TargetLength};
+pub use hash::{hash_board_local, library_root, LibraryCommitment, MerkleTree};
 pub use library::{LibraryBoard, ObstacleLibrary};
 pub use obstacle::{Obstacle, ObstacleKind};
 pub use trace::{Trace, TraceId};

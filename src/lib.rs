@@ -10,7 +10,9 @@
 //! * [`region`] to assign routable areas,
 //! * [`core`]'s driver to length-match a group,
 //! * [`msdtw`] when the group contains differential pairs,
-//! * [`drc`] to verify the result.
+//! * [`drc`] to verify the result,
+//! * [`fleet`] to batch-route many boards sharing an obstacle library
+//!   (with an optional content-addressed result cache).
 //!
 //! ```
 //! use meander::geom::{Point, Polyline};
@@ -21,6 +23,7 @@
 
 pub use meander_core as core;
 pub use meander_drc as drc;
+pub use meander_fleet as fleet;
 pub use meander_geom as geom;
 pub use meander_index as index;
 pub use meander_layout as layout;

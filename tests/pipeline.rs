@@ -11,18 +11,68 @@ use meander::layout::io::{load_board, save_board};
 use meander::layout::MatchGroup;
 use meander::region::assign;
 
-#[test]
-fn table1_case1_end_to_end() {
-    let mut case = table1_case(1);
-    let report = match_board_group(&mut case.board, 0, &ExtendConfig::default());
-    assert!(
-        report.max_error() < 0.06,
-        "max err {:.4}",
-        report.max_error()
-    );
-    assert!(report.avg_error() < 0.03);
-    let violations = case.board.check();
-    assert!(violations.is_empty(), "{violations:?}");
+/// The tier-1 acceptance group: the paper's headline single-board
+/// scenario plus the serving path (a cached mini-fleet routed twice).
+/// `cargo test --test pipeline tier1` runs exactly this gate.
+mod tier1 {
+    use super::*;
+    use meander::fleet::{route_fleet, BoardSet, FleetConfig, ResultCache};
+    use meander::layout::gen::dup_fleet_boards_small;
+    use std::sync::Arc;
+
+    #[test]
+    fn table1_case1_end_to_end() {
+        let mut case = table1_case(1);
+        let report = match_board_group(&mut case.board, 0, &ExtendConfig::default());
+        assert!(
+            report.max_error() < 0.06,
+            "max err {:.4}",
+            report.max_error()
+        );
+        assert!(report.avg_error() < 0.03);
+        let violations = case.board.check();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// A 4-board duplicate-heavy fleet through the content-addressed
+    /// cache, twice: the warm pass serves every job from the cache, the
+    /// routed geometry is bit-identical across passes, and every board
+    /// materializes DRC-clean.
+    #[test]
+    fn cached_mini_fleet_serves_warm_pass() {
+        let fleet = dup_fleet_boards_small(4, 0.5, 19);
+        let cache = Arc::new(ResultCache::default());
+        let cfg = FleetConfig {
+            workers: Some(2),
+            cache: Some(Arc::clone(&cache)),
+            ..Default::default()
+        };
+        let mut cold = BoardSet::new(fleet.boards.clone());
+        let first = route_fleet(&mut cold, &cfg);
+        assert!(first.all_routed(), "{:?}", first.outcomes);
+        assert!(first.stats.cache_misses > 0, "cold pass routes");
+
+        let mut warm = BoardSet::new(fleet.boards.clone());
+        let second = route_fleet(&mut warm, &cfg);
+        assert!(second.all_routed());
+        assert_eq!(
+            second.stats.cache_hits as usize, second.stats.jobs,
+            "warm pass is all hits"
+        );
+        for (a, b) in cold.boards().iter().zip(warm.boards()) {
+            for (id, t) in a.board().traces() {
+                assert_eq!(
+                    t.centerline(),
+                    b.board().trace(id).expect("same traces").centerline(),
+                    "warm pass must replay the cold pass bit for bit"
+                );
+            }
+        }
+        for lb in warm.boards() {
+            let violations = lb.to_board().check();
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
 }
 
 #[test]
