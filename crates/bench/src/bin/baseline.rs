@@ -1,7 +1,7 @@
 //! Performance baseline: times the matching flow, single-trace extension,
 //! the DRC scan, and the **multi-board fleet engine** on the paper's cases
 //! plus the stress boards, for each engine configuration, and emits
-//! `BENCH_PR9.json` (schema v9) — the ninth point of the repo's
+//! `BENCH_PR10.json` (schema v10) — the tenth point of the repo's
 //! performance trajectory. The `fleet` section times a serving-size fleet
 //! routed per-board sequentially, batched without library sharing, and
 //! batched **with** the shared obstacle-library world
@@ -11,16 +11,18 @@
 //! board costs one board; the `resilience` section measures the retry
 //! ladder's happy-path overhead and injected-fault recovery; the
 //! `session` section measures incremental re-routing through
-//! `FleetSession` on a 1000-board fleet at 1% churn. Schema v9 adds the
-//! **cache** section: the content-addressed result cache on a 1000-board
-//! duplicate-heavy fleet (`dup_fleet_boards`, dup rate 0.9) — boards/sec
-//! uncached vs cold (populating) vs warm (serving), the warm-pass hit
-//! rate (asserted ≥ 90%, with warm throughput ≥ 3× uncached), and the
-//! invalidation precision of a single library edit (a corridor-local via
-//! move must invalidate < 20% of the entries, counter-asserted; the rest
-//! survive re-keyed under the new Merkle root). Every pass is asserted
-//! bit-identical to uncached routing. Printed deltas compare against the
-//! recorded `BENCH_PR8.json`.
+//! `FleetSession` on a 1000-board fleet at 1% churn; the `cache` section
+//! measures the content-addressed result cache on a 1000-board
+//! duplicate-heavy fleet (warm-pass hit rate asserted ≥ 90%, warm
+//! throughput ≥ 3× uncached, one library edit invalidating < 20% of the
+//! entries — all counter-asserted, every pass bit-identical to uncached
+//! routing). Schema v10 adds the **sched** section: the typed-priority
+//! scheduler's serving tiers on one shared single-worker `Scheduler` —
+//! interactive re-route p50/p99 latency with and without a concurrent
+//! 1000-board batch fleet (loaded p99 asserted ≤ 2× unloaded), and the
+//! speculative warm-up pass's cold-start hit-rate lift on the dup-rate-0.9
+//! fleet (asserted positive). Printed deltas compare against the recorded
+//! `BENCH_PR9.json`.
 //!
 //! ```text
 //! cargo run --release -p meander-bench --bin baseline [--smoke] [out.json]
@@ -51,10 +53,12 @@
 //!
 //! `--smoke` runs the table1:5 matching + DRC slice plus a 4-board mini
 //! fleet, a duplicate-heavy 4-board fleet routed twice through the result
-//! cache (the warm pass must hit at least once), and the
-//! cancellation-drain case (seconds, debug or release) so CI keeps both
-//! binaries' paths from rotting between perf PRs; with `--features fault`
-//! it also exercises the injected-panic fleet.
+//! cache (the warm pass must hit at least once), a mixed-tier mini run
+//! (interactive re-routes preempting a concurrent batch fleet while a
+//! speculative warm-up queues behind both, all on one shared scheduler),
+//! and the cancellation-drain case (seconds, debug or release) so CI
+//! keeps both binaries' paths from rotting between perf PRs; with
+//! `--features fault` it also exercises the injected-panic fleet.
 
 use meander_core::dp::{extend_segment_dp, DpInput, DpSession, HeightBounds};
 use meander_core::extend::{extend_trace, ExtendInput};
@@ -70,8 +74,8 @@ use meander_drc::{
 #[cfg(feature = "fault")]
 use meander_fleet::FaultPlan;
 use meander_fleet::{
-    route_fleet, route_fleet_resilient, BoardSet, CancelToken, Edit, EditScope, FleetConfig,
-    FleetSession, ResultCache, RetryPolicy,
+    route_fleet, route_fleet_resilient, warm_fleet_cache, BoardSet, CancelToken, Edit, EditScope,
+    FleetConfig, FleetSession, ResultCache, RetryPolicy, Scheduler, Tier,
 };
 use meander_geom::batch::BatchStats;
 use meander_geom::Vector;
@@ -1023,6 +1027,316 @@ fn run_session_case(
     row
 }
 
+/// Index-nearest percentile of a sorted latency vector.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The speculative warm-up economics of the sched row.
+struct WarmupEconRow {
+    case: String,
+    distinct: usize,
+    warmed: usize,
+    warmup_s: f64,
+    /// Hit rate of a cold route against a fresh, unwarmed cache — the
+    /// intra-fleet dup hits the engine finds on its own.
+    cold_hit_rate_unwarmed: f64,
+    /// Hit rate of the same route against the pre-warmed cache.
+    cold_hit_rate_warmed: f64,
+}
+
+impl WarmupEconRow {
+    fn hit_rate_delta(&self) -> f64 {
+        self.cold_hit_rate_warmed - self.cold_hit_rate_unwarmed
+    }
+}
+
+struct SchedRow {
+    scheduler_workers: usize,
+    serve_boards: usize,
+    batch_boards: usize,
+    /// Interactive re-routes timed per phase (unloaded and loaded).
+    reroutes: usize,
+    unloaded_p50_s: f64,
+    unloaded_p99_s: f64,
+    loaded_p50_s: f64,
+    loaded_p99_s: f64,
+    /// Loaded re-routes that actually overlapped the in-flight batch
+    /// fleet (0 would mean the batch finished before the phase started —
+    /// an honest miss that voids the loaded numbers).
+    loaded_overlapped: usize,
+    /// Wall clock of the concurrent batch fleet, submission to report.
+    batch_s: f64,
+    packets_interactive: u64,
+    packets_batch: u64,
+    packets_speculative: u64,
+    preemptions: u64,
+    parks: u64,
+    unparks: u64,
+    warmup: WarmupEconRow,
+}
+
+impl SchedRow {
+    fn loaded_over_unloaded_p99(&self) -> f64 {
+        self.loaded_p99_s / self.unloaded_p99_s.max(1e-12)
+    }
+}
+
+/// The mixed-tier serving scenario on **one shared scheduler**: an
+/// interactive [`FleetSession`] measures re-route latency twice — on an
+/// idle scheduler, then with a batch fleet in flight on the same worker
+/// pool and a speculative cache warm-up queued behind both — and the
+/// warm-up's hit-rate lift is measured against an unwarmed cold route.
+/// Every routing is asserted bit-identical to its sequential reference;
+/// the bucket counters come off [`Scheduler::counters`] deltas.
+fn run_sched_case(smoke: bool) -> SchedRow {
+    let shared = Arc::new(Scheduler::new(1));
+    let sched_cfg = || FleetConfig {
+        extend: batched_config(),
+        workers: None,
+        share_library: true,
+        sched: Some(Arc::clone(&shared)),
+        ..Default::default()
+    };
+    let serial_cfg = FleetConfig {
+        extend: batched_config(),
+        workers: None,
+        share_library: true,
+        ..Default::default()
+    };
+    let fingerprint = |reports: &[Vec<meander_core::GroupReport>]| -> Vec<u64> {
+        reports
+            .iter()
+            .flatten()
+            .flat_map(|g| {
+                g.traces
+                    .iter()
+                    .map(|t| t.achieved.to_bits() ^ (t.patterns as u64) << 1)
+            })
+            .collect()
+    };
+
+    let serve_fleet = if smoke {
+        fleet_boards_small(3, 7, 11)
+    } else {
+        fleet_boards(16, 7, 11)
+    };
+    let batch_fleet = if smoke {
+        fleet_boards_small(4, 21, 42)
+    } else {
+        fleet_boards(1000, 21, 42)
+    };
+    let (warm_name, warm_fleet) = if smoke {
+        ("dup:small:4", dup_fleet_boards_small(4, 0.5, 19))
+    } else {
+        ("dup:1000@0.9", dup_fleet_boards(1000, 0.9, 33))
+    };
+    let reroutes_per_phase = if smoke { 4 } else { 100 };
+    let serve_boards = serve_fleet.boards.len();
+    let batch_boards = batch_fleet.boards.len();
+
+    // The batch reference is routed sequentially up front (no scheduler)
+    // so the loaded phase's batch output can be bit-compared.
+    let mut batch_ref = BoardSet::new(batch_fleet.boards.clone());
+    let batch_want = fingerprint(&route_fleet(&mut batch_ref, &serial_cfg).reports);
+
+    let cfg = sched_cfg();
+    let mut session = FleetSession::new(BoardSet::new(serve_fleet.boards.clone()), &cfg);
+    assert!(session.report().all_routed(), "sched: serve fleet routes");
+    let counters_start = shared.counters();
+
+    // Obstacle 0 of board `k % n` oscillates +v / -v on alternating
+    // visits, so a long edit stream never drifts geometry off the board:
+    // every second visit returns the obstacle home.
+    let edit_for = |k: usize| {
+        let board = k % serve_boards;
+        let sign = if (k / serve_boards).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        Edit::MoveObstacle {
+            scope: EditScope::Board(board),
+            index: 0,
+            by: Vector::new(sign * 1.5, -sign),
+        }
+    };
+    let reroute_once = |session: &mut FleetSession, k: usize| -> f64 {
+        let _ = session.apply_edit(edit_for(k));
+        let t0 = Instant::now();
+        let report = session.reroute_dirty(&cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(report.all_routed(), "sched: serving fleet stays routed");
+        secs
+    };
+
+    // Phase 1: interactive latency on an otherwise idle scheduler.
+    let mut unloaded: Vec<f64> = (0..reroutes_per_phase)
+        .map(|k| reroute_once(&mut session, k))
+        .collect();
+
+    // Phase 2: the same edits with a batch fleet in flight on the same
+    // worker and a speculative warm-up queued behind both tiers.
+    let batch_in_flight = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let batch_cfg = sched_cfg();
+    let batch_flag = Arc::clone(&batch_in_flight);
+    let batch_boards_owned = batch_fleet.boards;
+    let batch_thread = std::thread::spawn(move || {
+        let mut set = BoardSet::new(batch_boards_owned);
+        let t0 = Instant::now();
+        let report = route_fleet(&mut set, &batch_cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        batch_flag.store(false, std::sync::atomic::Ordering::Release);
+        (secs, report)
+    });
+    let warm_cache = Arc::new(ResultCache::default());
+    let warm_cfg = sched_cfg();
+    let warm_cache_remote = Arc::clone(&warm_cache);
+    let warm_boards = warm_fleet.boards.clone();
+    let warm_thread = std::thread::spawn(move || {
+        warm_fleet_cache(&BoardSet::new(warm_boards), &warm_cfg, &warm_cache_remote)
+    });
+    // Give the batch fleet a head start so the loaded phase measures
+    // what it claims to.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let mut loaded: Vec<f64> = Vec::with_capacity(reroutes_per_phase);
+    let mut loaded_overlapped = 0usize;
+    for k in reroutes_per_phase..2 * reroutes_per_phase {
+        loaded.push(reroute_once(&mut session, k));
+        if batch_in_flight.load(std::sync::atomic::Ordering::Acquire) {
+            loaded_overlapped += 1;
+        }
+    }
+    let (batch_s, batch_report) = batch_thread.join().expect("batch thread");
+    let warm = warm_thread.join().expect("warm thread");
+    assert!(batch_report.all_routed(), "sched: batch fleet routes");
+    assert_eq!(
+        batch_want,
+        fingerprint(&batch_report.reports),
+        "sched: batch output under a contended shared scheduler must be \
+         bit-identical to sequential"
+    );
+    assert_eq!(warm.failed, 0, "sched: clean warm-up never fails a group");
+    assert_eq!(warm.skipped, 0, "sched: nothing cancelled the warm-up");
+    assert_eq!(
+        warm.already_cached + warm.warmed,
+        warm.distinct,
+        "sched: the warm-up covers every distinct key"
+    );
+
+    // The served session must still equal from-scratch routing of its
+    // edited fleet after both phases.
+    let mut reference = BoardSet::new(session.pristine_boards());
+    let want = route_fleet(&mut reference, &serial_cfg);
+    assert_eq!(
+        fingerprint(&want.reports),
+        fingerprint(&session.report().reports),
+        "sched: interactive serving must equal from-scratch routing"
+    );
+
+    let counters = shared.counters().delta_since(&counters_start);
+
+    // Warm-up economics: the same fleet content routed cold against a
+    // fresh cache (the engine's own intra-fleet dup hits) vs against the
+    // pre-warmed cache — the delta is what speculative warm-up buys a
+    // cold start.
+    let fresh = Arc::new(ResultCache::default());
+    let unwarmed_cfg = FleetConfig {
+        cache: Some(Arc::clone(&fresh)),
+        ..serial_cfg.clone()
+    };
+    let mut unwarmed_set = BoardSet::new(warm_fleet.boards.clone());
+    let unwarmed = route_fleet(&mut unwarmed_set, &unwarmed_cfg);
+    let warmed_cfg = FleetConfig {
+        cache: Some(Arc::clone(&warm_cache)),
+        ..serial_cfg.clone()
+    };
+    let mut warmed_set = BoardSet::new(warm_fleet.boards.clone());
+    let warmed = route_fleet(&mut warmed_set, &warmed_cfg);
+    assert_eq!(
+        fingerprint(&unwarmed.reports),
+        fingerprint(&warmed.reports),
+        "sched: warmed serving must replay the unwarmed routing exactly"
+    );
+    let hit_rate = |stats: &meander_fleet::FleetStats| -> f64 {
+        let total = stats.cache_hits + stats.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        stats.cache_hits as f64 / total as f64
+    };
+    let warmup = WarmupEconRow {
+        case: warm_name.to_string(),
+        distinct: warm.distinct,
+        warmed: warm.warmed,
+        warmup_s: warm.elapsed.as_secs_f64(),
+        cold_hit_rate_unwarmed: hit_rate(&unwarmed.stats),
+        cold_hit_rate_warmed: hit_rate(&warmed.stats),
+    };
+
+    unloaded.sort_by(f64::total_cmp);
+    loaded.sort_by(f64::total_cmp);
+    let row = SchedRow {
+        scheduler_workers: shared.workers(),
+        serve_boards,
+        batch_boards,
+        reroutes: reroutes_per_phase,
+        unloaded_p50_s: percentile(&unloaded, 0.50),
+        unloaded_p99_s: percentile(&unloaded, 0.99),
+        loaded_p50_s: percentile(&loaded, 0.50),
+        loaded_p99_s: percentile(&loaded, 0.99),
+        loaded_overlapped,
+        batch_s,
+        packets_interactive: counters.packets[Tier::Interactive.index()],
+        packets_batch: counters.packets[Tier::Batch.index()],
+        packets_speculative: counters.packets[Tier::Speculative.index()],
+        preemptions: counters.preemptions,
+        parks: counters.parks,
+        unparks: counters.unparks,
+        warmup,
+    };
+    println!(
+        "interactive ({} boards, {} reroutes/phase): unloaded p50 {:>8.5}s p99 {:>8.5}s  \
+         loaded p50 {:>8.5}s p99 {:>8.5}s (x{:.2} p99, {} of {} overlapped the batch)",
+        row.serve_boards,
+        row.reroutes,
+        row.unloaded_p50_s,
+        row.unloaded_p99_s,
+        row.loaded_p50_s,
+        row.loaded_p99_s,
+        row.loaded_over_unloaded_p99(),
+        row.loaded_overlapped,
+        row.reroutes,
+    );
+    println!(
+        "batch ({} boards) {:>8.4}s under interactive preemption  packets I/B/S {}/{}/{}  \
+         preemptions {}  parks {}  unparks {}",
+        row.batch_boards,
+        row.batch_s,
+        row.packets_interactive,
+        row.packets_batch,
+        row.packets_speculative,
+        row.preemptions,
+        row.parks,
+        row.unparks,
+    );
+    println!(
+        "warm-up {:<12} {} of {} distinct keys in {:>8.4}s  cold hit rate {:.3} unwarmed -> {:.3} warmed ({:+.3})",
+        row.warmup.case,
+        row.warmup.warmed,
+        row.warmup.distinct,
+        row.warmup.warmup_s,
+        row.warmup.cold_hit_rate_unwarmed,
+        row.warmup.cold_hit_rate_warmed,
+        row.warmup.hit_rate_delta(),
+    );
+    row
+}
+
 struct CancelRow {
     fleet: String,
     boards: usize,
@@ -1360,10 +1674,18 @@ fn main() {
         if smoke {
             "BENCH_SMOKE.json".to_string()
         } else {
-            "BENCH_PR9.json".to_string()
+            "BENCH_PR10.json".to_string()
         }
     });
 
+    // The one honesty note for every fleet/session/cache/sched row below:
+    // this container has one CPU.
+    println!(
+        "(1-CPU container: one worker, steal counters ≈ 0, shrink side pair inactive — \
+         shared-vs-unshared deltas isolate library-index amortization, and preemption counts \
+         come from packet-boundary tier switches, not parallel contention; re-measure \
+         scheduler scaling on multicore)\n"
+    );
     println!("== group matching (naive vs incremental vs batched vs rtree vs parallel) ==");
     let mut rows: Vec<CaseRow> = Vec::new();
     if smoke {
@@ -1393,15 +1715,15 @@ fn main() {
         }
         // Side-by-side vs the recorded prior baseline, when present (the
         // acceptance gate for this PR compares against these wall clocks).
-        let pr8 = parse_recorded("BENCH_PR8.json", "single_trace_extension", "batched_s");
-        if !pr8.is_empty() {
-            println!("\n-- delta vs BENCH_PR8.json (recorded batched_s) --");
+        let pr9 = parse_recorded("BENCH_PR9.json", "single_trace_extension", "batched_s");
+        if !pr9.is_empty() {
+            println!("\n-- delta vs BENCH_PR9.json (recorded batched_s) --");
             let mut ratios = Vec::new();
             for r in &extend_rows {
-                if let Some((_, old)) = pr8.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr9.iter().find(|(n, _)| *n == r.name) {
                     ratios.push(old / r.batched_s.max(1e-12));
                     println!(
-                        "{:<18} pr8 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr9 recorded {:>8.4}s  batched now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.batched_s,
@@ -1410,7 +1732,7 @@ fn main() {
                 }
             }
             if let Some(g) = gmean(&ratios) {
-                println!("{:<18} geomean vs recorded PR8: x{g:.2}", "");
+                println!("{:<18} geomean vs recorded PR9: x{g:.2}", "");
             }
         }
     }
@@ -1439,13 +1761,13 @@ fn main() {
         drc_rows.push(run_drc_case(name, &board));
     }
     if !smoke {
-        let pr8 = parse_recorded("BENCH_PR8.json", "drc_scan", "rtree_s");
-        if !pr8.is_empty() {
-            println!("\n-- delta vs BENCH_PR8.json (recorded rtree_s) --");
+        let pr9 = parse_recorded("BENCH_PR9.json", "drc_scan", "rtree_s");
+        if !pr9.is_empty() {
+            println!("\n-- delta vs BENCH_PR9.json (recorded rtree_s) --");
             for r in &drc_rows {
-                if let Some((_, old)) = pr8.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr9.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr8 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr9 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -1454,13 +1776,13 @@ fn main() {
                 }
             }
         }
-        let pr8m = parse_recorded("BENCH_PR8.json", "group_matching", "rtree_s");
-        if !pr8m.is_empty() {
-            println!("\n-- matching delta vs BENCH_PR8.json (recorded rtree_s) --");
+        let pr9m = parse_recorded("BENCH_PR9.json", "group_matching", "rtree_s");
+        if !pr9m.is_empty() {
+            println!("\n-- matching delta vs BENCH_PR9.json (recorded rtree_s) --");
             for r in &rows {
-                if let Some((_, old)) = pr8m.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr9m.iter().find(|(n, _)| *n == r.name) {
                     println!(
-                        "{:<18} pr8 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
+                        "{:<18} pr9 recorded {:>8.4}s  rtree now {:>8.4}s  (x{:.2})",
                         r.name,
                         old,
                         r.rtree_s,
@@ -1472,11 +1794,6 @@ fn main() {
     }
 
     println!("\n== fleet batch routing (sequential vs unshared vs shared library) ==");
-    println!(
-        "(1-CPU container: one worker, steal counters ≈ 0, shrink side pair inactive — the \
-         shared-vs-unshared delta isolates library-index amortization; re-measure scheduler \
-         scaling on multicore)"
-    );
     let mut fleet_rows: Vec<FleetRow> = Vec::new();
     if smoke {
         fleet_rows.push(run_fleet_case(
@@ -1489,18 +1806,18 @@ fn main() {
         fleet_rows.push(run_fleet_case("fleet:32", || fleet_boards(32, 5, 9), 3));
     }
 
-    // Fleet drift against the recorded PR 8 rows (same engine shape both
-    // sides — this PR adds the cache seam on top, which is off here, so
+    // Fleet drift against the recorded PR 9 rows (the per-unit packet
+    // model replaces per-group jobs on the same routing kernels, so
     // shared_s should hold).
     if !smoke {
-        let pr8f = parse_recorded("BENCH_PR8.json", "fleet", "shared_s");
-        if !pr8f.is_empty() {
-            println!("\n-- fleet drift vs BENCH_PR8.json (recorded shared_s) --");
+        let pr9f = parse_recorded("BENCH_PR9.json", "fleet", "shared_s");
+        if !pr9f.is_empty() {
+            println!("\n-- fleet drift vs BENCH_PR9.json (recorded shared_s) --");
             for r in &fleet_rows {
-                if let Some((_, old)) = pr8f.iter().find(|(n, _)| *n == r.name) {
+                if let Some((_, old)) = pr9f.iter().find(|(n, _)| *n == r.name) {
                     let overhead = r.shared_s / old.max(1e-12) - 1.0;
                     println!(
-                        "{:<18} pr8 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% drift, validation {:>8.5}s of it)",
+                        "{:<18} pr9 recorded {:>8.4}s  shared now {:>8.4}s  ({:+.2}% drift, validation {:>8.5}s of it)",
                         r.name,
                         old,
                         r.shared_s,
@@ -1594,6 +1911,35 @@ fn main() {
             inval.invalidated_pct() < 20.0,
             "one library edit invalidated {:.1}% of entries (must stay < 20%)",
             inval.invalidated_pct()
+        );
+    }
+
+    println!("\n== sched: bucketed serving tiers (interactive vs batch vs speculative) ==");
+    let sched_row = run_sched_case(smoke);
+    if !smoke {
+        // The PR's serving-tier gates: a batch fleet in flight must not
+        // more than double the interactive tail, and speculative warm-up
+        // must lift the cold-start hit rate.
+        assert!(
+            sched_row.loaded_overlapped > 0,
+            "the loaded phase must overlap the batch fleet to mean anything"
+        );
+        assert!(
+            sched_row.loaded_p99_s <= 2.0 * sched_row.unloaded_p99_s,
+            "loaded interactive p99 {:.5}s exceeds 2x unloaded {:.5}s",
+            sched_row.loaded_p99_s,
+            sched_row.unloaded_p99_s
+        );
+        assert!(
+            sched_row.warmup.hit_rate_delta() > 0.0,
+            "speculative warm-up must lift the cold-start hit rate \
+             ({:.3} unwarmed vs {:.3} warmed)",
+            sched_row.warmup.cold_hit_rate_unwarmed,
+            sched_row.warmup.cold_hit_rate_warmed
+        );
+        assert!(
+            sched_row.packets_interactive > 0 && sched_row.packets_speculative > 0,
+            "both the interactive and speculative buckets must have run"
         );
     }
 
@@ -1691,8 +2037,8 @@ fn main() {
     // ---- JSON emission (hand-rolled; no serde offline). ------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/9\",");
-    let _ = writeln!(j, "  \"pr\": 9,");
+    let _ = writeln!(j, "  \"schema\": \"meander-bench-baseline/10\",");
+    let _ = writeln!(j, "  \"pr\": 10,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(
         j,
@@ -1929,6 +2275,52 @@ fn main() {
             let _ = writeln!(j, "    \"invalidation\": null");
         }
     }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"sched\": {{");
+    let _ = writeln!(
+        j,
+        "    \"scheduler_workers\": {}, \"serve_boards\": {}, \"batch_boards\": {}, \"reroutes\": {},",
+        sched_row.scheduler_workers,
+        sched_row.serve_boards,
+        sched_row.batch_boards,
+        sched_row.reroutes,
+    );
+    let _ = writeln!(
+        j,
+        "    \"interactive_unloaded_p50_s\": {:.6}, \"interactive_unloaded_p99_s\": {:.6}, \"interactive_loaded_p50_s\": {:.6}, \"interactive_loaded_p99_s\": {:.6},",
+        sched_row.unloaded_p50_s,
+        sched_row.unloaded_p99_s,
+        sched_row.loaded_p50_s,
+        sched_row.loaded_p99_s,
+    );
+    let _ = writeln!(
+        j,
+        "    \"loaded_over_unloaded_p99\": {:.3}, \"loaded_overlapped\": {}, \"batch_s\": {:.6},",
+        sched_row.loaded_over_unloaded_p99(),
+        sched_row.loaded_overlapped,
+        sched_row.batch_s,
+    );
+    let _ = writeln!(
+        j,
+        "    \"packets_interactive\": {}, \"packets_batch\": {}, \"packets_speculative\": {}, \"preemptions\": {}, \"parks\": {}, \"unparks\": {},",
+        sched_row.packets_interactive,
+        sched_row.packets_batch,
+        sched_row.packets_speculative,
+        sched_row.preemptions,
+        sched_row.parks,
+        sched_row.unparks,
+    );
+    let _ = writeln!(
+        j,
+        "    \"warmup\": {{\"case\": \"{}\", \"distinct\": {}, \"warmed\": {}, \"warmup_s\": {:.6}, \"cold_hit_rate_unwarmed\": {:.4}, \"cold_hit_rate_warmed\": {:.4}, \"hit_rate_delta\": {:.4}}}",
+        sched_row.warmup.case,
+        sched_row.warmup.distinct,
+        sched_row.warmup.warmed,
+        sched_row.warmup.warmup_s,
+        sched_row.warmup.cold_hit_rate_unwarmed,
+        sched_row.warmup.cold_hit_rate_warmed,
+        sched_row.warmup.hit_rate_delta(),
+    );
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"drc_scan\": [");
     for (i, r) in drc_rows.iter().enumerate() {

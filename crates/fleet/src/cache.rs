@@ -59,7 +59,7 @@ use meander_layout::hash::{hash_board_local, hash_group, hash_rules, library_roo
 use meander_layout::{LibraryBoard, TraceId};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What a routed group is a function of. Two jobs with equal keys are
@@ -172,7 +172,10 @@ pub struct CacheStats {
 
 #[derive(Debug)]
 struct Entry {
-    value: CachedGroup,
+    /// `Arc` so a lookup hands out a handle instead of cloning the
+    /// group's geometry — per-unit packets consult the same entry once
+    /// per unit, which would otherwise clone the whole group each time.
+    value: Arc<CachedGroup>,
     /// LRU clock stamp of the last lookup or insert.
     used: u64,
 }
@@ -223,15 +226,16 @@ impl ResultCache {
         }
     }
 
-    /// The entry under `key`, counting a hit or miss.
-    pub fn lookup(&self, key: &CacheKey) -> Option<CachedGroup> {
+    /// The entry under `key`, counting a hit or miss. The returned handle
+    /// shares the stored group (no geometry is cloned).
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedGroup>> {
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(key) {
             Some(e) => {
                 e.used = clock;
-                let value = e.value.clone();
+                let value = Arc::clone(&e.value);
                 inner.stats.hits += 1;
                 Some(value)
             }
@@ -254,7 +258,13 @@ impl ResultCache {
         inner.clock += 1;
         let clock = inner.clock;
         inner.bytes += value.bytes;
-        inner.map.insert(key, Entry { value, used: clock });
+        inner.map.insert(
+            key,
+            Entry {
+                value: Arc::new(value),
+                used: clock,
+            },
+        );
         inner.stats.inserts += 1;
         while inner.bytes > self.budget && inner.map.len() > 1 {
             let lru = inner

@@ -1,15 +1,21 @@
-//! The batch engine: validate, flatten a [`BoardSet`] into `(board,
-//! group)` jobs, route them on the work-stealing pool under panic
+//! The batch engine: validate, flatten a [`BoardSet`] into per-unit work
+//! packets, route them on the priority-bucketed scheduler under panic
 //! isolation and deadlines, write back per board atomically.
 //!
-//! ## Job model
+//! ## Packet model
 //!
-//! The unit of scheduling is one **group of one board** — coarse enough
-//! that a job amortizes its board's snapshot, fine enough that a 16-board
-//! fleet keeps a worker pool busy even when board sizes are skewed (the
-//! steal-half deques absorb the skew). Inside a job, the group's units
-//! (traces / differential pairs) run serially through the same
-//! [`meander_core::run_unit_shared`] the single-board driver uses.
+//! The unit of scheduling is one **matching unit** (a trace or a
+//! differential pair) of one group of one board — fine enough that an
+//! interactive re-route preempting a batch fleet waits out at most one
+//! unit per worker, and fine enough that a single skewed board spreads
+//! across the pool. Each packet snapshots its inputs (unit plan, shared
+//! base, obstacle overlay, cache seam) and runs through the same
+//! [`meander_core::run_unit_shared`] the single-board driver uses; the
+//! `(board, group)` **job** survives as write-back metadata (a group's
+//! packets reassemble in unit order before [`meander_core::apply_outputs`]).
+//! Fleets submit their packets at [`crate::sched::Tier::Batch`]; the
+//! speculative warm-up producer ([`warm_fleet_cache`]) submits at
+//! [`crate::sched::Tier::Speculative`].
 //!
 //! ## Failure domains
 //!
@@ -77,12 +83,13 @@ use crate::cancel::CancelToken;
 #[cfg(feature = "fault")]
 use crate::fault::FaultPlan;
 use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
-use crate::steal::{steal_try_map, JobStatus, StealCounters};
+use crate::sched::{run_packets, SchedCounters, Scheduler, Tier};
+use crate::steal::{JobStatus, StealCounters};
 use meander_core::context::{obstacle_inflation, world_cell};
 use meander_core::{
-    apply_outputs, gather_obstacles, plan_board_units, run_unit_shared, run_unit_shared_recorded,
-    CellTouches, DesignRules, ExtendConfig, GroupReport, IndexKind, UnitInput, UnitOutput,
-    WorldBase,
+    apply_outputs, gather_obstacles, plan_unit_packets, run_unit_shared, run_unit_shared_recorded,
+    CellTouches, DesignRules, ExtendConfig, GroupReport, IndexKind, PlannedUnit, UnitInput,
+    UnitOutput, WorldBase,
 };
 use meander_geom::Polygon;
 use meander_layout::hash::{hash_board_local, library_root};
@@ -90,7 +97,7 @@ use meander_layout::{
     validate_board, validate_library, LibraryBoard, ObstacleLibrary, ValidationError,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A fleet of boards, each referencing a shared obstacle library.
@@ -178,6 +185,14 @@ pub struct FleetConfig {
     /// jobs never insert. Share one cache across fleets and sessions via
     /// the `Arc`.
     pub cache: Option<Arc<ResultCache>>,
+    /// Shared priority-bucketed scheduler ([`crate::sched`]). When set,
+    /// the fleet's packets run on it at [`Tier::Batch`] (its worker count
+    /// wins over [`FleetConfig::workers`]) and interleave with whatever
+    /// other tiers are in flight — an attached serving session's
+    /// interactive packets preempt at packet boundaries. When `None`, the
+    /// run uses a private pool (or an inline serial loop for one worker);
+    /// output is bit-identical either way.
+    pub sched: Option<Arc<Scheduler>>,
     /// Scripted faults for chaos testing (`fault` feature only —
     /// production builds don't carry the field).
     #[cfg(feature = "fault")]
@@ -195,6 +210,7 @@ impl Default for FleetConfig {
             board_budget: None,
             cancel: None,
             cache: None,
+            sched: None,
             #[cfg(feature = "fault")]
             fault: FaultPlan::default(),
         }
@@ -249,14 +265,20 @@ pub struct FleetStats {
     /// libraries, boards, and strata. Always zero for a bare
     /// [`route_fleet`].
     pub cells_dirty: u64,
-    /// `(board, group)` jobs served from [`FleetConfig::cache`] this run.
-    /// Zero when no cache is attached. Counters are observability, not
-    /// outputs: which job hits can vary with scheduling (a twin inserted
-    /// earlier in the run), the routed bytes cannot.
+    /// Unit packets served from [`FleetConfig::cache`] this run. Zero
+    /// when no cache is attached. Counters are observability, not
+    /// outputs: which packet hits can vary with scheduling (a twin
+    /// inserted earlier in the run), the routed bytes cannot.
     pub cache_hits: u64,
-    /// Jobs that consulted the cache and routed (then inserted). Zero
-    /// when no cache is attached.
+    /// Unit packets that consulted the cache and routed fresh (a group
+    /// whose every unit routed fresh then inserts). Zero when no cache is
+    /// attached.
     pub cache_misses: u64,
+    /// Boards whose unit plan was rebuilt this serving cycle (structural
+    /// edit or first route). Always zero for a bare [`route_fleet`];
+    /// `FleetSession::reroute_dirty` fills it in — and scopes it to the
+    /// structurally edited boards only.
+    pub boards_replanned: usize,
     /// Busy time charged to each board (unit runtimes, indexed by
     /// submission order) — the per-board slice of the scheduler's busy
     /// total, and the quantity [`FleetConfig::board_budget`] meters.
@@ -271,11 +293,21 @@ pub struct FleetStats {
     /// Wall clock of the scheduled phase (planning + routing + write-back
     /// excluded: this is the pool's span).
     pub route_wall: Duration,
-    /// Per-job wall-time histogram (completed jobs, including halted
-    /// ones).
+    /// Per-unit-packet wall-time histogram (packets that ran to
+    /// completion, cached replays included; halted packets are not
+    /// recorded).
     pub latency: LatencyHistogram,
-    /// Scheduler counters (workers, steals, per-worker busy/panics).
+    /// Worker-level counters of this run (workers, steals, per-worker
+    /// busy/panics).
     pub scheduler: StealCounters,
+    /// Bucket and monitor counters over this run's window: per-bucket
+    /// packets executed and peak occupancy, park/unpark, preemptions
+    /// ([`crate::sched`]). With a private pool this is the run's exact
+    /// accounting; on a shared [`FleetConfig::sched`] concurrent tiers'
+    /// packets land in whichever run's window they completed. All
+    /// cross-worker counters (steals, preemptions) read zero on a 1-CPU
+    /// host.
+    pub sched: SchedCounters,
 }
 
 /// One fleet run's results: per-board outcomes and group reports (board
@@ -316,7 +348,10 @@ impl FleetReport {
             "fleet boards={} routed={} degraded={} rejected={} failed={} \
              cancelled={} deadline={} shed={} retries={} units={}/{} \
              dirty={} skipped={} cells_dirty={} skip_rate={:.1}% \
-             wall={:.3?} p99={:.3?}",
+             replanned={} wall={:.3?} p99={:.3?} \
+             packets_interactive={} packets_batch={} packets_speculative={} \
+             peak_interactive={} peak_batch={} peak_speculative={} \
+             parks={} unparks={} preemptions={} steals={}",
             s.boards,
             s.routed,
             s.degraded,
@@ -332,8 +367,19 @@ impl FleetReport {
             s.units_skipped,
             s.cells_dirty,
             skip_rate,
+            s.boards_replanned,
             s.route_wall,
             s.latency.quantile_upper(0.99),
+            s.sched.packets[Tier::Interactive.index()],
+            s.sched.packets[Tier::Batch.index()],
+            s.sched.packets[Tier::Speculative.index()],
+            s.sched.peak_pending[Tier::Interactive.index()],
+            s.sched.peak_pending[Tier::Batch.index()],
+            s.sched.peak_pending[Tier::Speculative.index()],
+            s.sched.parks,
+            s.sched.unparks,
+            s.sched.preemptions,
+            s.sched.steals,
         )
     }
 }
@@ -406,30 +452,39 @@ impl<K: PartialEq + Copy> BaseCache<K> {
     }
 }
 
-/// One scheduled job: a group of a board, snapshotted.
-struct Job {
+/// One planned group: write-back metadata. Not scheduled itself — its
+/// units are ([`UnitJob`]); its index in the flat group list doubles as
+/// the fault plan's `job_index` (same numbering as the previous
+/// per-group jobs, so recorded plans stay valid).
+struct GroupJob {
     board: usize,
     /// Board-local group index (outcome provenance).
     group: usize,
     target: f64,
-    units: Vec<UnitInput>,
-    /// Per-unit shared base (selected from the `(library, rules)` cache by
-    /// each unit's own rules; all `None` when sharing is off).
-    unit_bases: Vec<Option<Arc<WorldBase>>>,
+    unit_count: usize,
+    /// Content-addressed identity of this group (`Some` iff a cache is
+    /// attached): what its packets consult before routing.
+    key: Option<CacheKey>,
+}
+
+/// One scheduled packet: a single unit, snapshotted.
+struct UnitJob {
+    board: usize,
+    /// Index into the flat group-job list.
+    gj: usize,
+    /// Unit index within its group.
+    unit: usize,
+    input: UnitInput,
+    /// Shared base selected from the `(library, rules)` cache by this
+    /// unit's own rules (`None` when sharing is off).
+    base: Option<Arc<WorldBase>>,
     /// The obstacle polygons `run_unit_shared` sees: board-local only in
     /// shared mode, `library ++ local` when materialized.
     obstacles: Arc<Vec<Polygon>>,
-    /// Global input-order index of this job (fault delay-at-pop and the
-    /// unit-progress diagnostics key on it).
-    job_index: u64,
-    /// Global input-order index of this job's first unit (fault
-    /// panic-at-unit keys on `unit_base + k`, making injections invariant
-    /// across scheduling).
+    /// Global input-order unit index (fault panic-at-unit keys on it,
+    /// making injections invariant across scheduling).
     #[cfg_attr(not(feature = "fault"), allow(dead_code))]
-    unit_base: u64,
-    /// Content-addressed identity of this job (`Some` iff a cache is
-    /// attached): what the cache is consulted with before routing.
-    key: Option<CacheKey>,
+    global_unit: u64,
 }
 
 /// Why a job (or the run) stopped early.
@@ -480,10 +535,126 @@ impl RunControl {
     }
 }
 
-struct JobOut {
-    outputs: Vec<UnitOutput>,
-    halted: Option<Halt>,
-    elapsed: Duration,
+/// What one unit packet resolved to.
+enum UnitRes {
+    /// The unit's board halted (token, deadline, or busy budget) before
+    /// this unit ran.
+    Halted(Halt),
+    /// The unit completed — routed fresh or replayed from the cache.
+    Done { out: UnitOutput, elapsed: Duration },
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Packet bodies run under catch_unwind, so a poisoned accumulator can
+    // only mean a panic inside this module's own bookkeeping; recover.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Everything a unit packet needs beyond its own snapshot, shared across
+/// the run (packets are `'static`, so this is `Arc`ed rather than
+/// borrowed).
+struct RunState {
+    extend: ExtendConfig,
+    control: RunControl,
+    cache: Option<Arc<ResultCache>>,
+    groups: Vec<GroupJob>,
+    /// Per group: fresh-routed unit results accumulating toward an
+    /// in-run insert — when every slot fills (no unit was cached, halted,
+    /// or panicked), the group inserts. Empty vecs when no cache.
+    accum: Vec<Mutex<Vec<Option<CachedUnit>>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    #[cfg(feature = "fault")]
+    fault: FaultPlan,
+}
+
+impl RunState {
+    /// The packet body shared by batch fleets and the warm-up producer:
+    /// fault delay on the group's first unit, cache consult, injected
+    /// panic, route-with-recording, in-run group insert. `write_back`
+    /// distinguishes a real fleet (board halts honored, busy charged)
+    /// from a speculative warm-up (no board to halt or charge).
+    fn run_unit(&self, job: &UnitJob, write_back: bool) -> UnitRes {
+        let t0 = Instant::now();
+        #[cfg(feature = "fault")]
+        if job.unit == 0 {
+            if let Some(delay) = self.fault.delay_jobs.get(&(job.gj as u64)) {
+                std::thread::sleep(*delay);
+            }
+        }
+        let gjm = &self.groups[job.gj];
+        // Cache consultation first (mirrors the per-group engine): a hit
+        // replays the stored bytes — exactly what routing would produce
+        // (determinism; module docs of `crate::cache`).
+        if let (Some(cache), Some(key)) = (self.cache.as_deref(), gjm.key.as_ref()) {
+            if let Some(cached) = cache.lookup(key) {
+                if let Some(u) = cached.units().get(job.unit) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return UnitRes::Done {
+                        out: u.to_output(),
+                        elapsed: t0.elapsed(),
+                    };
+                }
+            }
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_back {
+            // Unit boundary: the finer-grained budget check. A fired
+            // token or blown budget stops this board's remaining units;
+            // other boards are unaffected.
+            if let Some(h) = self.control.board_halt(job.board) {
+                return UnitRes::Halted(h);
+            }
+        }
+        #[cfg(feature = "fault")]
+        if self.fault.panics_unit(job.global_unit) {
+            panic!(
+                "injected fault: panic at unit {} (board {}, group {}, attempt {})",
+                job.global_unit, job.board, gjm.group, self.fault.attempt
+            );
+        }
+        let out = if gjm.key.is_some() {
+            let mut touches = CellTouches::new();
+            let out = run_unit_shared_recorded(
+                &job.input,
+                &job.obstacles,
+                job.base.as_ref(),
+                &self.extend,
+                &mut touches,
+            );
+            // In-run group insert: only a group whose *every* unit routed
+            // fresh inserts (a panicking or halted unit never fills its
+            // slot — no poisoned entries, structurally; a mixed group's
+            // cached units mean the entry already exists).
+            if let (Some(cache), Some(key)) = (self.cache.as_deref(), gjm.key) {
+                let full = {
+                    let mut acc = lock(&self.accum[job.gj]);
+                    acc[job.unit] = Some(CachedUnit::new(&out, touches));
+                    if acc.iter().all(Option::is_some) {
+                        Some(acc.iter_mut().flat_map(Option::take).collect::<Vec<_>>())
+                    } else {
+                        None
+                    }
+                };
+                if let Some(units) = full {
+                    cache.insert(key, CachedGroup::new(units));
+                }
+            }
+            out
+        } else {
+            run_unit_shared(&job.input, &job.obstacles, job.base.as_ref(), &self.extend)
+        };
+        if write_back {
+            self.control.charge(job.board, out.busy());
+        }
+        UnitRes::Done {
+            out,
+            elapsed: t0.elapsed(),
+        }
+    }
 }
 
 /// Routes every group of every valid board of `set`, in place.
@@ -604,8 +775,10 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         Vec::new()
     };
 
-    // ---- Flatten boards × groups into jobs (snapshot everything). -------
-    let mut jobs: Vec<Job> = Vec::new();
+    // ---- Flatten boards × groups × units into packets (snapshot
+    // everything). Groups survive as write-back metadata.
+    let mut group_jobs: Vec<GroupJob> = Vec::new();
+    let mut unit_jobs: Vec<UnitJob> = Vec::new();
     let mut units_total = 0usize;
     let mut groups_per_board: Vec<usize> = Vec::with_capacity(n_boards);
     for (b, lb) in set.boards.iter().enumerate() {
@@ -621,159 +794,133 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             Arc::new(all)
         };
         let lib_key = Arc::as_ptr(lb.library());
-        let planned = plan_board_units(lb.board());
-        groups_per_board.push(planned.len());
-        for (group, (target, units)) in planned.into_iter().enumerate() {
-            let unit_base = units_total as u64;
-            units_total += units.len();
-            // Per-unit base selection: the cache covers every rule set a
-            // valid board's traces carry, so in shared mode the lookup
-            // always hits (pairs route their merged median under
-            // *virtualized* rules and fall back to materialization inside
-            // the engine — same as before, bit-identical).
-            let unit_bases: Vec<Option<Arc<WorldBase>>> = if config.share_library {
-                units
-                    .iter()
-                    .map(|u| {
-                        let base = bases.lookup(lib_key, u.rules());
-                        debug_assert!(base.is_some(), "base cache covers all valid rules");
-                        base
-                    })
-                    .collect()
-            } else {
-                vec![None; units.len()]
-            };
-            let key = config.cache.is_some().then(|| CacheKey {
-                library_root: lib_roots
-                    .iter()
-                    .find(|(k, _)| *k == lib_key)
-                    .map(|(_, r)| *r)
-                    .unwrap_or(0),
-                rules_hash: cache::rules_key(&units, &config.extend),
-                board_local_hash: board_hash[b],
-                group_hash: cache::group_key(&lb.board().groups()[group], group, target),
+        let (targets, flat) = plan_unit_packets(lb.board());
+        groups_per_board.push(targets.len());
+        let mut by_group: Vec<Vec<PlannedUnit>> = (0..targets.len()).map(|_| Vec::new()).collect();
+        for p in flat {
+            by_group[p.group].push(p);
+        }
+        for (group, (units, &target)) in by_group.into_iter().zip(&targets).enumerate() {
+            let key = config.cache.is_some().then(|| {
+                let inputs: Vec<UnitInput> = units.iter().map(|p| p.input.clone()).collect();
+                CacheKey {
+                    library_root: lib_roots
+                        .iter()
+                        .find(|(k, _)| *k == lib_key)
+                        .map(|(_, r)| *r)
+                        .unwrap_or(0),
+                    rules_hash: cache::rules_key(&inputs, &config.extend),
+                    board_local_hash: board_hash[b],
+                    group_hash: cache::group_key(&lb.board().groups()[group], group, target),
+                }
             });
-            jobs.push(Job {
+            let gj = group_jobs.len();
+            group_jobs.push(GroupJob {
                 board: b,
                 group,
                 target,
-                units,
-                unit_bases,
-                obstacles: Arc::clone(&obstacles),
-                job_index: jobs.len() as u64,
-                unit_base,
+                unit_count: units.len(),
                 key,
             });
+            for p in units {
+                // Per-unit base selection: the cache covers every rule
+                // set a valid board's traces carry, so in shared mode the
+                // lookup always hits (pairs route their merged median
+                // under *virtualized* rules and fall back to
+                // materialization inside the engine — same as before,
+                // bit-identical).
+                let base = if config.share_library {
+                    let base = bases.lookup(lib_key, p.input.rules());
+                    debug_assert!(base.is_some(), "base cache covers all valid rules");
+                    base
+                } else {
+                    None
+                };
+                unit_jobs.push(UnitJob {
+                    board: b,
+                    gj,
+                    unit: p.unit,
+                    input: p.input,
+                    base,
+                    obstacles: Arc::clone(&obstacles),
+                    global_unit: units_total as u64,
+                });
+                units_total += 1;
+            }
         }
     }
-    let n_jobs = jobs.len();
+    let n_jobs = group_jobs.len();
 
-    // ---- Route on the work-stealing pool. -------------------------------
-    let extend = &config.extend;
-    let control = RunControl {
-        cancel: config.cancel.clone(),
-        deadline: config.deadline.map(|d| started + d),
-        board_budget: config.board_budget,
-        board_spent: (0..n_boards).map(|_| AtomicU64::new(0)).collect(),
-    };
-    let stop = || control.global_halt().is_some();
-    // Last unit each job *started*, written before the unit runs so a
-    // panic's unwind leaves the crashing unit's index behind for the
-    // failure diagnostics (u64::MAX = the job never reached a unit).
-    let progress: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(u64::MAX)).collect();
-    let cache_hits = AtomicU64::new(0);
-    let cache_misses = AtomicU64::new(0);
-    let t0 = Instant::now();
-    let (statuses, scheduler) = steal_try_map(&jobs, workers, Some(&stop), |job: &Job| {
-        let t_job = Instant::now();
-        #[cfg(feature = "fault")]
-        if let Some(delay) = config.fault.delay_jobs.get(&job.job_index) {
-            std::thread::sleep(*delay);
-        }
-        // Cache consultation: a hit replays the stored outputs — the
-        // exact bytes routing would produce (determinism; module docs of
-        // `crate::cache`) — and skips the unit loop entirely.
-        if let (Some(cache), Some(key)) = (config.cache.as_deref(), job.key.as_ref()) {
-            if let Some(cached) = cache.lookup(key) {
-                cache_hits.fetch_add(1, Ordering::Relaxed);
-                return JobOut {
-                    outputs: cached.units().iter().map(CachedUnit::to_output).collect(),
-                    halted: None,
-                    elapsed: t_job.elapsed(),
-                };
+    // ---- Zero-unit groups: no packets to schedule; mirror the previous
+    // per-group engine's cache flow on the calling thread.
+    let mut planning_hits = 0u64;
+    let mut planning_misses = 0u64;
+    if let Some(cache) = config.cache.as_deref() {
+        for gj in &group_jobs {
+            if gj.unit_count > 0 {
+                continue;
             }
-            cache_misses.fetch_add(1, Ordering::Relaxed);
-        }
-        let recording = job.key.is_some();
-        let mut outputs = Vec::with_capacity(job.units.len());
-        let mut touched: Vec<CellTouches> = Vec::with_capacity(job.units.len());
-        let mut halted = None;
-        for k in 0..job.units.len() {
-            // Unit boundary: the finer-grained budget check. A fired
-            // token or blown budget stops this job here; completed units
-            // of other jobs are unaffected.
-            if let Some(h) = control.board_halt(job.board) {
-                halted = Some(h);
-                break;
-            }
-            progress[job.job_index as usize].store(k as u64, Ordering::Relaxed);
-            #[cfg(feature = "fault")]
-            if config.fault.panics_unit(job.unit_base + k as u64) {
-                panic!(
-                    "injected fault: panic at unit {} (board {}, group {}, attempt {})",
-                    job.unit_base + k as u64,
-                    job.board,
-                    job.group,
-                    config.fault.attempt
-                );
-            }
-            let out = if recording {
-                let mut touches = CellTouches::new();
-                let out = run_unit_shared_recorded(
-                    &job.units[k],
-                    &job.obstacles,
-                    job.unit_bases[k].as_ref(),
-                    extend,
-                    &mut touches,
-                );
-                touched.push(touches);
-                out
+            let Some(key) = gj.key else { continue };
+            if cache.lookup(&key).is_some() {
+                planning_hits += 1;
             } else {
-                run_unit_shared(
-                    &job.units[k],
-                    &job.obstacles,
-                    job.unit_bases[k].as_ref(),
-                    extend,
-                )
-            };
-            control.charge(job.board, out.busy());
-            outputs.push(out);
-        }
-        // Only complete jobs insert: a panic unwinds out of the loop
-        // above before reaching here (no poisoned entries, structurally),
-        // and a halted job holds a prefix, not the group.
-        if halted.is_none() && outputs.len() == job.units.len() {
-            if let (Some(cache), Some(key)) = (config.cache.as_deref(), job.key) {
-                let units = outputs
-                    .iter()
-                    .zip(&touched)
-                    .map(|(out, touches)| CachedUnit::new(out, touches.clone()))
-                    .collect();
-                cache.insert(key, CachedGroup::new(units));
+                planning_misses += 1;
+                cache.insert(key, CachedGroup::new(Vec::new()));
             }
         }
-        JobOut {
-            outputs,
-            halted,
-            elapsed: t_job.elapsed(),
-        }
+    }
+
+    // ---- Route as Batch packets on the bucketed scheduler. --------------
+    let state = Arc::new(RunState {
+        extend: config.extend.clone(),
+        control: RunControl {
+            cancel: config.cancel.clone(),
+            deadline: config.deadline.map(|d| started + d),
+            board_budget: config.board_budget,
+            board_spent: (0..n_boards).map(|_| AtomicU64::new(0)).collect(),
+        },
+        cache: config.cache.clone(),
+        accum: group_jobs
+            .iter()
+            .map(|gj| {
+                Mutex::new(if gj.key.is_some() {
+                    vec![None; gj.unit_count]
+                } else {
+                    Vec::new()
+                })
+            })
+            .collect(),
+        groups: group_jobs,
+        cache_hits: AtomicU64::new(planning_hits),
+        cache_misses: AtomicU64::new(planning_misses),
+        #[cfg(feature = "fault")]
+        fault: config.fault.clone(),
     });
+    let unit_jobs = Arc::new(unit_jobs);
+    let stop: Arc<dyn Fn() -> bool + Send + Sync> = {
+        let s = Arc::clone(&state);
+        Arc::new(move || s.control.global_halt().is_some())
+    };
+    let body = {
+        let s = Arc::clone(&state);
+        Arc::new(move |job: &UnitJob| s.run_unit(job, true))
+    };
+    let t0 = Instant::now();
+    let (statuses, scheduler, sched_delta) = run_packets(
+        config.sched.as_ref(),
+        Tier::Batch,
+        workers,
+        Arc::clone(&unit_jobs),
+        Some(stop),
+        body,
+    );
     let route_wall = t0.elapsed();
 
     // ---- Resolve per-board outcomes (Panicked > Halted > Routed). -------
-    // A skipped job was never claimed: whether that's "cancelled" or
+    // A skipped packet was never claimed: whether that's "cancelled" or
     // "deadline" is a property of the run, read off the token.
-    let skip_halt = if control
+    let skip_halt = if state
+        .control
         .cancel
         .as_ref()
         .is_some_and(CancelToken::is_cancelled)
@@ -786,20 +933,19 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
     let mut halt_of: Vec<Option<Halt>> = vec![None; n_boards];
     let mut units_run = 0usize;
     let mut latency = LatencyHistogram::default();
-    for (job, status) in jobs.iter().zip(&statuses) {
+    for (job, status) in unit_jobs.iter().zip(&statuses) {
         match status {
-            JobStatus::Done(out) => {
-                units_run += out.outputs.len();
-                latency.record(out.elapsed);
-                if let Some(h) = out.halted {
-                    halt_of[job.board].get_or_insert(h);
-                }
+            JobStatus::Done(UnitRes::Done { elapsed, .. }) => {
+                units_run += 1;
+                latency.record(*elapsed);
+            }
+            JobStatus::Done(UnitRes::Halted(h)) => {
+                halt_of[job.board].get_or_insert(*h);
             }
             JobStatus::Panicked(p) => {
-                let last_started = progress[job.job_index as usize].load(Ordering::Relaxed);
                 panic_of[job.board].get_or_insert(JobError::Panicked {
-                    group: job.group,
-                    unit: (last_started != u64::MAX).then_some(last_started),
+                    group: state.groups[job.gj].group,
+                    unit: Some(job.unit as u64),
                     message: p.message(),
                 });
             }
@@ -826,28 +972,43 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
         .collect();
 
     // ---- Atomic write-back: only fully-routed boards, in (board, group,
-    // unit) order. A board that lost any job keeps its input geometry.
+    // unit) order. A board that lost any packet keeps its input geometry.
+    // Packets reassemble into their group's output vector first (the flat
+    // list is (board, group, unit)-ordered, so pushes arrive in unit
+    // order).
+    let mut group_outputs: Vec<Vec<UnitOutput>> = state
+        .groups
+        .iter()
+        .map(|gj| Vec::with_capacity(gj.unit_count))
+        .collect();
+    for (job, status) in unit_jobs.iter().zip(statuses) {
+        if !outcomes[job.board].is_routed() {
+            continue;
+        }
+        let JobStatus::Done(UnitRes::Done { out, .. }) = status else {
+            unreachable!("a routed board has only completed packets");
+        };
+        group_outputs[job.gj].push(out);
+    }
     let mut reports: Vec<Vec<GroupReport>> = groups_per_board
         .iter()
         .map(|&g| Vec::with_capacity(g))
         .collect();
-    for (job, status) in jobs.iter().zip(statuses) {
-        if !outcomes[job.board].is_routed() {
+    for (gj, outputs) in state.groups.iter().zip(group_outputs) {
+        if !outcomes[gj.board].is_routed() {
             continue;
         }
-        let JobStatus::Done(out) = status else {
-            unreachable!("a routed board has only completed jobs");
-        };
-        let board = set.boards[job.board].board_mut();
-        let (traces, busy) = apply_outputs(board, out.outputs);
-        reports[job.board].push(GroupReport {
-            target: job.target,
+        let board = set.boards[gj.board].board_mut();
+        let (traces, busy) = apply_outputs(board, outputs);
+        reports[gj.board].push(GroupReport {
+            target: gj.target,
             traces,
             runtime: busy,
         });
     }
 
-    let board_busy: Vec<Duration> = control
+    let board_busy: Vec<Duration> = state
+        .control
         .board_spent
         .iter()
         .map(|a| Duration::from_nanos(a.load(Ordering::Relaxed)))
@@ -873,16 +1034,269 @@ pub fn route_fleet(set: &mut BoardSet, config: &FleetConfig) -> FleetReport {
             units_dirty: 0,
             units_skipped: 0,
             cells_dirty: 0,
-            cache_hits: cache_hits.into_inner(),
-            cache_misses: cache_misses.into_inner(),
+            cache_hits: state.cache_hits.load(Ordering::Relaxed),
+            cache_misses: state.cache_misses.load(Ordering::Relaxed),
+            boards_replanned: 0,
             board_busy,
             validation_wall,
             base_build,
             route_wall,
             latency,
             scheduler,
+            sched: sched_delta,
         },
         outcomes,
+    }
+}
+
+/// What a speculative warm-up pass did.
+#[derive(Debug, Clone, Default)]
+pub struct WarmupReport {
+    /// Boards scanned (invalid ones are skipped, not warmed).
+    pub boards: usize,
+    /// Boards that failed validation and were skipped.
+    pub invalid: usize,
+    /// Groups planned across the valid boards (duplicates included).
+    pub groups: usize,
+    /// Distinct cache keys among them — the predicted-dup structure
+    /// ([`meander_layout::hash`] digests): a dup-heavy fleet collapses to
+    /// few distinct keys, and warming one representative serves them all.
+    pub distinct: usize,
+    /// Distinct keys that already had entries (nothing to do).
+    pub already_cached: usize,
+    /// Groups this pass routed and inserted.
+    pub warmed: usize,
+    /// Groups that lost at least one unit to a panic — never inserted,
+    /// never poisoning the cache.
+    pub failed: usize,
+    /// Groups whose packets were skipped by cancellation or the deadline.
+    pub skipped: usize,
+    /// Wall clock of the pass.
+    pub elapsed: Duration,
+    /// Worker-level counters of the pass.
+    pub scheduler: StealCounters,
+    /// Bucket counters over the pass's window (its packets run at
+    /// [`Tier::Speculative`]).
+    pub sched: SchedCounters,
+}
+
+/// Pre-populates `cache` with the entries a fleet like `set` would need —
+/// on the [`Tier::Speculative`] bucket, so a shared
+/// [`FleetConfig::sched`] only spends cycles no interactive or batch
+/// work wants.
+///
+/// The producer enumerates the fleet's **predicted-dup structure**: every
+/// group's exact [`CacheKey`] (library Merkle root + board digest + group
+/// digest — [`meander_layout::hash`]), deduplicated, minus keys already
+/// cached. One representative group per distinct missing key routes with
+/// touch recording and installs through [`ResultCache::insert`] — the
+/// same exact keys and insert-if-absent path the engine uses, so
+/// correctness is inherited: a warmed entry is bit-identical to what the
+/// fleet would have routed and inserted itself. Boards are **not**
+/// written back; the set is untouched.
+///
+/// A panicking packet (chaos-injected or real) resolves its group as
+/// [`WarmupReport::failed`] — an incomplete group never fills its insert
+/// accumulator, so a crash cannot poison the cache. Fault injection keys
+/// on the warm-up's *own* input-order unit/group indices.
+pub fn warm_fleet_cache(
+    set: &BoardSet,
+    config: &FleetConfig,
+    cache: &Arc<ResultCache>,
+) -> WarmupReport {
+    let started = Instant::now();
+    let n_boards = set.boards.len();
+    let workers = config
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+
+    type LibKey = *const meander_layout::ObstacleLibrary;
+    let mut distinct_libs: Vec<(LibKey, usize)> = Vec::new();
+    for (b, lb) in set.boards.iter().enumerate() {
+        let key = Arc::as_ptr(lb.library());
+        if !distinct_libs.iter().any(|(k, _)| *k == key) {
+            distinct_libs.push((key, b));
+        }
+    }
+    let mut invalid = vec![false; n_boards];
+    if config.validate {
+        let lib_verdicts: Vec<(LibKey, bool)> = distinct_libs
+            .iter()
+            .map(|&(key, b)| (key, validate_library(set.boards[b].library()).is_err()))
+            .collect();
+        for (b, lb) in set.boards.iter().enumerate() {
+            let key = Arc::as_ptr(lb.library());
+            invalid[b] = lib_verdicts
+                .iter()
+                .find(|(k, _)| *k == key)
+                .is_some_and(|(_, bad)| *bad)
+                || validate_board(lb.board()).is_err();
+        }
+    }
+    let lib_roots: Vec<(LibKey, u64)> = distinct_libs
+        .iter()
+        .map(|&(key, b)| (key, library_root(set.boards[b].library())))
+        .collect();
+
+    // ---- Enumerate distinct missing keys; plan one representative each.
+    let mut bases: BaseCache<LibKey> = BaseCache::new();
+    let mut seen: std::collections::HashSet<CacheKey> = std::collections::HashSet::new();
+    let mut group_jobs: Vec<GroupJob> = Vec::new();
+    let mut unit_jobs: Vec<UnitJob> = Vec::new();
+    let mut groups = 0usize;
+    let mut already_cached = 0usize;
+    let mut warmed_empty = 0usize;
+    for (b, lb) in set.boards.iter().enumerate() {
+        if invalid[b] {
+            continue;
+        }
+        let lib_key = Arc::as_ptr(lb.library());
+        let library_root = lib_roots
+            .iter()
+            .find(|(k, _)| *k == lib_key)
+            .map(|(_, r)| *r)
+            .unwrap_or(0);
+        let board_local_hash = hash_board_local(lb.board());
+        let obstacles: Arc<Vec<Polygon>> = if config.share_library {
+            Arc::new(gather_obstacles(lb.board()))
+        } else {
+            let mut all = lb.library().polygons();
+            all.extend(gather_obstacles(lb.board()));
+            Arc::new(all)
+        };
+        let (targets, flat) = plan_unit_packets(lb.board());
+        groups += targets.len();
+        let mut by_group: Vec<Vec<PlannedUnit>> = (0..targets.len()).map(|_| Vec::new()).collect();
+        for p in flat {
+            by_group[p.group].push(p);
+        }
+        for (group, (units, &target)) in by_group.into_iter().zip(&targets).enumerate() {
+            let inputs: Vec<UnitInput> = units.iter().map(|p| p.input.clone()).collect();
+            let key = CacheKey {
+                library_root,
+                rules_hash: cache::rules_key(&inputs, &config.extend),
+                board_local_hash,
+                group_hash: cache::group_key(&lb.board().groups()[group], group, target),
+            };
+            if !seen.insert(key) {
+                continue; // a twin's representative already queued
+            }
+            if cache.contains(&key) {
+                already_cached += 1;
+                continue;
+            }
+            if units.is_empty() {
+                if cache.insert(key, CachedGroup::new(Vec::new())) {
+                    warmed_empty += 1;
+                }
+                continue;
+            }
+            if config.share_library {
+                for u in &inputs {
+                    bases.get_or_build(lib_key, u.rules(), lb.library(), config.extend.index);
+                }
+            }
+            let gj = group_jobs.len();
+            group_jobs.push(GroupJob {
+                board: b,
+                group,
+                target,
+                unit_count: units.len(),
+                key: Some(key),
+            });
+            for p in units {
+                let base = if config.share_library {
+                    bases.lookup(lib_key, p.input.rules())
+                } else {
+                    None
+                };
+                unit_jobs.push(UnitJob {
+                    board: b,
+                    gj,
+                    unit: p.unit,
+                    input: p.input,
+                    base,
+                    obstacles: Arc::clone(&obstacles),
+                    global_unit: unit_jobs.len() as u64,
+                });
+            }
+        }
+    }
+
+    // ---- Route representatives as Speculative packets. ------------------
+    let state = Arc::new(RunState {
+        extend: config.extend.clone(),
+        control: RunControl {
+            cancel: config.cancel.clone(),
+            deadline: config.deadline.map(|d| started + d),
+            board_budget: None,
+            board_spent: Vec::new(),
+        },
+        cache: Some(Arc::clone(cache)),
+        accum: group_jobs
+            .iter()
+            .map(|gj| Mutex::new(vec![None; gj.unit_count]))
+            .collect(),
+        groups: group_jobs,
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+        #[cfg(feature = "fault")]
+        fault: config.fault.clone(),
+    });
+    let unit_jobs = Arc::new(unit_jobs);
+    let stop: Arc<dyn Fn() -> bool + Send + Sync> = {
+        let s = Arc::clone(&state);
+        Arc::new(move || s.control.global_halt().is_some())
+    };
+    let body = {
+        let s = Arc::clone(&state);
+        Arc::new(move |job: &UnitJob| s.run_unit(job, false))
+    };
+    let (statuses, scheduler, sched_delta) = run_packets(
+        config.sched.as_ref(),
+        Tier::Speculative,
+        workers,
+        Arc::clone(&unit_jobs),
+        Some(stop),
+        body,
+    );
+
+    // ---- Resolve per-group fates from the packet statuses. --------------
+    let n_groups = state.groups.len();
+    let mut group_panicked = vec![false; n_groups];
+    let mut group_skipped = vec![false; n_groups];
+    for (job, status) in unit_jobs.iter().zip(&statuses) {
+        match status {
+            JobStatus::Done(_) => {}
+            JobStatus::Panicked(_) => group_panicked[job.gj] = true,
+            JobStatus::Skipped => group_skipped[job.gj] = true,
+        }
+    }
+    let failed = group_panicked.iter().filter(|&&p| p).count();
+    let skipped = group_skipped
+        .iter()
+        .zip(&group_panicked)
+        .filter(|(&s, &p)| s && !p)
+        .count();
+    let warmed = warmed_empty + (n_groups - failed - skipped);
+
+    WarmupReport {
+        boards: n_boards,
+        invalid: invalid.iter().filter(|&&i| i).count(),
+        groups,
+        distinct: seen.len(),
+        already_cached,
+        warmed,
+        failed,
+        skipped,
+        elapsed: started.elapsed(),
+        scheduler,
+        sched: sched_delta,
     }
 }
 
@@ -920,11 +1334,16 @@ mod tests {
             assert!(report.all_routed(), "{:?}", report.outcomes);
             assert_eq!(report.stats.routed, 5);
             assert_eq!(report.stats.units_run, report.stats.units);
-            assert_eq!(report.stats.latency.count as usize, report.stats.jobs);
+            assert_eq!(report.stats.latency.count as usize, report.stats.units_run);
             assert_eq!(
                 report.stats.scheduler.total_executed() as usize,
-                report.stats.jobs
+                report.stats.units
             );
+            assert_eq!(
+                report.stats.sched.packets[Tier::Batch.index()] as usize,
+                report.stats.units
+            );
+            assert_eq!(report.stats.sched.packets[Tier::Interactive.index()], 0);
 
             for (b, lb) in fleet.boards.iter().enumerate() {
                 let mut reference = lb.to_board();

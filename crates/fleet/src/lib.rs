@@ -14,9 +14,11 @@
 //!   trace of every board overlays only its per-trace remainder
 //!   ([`meander_index::OverlayIndex`]) — the index construction the
 //!   single-board flow repeats per trace is amortized across the fleet.
-//! * **Work stealing.** `boards × groups` jobs of uneven cost spread over
-//!   per-worker deques with steal-half rebalancing ([`steal::steal_map`]),
-//!   generalizing the single atomic-cursor `par_map`.
+//! * **Priority-bucketed scheduling.** Per-unit work packets spread over
+//!   per-worker deques with steal-half rebalancing inside typed priority
+//!   buckets ([`sched::Scheduler`]: `Interactive` > `Batch` >
+//!   `Speculative` with strict opening conditions), generalizing the
+//!   single atomic-cursor `par_map`.
 //! * **Deterministic write-back.** Results land in input-order slots and
 //!   write back in `(board, group, unit)` order, so fleet output is
 //!   **bit-identical** to routing each board's materialized twin
@@ -80,6 +82,7 @@ pub mod fault;
 pub mod outcome;
 pub mod repro;
 pub mod resilience;
+pub mod sched;
 pub mod session;
 pub mod steal;
 
@@ -89,7 +92,9 @@ pub use cache::{
 };
 pub use cancel::CancelToken;
 pub use edit::DamageReport;
-pub use engine::{route_fleet, BoardSet, FleetConfig, FleetReport, FleetStats};
+pub use engine::{
+    route_fleet, warm_fleet_cache, BoardSet, FleetConfig, FleetReport, FleetStats, WarmupReport,
+};
 #[cfg(feature = "fault")]
 pub use fault::FaultPlan;
 pub use meander_layout::{Edit, EditScope};
@@ -99,5 +104,6 @@ pub use resilience::{
     route_fleet_resilient, AdmissionPolicy, AttemptJournal, AttemptRecord, Quarantine,
     QuarantineEntry, ResilientReport, RetryPolicy,
 };
+pub use sched::{run_packets, SchedCounters, Scheduler, Tier};
 pub use session::FleetSession;
-pub use steal::{steal_map, steal_try_map, JobPanic, JobStatus, StealCounters};
+pub use steal::{steal_try_map, JobPanic, JobStatus, StealCounters};

@@ -65,7 +65,8 @@ use crate::cache::{self, CacheKey, CachedGroup, CachedUnit};
 use crate::edit::{add_damage, DamageReport};
 use crate::engine::{BaseCache, BoardSet, FleetConfig, FleetReport, FleetStats};
 use crate::outcome::{BoardOutcome, JobError, LatencyHistogram};
-use crate::steal::{steal_try_map, JobStatus, StealCounters};
+use crate::sched::{run_packets, SchedCounters, Tier};
+use crate::steal::{JobStatus, StealCounters};
 use meander_core::{
     apply_outputs, gather_obstacles, plan_board_units, run_unit_shared_recorded, CellTouches,
     DirtyCells, ExtendConfig, GroupReport, StratumKey, UnitInput, UnitOutput, WorldBase,
@@ -174,6 +175,11 @@ pub struct FleetSession {
     /// Likewise per board: the local digest the cache's entries are keyed
     /// under.
     served_board_hash: Vec<u64>,
+    /// Cached [`hash_board_local`] per board, recomputed only for boards
+    /// an edit actually touched ([`FleetSession::hash_stale`]) — a
+    /// single-board edit on a large fleet must not rehash the fleet.
+    local_hash: Vec<u64>,
+    hash_stale: Vec<bool>,
     /// Last re-route's results, reused for skipped boards.
     cached_reports: Vec<Vec<GroupReport>>,
     outcomes: Vec<BoardOutcome>,
@@ -219,6 +225,8 @@ impl FleetSession {
             commitments: (0..nl).map(|_| None).collect(),
             served_roots: Vec::new(),
             served_board_hash: Vec::new(),
+            local_hash: vec![0; n],
+            hash_stale: vec![true; n],
             cached_reports: vec![Vec::new(); n],
             outcomes: vec![BoardOutcome::Routed; n],
             last_stats: FleetStats::default(),
@@ -305,6 +313,7 @@ impl FleetSession {
             Edit::AddObstacle { scope, obstacle } => match scope {
                 EditScope::Board(b) => {
                     let b = b % n;
+                    self.hash_stale[b] = true;
                     self.pristine[b].add_obstacle(obstacle.clone());
                     if !self.structural[b] {
                         self.routed.boards_mut()[b]
@@ -392,6 +401,7 @@ impl FleetSession {
         idx: usize,
         new: Option<Obstacle>,
     ) -> Option<Obstacle> {
+        self.hash_stale[b] = true;
         let old = match &new {
             Some(o) => self.pristine[b].replace_obstacle(idx, o.clone()),
             None => self.pristine[b].remove_obstacle(idx),
@@ -453,6 +463,7 @@ impl FleetSession {
     fn mark_structural(&mut self, b: usize) -> DamageReport {
         self.structural[b] = true;
         self.board_stale[b] = true;
+        self.hash_stale[b] = true;
         DamageReport {
             boards_affected: 1,
             cells_dirty: 0,
@@ -533,7 +544,17 @@ impl FleetSession {
                     rc.apply_library_edit(old, new, dirty);
                 }
             }
-            board_hash = self.pristine.iter().map(hash_board_local).collect();
+            // Scoped rehash: only boards an edit actually touched — the
+            // wholesale `pristine.iter().map(hash_board_local)` this
+            // replaced made every cached re-route O(fleet) even for a
+            // one-board edit.
+            for b in 0..n {
+                if self.hash_stale[b] {
+                    self.local_hash[b] = hash_board_local(&self.pristine[b]);
+                    self.hash_stale[b] = false;
+                }
+            }
+            board_hash = self.local_hash.clone();
             if self.served_board_hash.len() == board_hash.len() {
                 for b in 0..n {
                     let (old, new) = (self.served_board_hash[b], board_hash[b]);
@@ -712,24 +733,38 @@ impl FleetSession {
             });
         }
 
-        // ---- Route the dirty units on the work-stealing pool. ------------
-        let extend = &config.extend;
+        // ---- Route the dirty units as Interactive packets. ---------------
+        // Highest bucket: on a shared scheduler a serving re-route's
+        // packets preempt any in-flight batch fleet at packet boundaries.
+        let jobs = Arc::new(jobs);
         let t0 = Instant::now();
-        let (statuses, scheduler) = if jobs.is_empty() {
-            (Vec::new(), StealCounters::default())
+        let (statuses, scheduler, sched_delta) = if jobs.is_empty() {
+            (
+                Vec::new(),
+                StealCounters::default(),
+                SchedCounters::default(),
+            )
         } else {
-            steal_try_map(&jobs, workers, None, |job: &ReJob| {
-                let t_job = Instant::now();
-                let mut touches = CellTouches::new();
-                let out = run_unit_shared_recorded(
-                    &job.input,
-                    &job.obstacles,
-                    job.base.as_ref(),
-                    extend,
-                    &mut touches,
-                );
-                (out, touches, t_job.elapsed())
-            })
+            let extend = config.extend.clone();
+            run_packets(
+                config.sched.as_ref(),
+                Tier::Interactive,
+                workers,
+                Arc::clone(&jobs),
+                None,
+                Arc::new(move |job: &ReJob| {
+                    let t_job = Instant::now();
+                    let mut touches = CellTouches::new();
+                    let out = run_unit_shared_recorded(
+                        &job.input,
+                        &job.obstacles,
+                        job.base.as_ref(),
+                        &extend,
+                        &mut touches,
+                    );
+                    (out, touches, t_job.elapsed())
+                }),
+            )
         };
         let route_wall = t0.elapsed();
 
@@ -893,12 +928,14 @@ impl FleetSession {
             cells_dirty,
             cache_hits,
             cache_misses,
+            boards_replanned: replanned.iter().filter(|&&r| r).count(),
             board_busy,
             validation_wall,
             base_build,
             route_wall,
             latency,
             scheduler,
+            sched: sched_delta,
         };
         self.report()
     }

@@ -28,11 +28,6 @@
 //! run stops burning CPU within one job's granularity. Jobs never claimed
 //! report [`JobStatus::Skipped`].
 //!
-//! [`steal_map`] is the infallible wrapper: no stop predicate, and a
-//! caught panic is re-raised with its original payload *after* all workers
-//! drain and join — the historical contract, minus the lost results and
-//! the poisoned pool.
-//!
 //! ## Determinism
 //!
 //! Scheduling decides only *who computes what when*. Every job's result
@@ -46,7 +41,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -98,6 +93,12 @@ pub struct JobPanic {
 }
 
 impl JobPanic {
+    /// Wraps a caught unwind payload (the sched pool's packet wrappers
+    /// build these the same way this module's workers do).
+    pub(crate) fn from_payload(payload: Box<dyn Any + Send>) -> JobPanic {
+        JobPanic { payload }
+    }
+
     /// Best-effort human-readable panic message (`&str` / `String`
     /// payloads; the usual `panic!` shapes).
     pub fn message(&self) -> String {
@@ -110,7 +111,7 @@ impl JobPanic {
         }
     }
 
-    /// The original payload, for [`resume_unwind`].
+    /// The original payload, for [`std::panic::resume_unwind`].
     pub fn into_payload(self) -> Box<dyn Any + Send> {
         self.payload
     }
@@ -359,63 +360,42 @@ where
     (out, counters)
 }
 
-/// Maps `f` over `items` on `workers` work-stealing workers, returning
-/// results in input order plus the scheduler counters.
-///
-/// Built on [`steal_try_map`] with no stop predicate. If any job panics,
-/// every *other* job still runs to completion (workers survive), and the
-/// first panic (in input order) is then re-raised with its original
-/// payload — callers that need the surviving results instead should use
-/// [`steal_try_map`] directly, as the fleet engine does.
-pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, StealCounters)
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let (statuses, counters) = steal_try_map(items, workers, None, f);
-    let mut out = Vec::with_capacity(statuses.len());
-    let mut first_panic: Option<JobPanic> = None;
-    for s in statuses {
-        match s {
-            JobStatus::Done(r) => out.push(r),
-            JobStatus::Panicked(p) => {
-                first_panic.get_or_insert(p);
-            }
-            JobStatus::Skipped => unreachable!("no stop predicate was installed"),
-        }
-    }
-    if let Some(p) = first_panic {
-        resume_unwind(p.into_payload());
-    }
-    (out, counters)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
 
+    fn unwrap_done<R: std::fmt::Debug>(statuses: Vec<JobStatus<R>>) -> Vec<R> {
+        statuses
+            .into_iter()
+            .map(|s| match s {
+                JobStatus::Done(r) => r,
+                other => panic!("expected Done, got {other:?}"),
+            })
+            .collect()
+    }
+
     #[test]
     fn results_land_in_input_order() {
         let items: Vec<u64> = (0..257).collect();
         for workers in [1, 2, 3, 8] {
-            let (out, counters) = steal_map(&items, workers, |&x| x * x);
-            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+            let (statuses, counters) = steal_try_map(&items, workers, None, |&x| x * x);
             assert_eq!(counters.total_executed(), items.len() as u64);
             assert_eq!(counters.total_panics(), 0);
             assert_eq!(counters.skipped, 0);
+            let out = unwrap_done(statuses);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn empty_and_single() {
         let empty: Vec<u32> = vec![];
-        let (out, c) = steal_map(&empty, 4, |&x| x);
-        assert!(out.is_empty());
+        let (statuses, c) = steal_try_map(&empty, 4, None, |&x| x);
+        assert!(statuses.is_empty());
         assert_eq!(c.workers, 1);
-        let (out, c) = steal_map(&[41u32], 4, |&x| x + 1);
-        assert_eq!(out, vec![42]);
+        let (statuses, c) = steal_try_map(&[41u32], 4, None, |&x| x + 1);
+        assert_eq!(unwrap_done(statuses), vec![42]);
         assert_eq!(c.total_executed(), 1);
     }
 
@@ -426,14 +406,14 @@ mod tests {
         // host) or run through serially (1 CPU) — either way, every job
         // executes exactly once and order is preserved.
         let items: Vec<u64> = (0..64).map(|i| if i < 4 { 200_000 } else { 50 }).collect();
-        let (out, counters) = steal_map(&items, 4, |&spin| {
+        let (statuses, counters) = steal_try_map(&items, 4, None, |&spin| {
             let mut acc = 0u64;
             for k in 0..spin {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
             }
             acc
         });
-        assert_eq!(out.len(), 64);
+        assert_eq!(unwrap_done(statuses).len(), 64);
         assert_eq!(counters.total_executed(), 64);
         assert_eq!(counters.executed.len(), counters.workers);
         assert_eq!(counters.busy.len(), counters.workers);
@@ -443,8 +423,8 @@ mod tests {
     #[test]
     fn more_workers_than_jobs() {
         let items: Vec<u32> = (0..3).collect();
-        let (out, counters) = steal_map(&items, 16, |&x| x + 1);
-        assert_eq!(out, vec![1, 2, 3]);
+        let (statuses, counters) = steal_try_map(&items, 16, None, |&x| x + 1);
+        assert_eq!(unwrap_done(statuses), vec![1, 2, 3]);
         assert!(counters.workers <= 3);
         assert_eq!(counters.total_executed(), 3);
     }
@@ -482,18 +462,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "boom")]
-    fn steal_map_reraises_after_draining() {
-        // The infallible wrapper still panics — but only after every
-        // worker drained and joined, with the original payload.
-        let items: Vec<u32> = (0..16).collect();
-        let _ = steal_map(&items, 4, |&x| {
-            assert!(x != 7, "boom");
-            x
-        });
-    }
-
-    #[test]
     fn stop_predicate_skips_unclaimed_jobs() {
         // Stop immediately: nothing is claimed, everything is Skipped.
         let items: Vec<u32> = (0..32).collect();
@@ -517,7 +485,7 @@ mod tests {
     #[test]
     fn counters_are_consistent() {
         let items: Vec<u64> = (0..500).collect();
-        let (_, c) = steal_map(&items, 4, |&x| x);
+        let (_, c) = steal_try_map(&items, 4, None, |&x| x);
         // Every steal moved at least one job; attempts ≥ steals.
         assert!(c.steal_attempts >= c.steals);
         assert!(c.stolen_jobs >= c.steals);

@@ -118,11 +118,13 @@ fn cache_on_is_bit_identical_to_cache_off() {
             &config(workers, share, Some(Arc::clone(&cache))),
         );
         assert_runs_identical(&ctx, (&plain, &plain_report), (&cached, &cached_report));
-        // Every job consulted the cache exactly once.
+        // Every unit packet consulted the cache exactly once (these
+        // fleets have no zero-unit groups, so there are no extra
+        // planning-time consults).
         assert_eq!(
             (cached_report.stats.cache_hits + cached_report.stats.cache_misses) as usize,
-            cached_report.stats.jobs,
-            "{ctx}: hit/miss partition the jobs"
+            cached_report.stats.units_run,
+            "{ctx}: hit/miss partition the unit packets"
         );
     }
 }
@@ -147,8 +149,8 @@ fn warm_pass_hits_everything_and_matches() {
     let mut warm = BoardSet::new(fleet.boards.clone());
     let warm_report = route_fleet(&mut warm, &cfg);
     assert_eq!(
-        warm_report.stats.cache_hits as usize, warm_report.stats.jobs,
-        "warm pass is all hits"
+        warm_report.stats.cache_hits as usize, warm_report.stats.units,
+        "warm pass serves every unit packet from the cache"
     );
     assert_eq!(warm_report.stats.cache_misses, 0);
     assert_eq!(cache.len(), inserted, "warm pass inserts nothing");

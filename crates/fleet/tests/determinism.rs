@@ -107,8 +107,8 @@ fn randomized_fleets_match_sequential_bitwise() {
         assert_identical(&label, &set, &report.reports, &want_reports, &want_boards);
         assert_eq!(
             report.stats.scheduler.total_executed() as usize,
-            report.stats.jobs,
-            "{label}: every job executed exactly once"
+            report.stats.units,
+            "{label}: every unit packet executed exactly once"
         );
     }
 }

@@ -120,6 +120,7 @@ fn zero_damage_reroute_skips_everything() {
     assert_eq!(report.stats.units_skipped, report.stats.units);
     assert_eq!(report.stats.units_run, 0);
     assert_eq!(report.stats.cells_dirty, 0);
+    assert_eq!(report.stats.boards_replanned, 0);
     for (b, old) in before.iter().enumerate() {
         for (id, t) in old.traces() {
             let now = session.boards().boards()[b].board().trace(id).unwrap();
@@ -194,6 +195,10 @@ fn set_rules_reroutes_exactly_that_board() {
         "only board 2 re-runs"
     );
     assert_eq!(report.stats.units_skipped, total - board_units);
+    assert_eq!(
+        report.stats.boards_replanned, 1,
+        "a structural edit to one board replans exactly that board"
+    );
     assert_bit_identical(&session, &cfg, "set-rules");
 }
 

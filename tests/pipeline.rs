@@ -56,8 +56,8 @@ mod tier1 {
         let second = route_fleet(&mut warm, &cfg);
         assert!(second.all_routed());
         assert_eq!(
-            second.stats.cache_hits as usize, second.stats.jobs,
-            "warm pass is all hits"
+            second.stats.cache_hits as usize, second.stats.units,
+            "warm pass serves every unit packet from the cache"
         );
         for (a, b) in cold.boards().iter().zip(warm.boards()) {
             for (id, t) in a.board().traces() {
